@@ -1,0 +1,22 @@
+package gpupower
+
+import "gpupower/internal/autotune"
+
+// Tuner is the multi-kernel auto-tuner of the paper's use case 3 (citing
+// the authors' PDP 2015 auto-tuning work): per-kernel V-F configurations
+// minimizing total predicted energy under a runtime budget, planned
+// entirely from the model — no execution beyond one reference profile per
+// kernel.
+type Tuner = autotune.Tuner
+
+// TunePlan is a complete per-kernel configuration assignment.
+type TunePlan = autotune.Plan
+
+// TuneCandidate is one V-F operating point on a kernel's Pareto frontier.
+type TuneCandidate = autotune.Candidate
+
+// NewTuner creates an auto-tuner on this GPU for a model fitted on the same
+// device.
+func (g *GPU) NewTuner(m *Model) (*Tuner, error) {
+	return autotune.New(g.prof, m)
+}

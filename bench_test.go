@@ -1,0 +1,337 @@
+package gpupower_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (Section V). One testing.B benchmark per artifact:
+//
+//	go test -bench=. -benchmem
+//
+// The first benchmark touching a device pays the model-fitting cost; rigs
+// are cached process-wide (experiments.SharedRig), so subsequent figures
+// reuse the three fitted models, exactly like the paper's workflow (fit
+// once, evaluate everywhere).
+
+import (
+	"testing"
+
+	"gpupower"
+	"gpupower/internal/core"
+	"gpupower/internal/experiments"
+	"gpupower/internal/hw"
+	"gpupower/internal/linalg"
+	"gpupower/internal/microbench"
+	"gpupower/internal/silicon"
+	"gpupower/internal/stats"
+)
+
+const benchSeed = experiments.DefaultSeed
+
+// BenchmarkTable1 regenerates Table I (performance events per device).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RenderTable1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table II (device characteristics).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.RenderTable2()
+	}
+}
+
+// BenchmarkTable3 regenerates Table III (validation benchmarks).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.RenderTable3()
+	}
+}
+
+// BenchmarkFig2 regenerates Fig. 2 (DVFS impact on BlackScholes and CUTCP).
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig2(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Fig. 5 (microbenchmark utilizations and power
+// breakdown).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig5(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Fig. 6 (measured vs predicted core voltage).
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig6(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Fig. 7 (power prediction for all V-F
+// configurations on the three devices). This is the headline experiment.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig7(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, d := range r.Devices {
+				b.ReportMetric(d.MAE, "MAE%/"+shortDevice(d.Device))
+			}
+		}
+	}
+}
+
+func shortDevice(name string) string {
+	switch name {
+	case "Titan Xp":
+		return "xp"
+	case "GTX Titan X":
+		return "titanx"
+	default:
+		return "k40c"
+	}
+}
+
+// BenchmarkFig8 regenerates Fig. 8 (per-memory-frequency prediction error).
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig8(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates Fig. 9 (matrixMulCUBLAS input-size sweep).
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig9(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates Fig. 10 (validation-set power breakdown).
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig10(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvergence regenerates the Section V-A convergence report.
+func BenchmarkConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunConvergence(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselines regenerates the Section VI baseline comparison.
+func BenchmarkBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunBaselines(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation regenerates the design-choice ablations.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblation(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- component-level benchmarks ---
+
+// BenchmarkModelFitK40c measures one full Section III-D fit (dataset
+// collection + iterative estimation) on the smallest device.
+func BenchmarkModelFitK40c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		gpu, err := gpupower.Open(gpupower.TeslaK40c, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := gpu.FitPowerModel(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredict measures a single model evaluation (the operation a
+// real-time DVFS governor would run).
+func BenchmarkPredict(b *testing.B) {
+	r, err := experiments.SharedRig("GTX Titan X", benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := r.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := core.Utilization{hw.SP: 0.8, hw.DRAM: 0.4, hw.L2: 0.2, hw.Int: 0.1}
+	cfg := hw.Config{CoreMHz: 595, MemMHz: 810}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Predict(u, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateKernel measures the roofline timing model.
+func BenchmarkSimulateKernel(b *testing.B) {
+	dev := hw.GTXTitanX()
+	k := microbench.Suite()[0].Kernel
+	cfg := dev.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := silicon.Simulate(dev, k, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNNLS measures the regression core at the fitting problem's size
+// (83 benchmarks × 64 configurations × 11 parameters).
+func BenchmarkNNLS(b *testing.B) {
+	rng := stats.NewRNG(1)
+	rows, cols := 83*64, 11
+	a := linalg.NewMatrix(rows, cols)
+	y := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			a.Set(i, j, rng.Float64())
+		}
+		y[i] = rng.Uniform(50, 250)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linalg.NNLS(a, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIsotonic measures the monotonic-projection step.
+func BenchmarkIsotonic(b *testing.B) {
+	rng := stats.NewRNG(2)
+	y := make([]float64, 64)
+	for i := range y {
+		y[i] = rng.Normal(1, 0.1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linalg.IsotonicRegression(y, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureAppPower measures the Section V-A measurement loop
+// (repeat to ≥1 s, median of 10) for one application at one configuration.
+func BenchmarkMeasureAppPower(b *testing.B) {
+	r, err := experiments.SharedRig("GTX Titan X", benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := gpupower.WorkloadByName("BLCKSC")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := hw.Config{CoreMHz: 975, MemMHz: 3505}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Profiler.MeasureAppPower(wl.App, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDVFSSearch measures the use-case-3 operating-point search across
+// the whole configuration space.
+func BenchmarkDVFSSearch(b *testing.B) {
+	gpu, err := gpupower.Open(gpupower.GTXTitanX, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := experiments.SharedRig("GTX Titan X", benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := r.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := gpupower.WorkloadByName("LBM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, err := gpu.ProfileForModel(wl.App, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gpupower.FindBestConfig(m, gpu.Device(), prof, gpupower.MinEnergy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRobustness evaluates the Fig. 7 accuracy across three
+// independent die instances (seed sweep).
+func BenchmarkRobustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunRobustness([]uint64{benchSeed, benchSeed + 1, benchSeed + 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBreakdownTruth regenerates the simulator-only component-level
+// decomposition validation.
+func BenchmarkBreakdownTruth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, dev := range []string{"Titan Xp", "GTX Titan X", "Tesla K40c"} {
+			if _, err := experiments.RunBreakdownTruth(dev, benchSeed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkGovernor regenerates the real-time governor study (the paper's
+// Section VII future-work scenario).
+func BenchmarkGovernor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunGovernorStudy(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimeModel regenerates the time-scaling validation (the paper's
+// companion performance model, ref. [9]).
+func BenchmarkTimeModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTimeModel(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command gpowerbench regenerates the paper's tables and figures from the
+// simulated devices:
+//
+//	gpowerbench -exp fig7             # one experiment
+//	gpowerbench -exp fig6 -plot       # with an ASCII chart
+//	gpowerbench -exp all              # everything, in paper order
+//	gpowerbench -exp fig8 -seed 7     # different die instance
+//	gpowerbench -csv out/             # export every data series as CSV
+//
+// Experiments: table1 table2 table3 fig2 fig5 fig6 fig7 fig8 fig9 fig10
+// convergence baselines ablation breakdown governor robustness sources all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpupower/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run; comma-separated list or \"all\"")
+	seed := flag.Uint64("seed", experiments.DefaultSeed, "simulation seed")
+	csvDir := flag.String("csv", "", "when set, export every experiment's data series as CSV into this directory and exit")
+	plot := flag.Bool("plot", false, "render ASCII charts for the figure experiments that support it (fig2, fig6, fig7, fig9)")
+	report := flag.String("report", "", "when set, write a self-contained markdown evaluation report to this file and exit")
+	flag.Parse()
+
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpowerbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := experiments.WriteReport(f, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "gpowerbench: report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("report written to", *report)
+		return
+	}
+
+	if *csvDir != "" {
+		paths, err := experiments.ExportAllCSVs(*csvDir, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpowerbench: csv export: %v\n", err)
+			os.Exit(1)
+		}
+		for _, p := range paths {
+			fmt.Println(p)
+		}
+		return
+	}
+
+	names := strings.Split(*exp, ",")
+	if *exp == "all" {
+		names = experiments.AllNames()
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if err := experiments.RunByName(name, os.Stdout, *seed, *plot); err != nil {
+			fmt.Fprintf(os.Stderr, "gpowerbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

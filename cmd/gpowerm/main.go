@@ -1,0 +1,62 @@
+// Command gpowerm constructs a DVFS-aware GPU power model (the paper's
+// publicly released tool, reimplemented for the simulated devices): it runs
+// the 83-microbenchmark suite, fits the Section III-D model and writes it
+// to JSON.
+//
+//	gpowerm -device "GTX Titan X" -o titanx-model.json
+//	gpowerm -device "Titan Xp" -seed 7 -o xp.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gpupower"
+	"gpupower/internal/hw"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gpowerm: ")
+	device := flag.String("device", gpupower.GTXTitanX, `device name ("Titan Xp", "GTX Titan X", "Tesla K40c")`)
+	seed := flag.Uint64("seed", 42, "simulation seed (identifies the die instance)")
+	out := flag.String("o", "model.json", "output model path")
+	flag.Parse()
+
+	gpu, err := gpupower.Open(*device, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fitting DVFS-aware power model on %s (%d V-F configurations, 83 microbenchmarks)...\n",
+		gpu.Name(), len(gpu.Configs()))
+	model, err := gpu.FitPowerModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Estimator finished: %d iterations, converged=%v\n", model.Iterations, model.Converged)
+	fmt.Printf("Coefficients (normalized to V_ref):\n")
+	fmt.Printf("  β0 (core static)       = %8.3f W\n", model.Beta[0])
+	fmt.Printf("  β1 (core idle-dynamic) = %8.5f W/MHz\n", model.Beta[1])
+	fmt.Printf("  β2 (mem static)        = %8.3f W\n", model.Beta[2])
+	fmt.Printf("  β3 (mem idle-dynamic)  = %8.5f W/MHz\n", model.Beta[3])
+	for _, c := range []gpupower.Component{hw.Int, hw.SP, hw.DP, hw.SF, hw.Shared, hw.L2} {
+		fmt.Printf("  ω_%-6s               = %8.5f W/MHz\n", c, model.OmegaCore[c])
+	}
+	fmt.Printf("  ω_mem                  = %8.5f W/MHz\n", model.OmegaMem)
+	fmt.Printf("  L2 peak (calibrated)   = %8.1f B/cycle\n", model.L2BytesPerCycle)
+
+	freqs, vbar, err := model.PredictedCoreVoltage(gpu.DefaultConfig().MemMHz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Estimated core voltage ladder (V̄ at fmem=%.0f MHz):\n", gpu.DefaultConfig().MemMHz)
+	for i := range freqs {
+		fmt.Printf("  %5.0f MHz: %.3f\n", freqs[i], vbar[i])
+	}
+
+	if err := model.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Model written to %s\n", *out)
+}

@@ -1,0 +1,112 @@
+// Command gpowerpredict predicts an application's power across V-F
+// configurations from a saved model: the application is profiled once at
+// the model's reference configuration (performance events only), then the
+// model evaluates any configuration without further execution.
+//
+//	gpowerpredict -model titanx-model.json -app BLCKSC
+//	gpowerpredict -model titanx-model.json -app CUTCP -fcore 595 -fmem 810 -breakdown
+//	gpowerpredict -model titanx-model.json -app LBM -validate
+//	gpowerpredict -model titanx-model.json -profile blcksc-profile.json
+//
+// The -seed must match the gpowerm run: a model is tied to the die it was
+// fitted on (per-die counter biases), exactly as on real hardware.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gpupower"
+	"gpupower/internal/hw"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gpowerpredict: ")
+	modelPath := flag.String("model", "model.json", "fitted model JSON (from gpowerm)")
+	appName := flag.String("app", "BLCKSC", "validation application short name (see Table III), e.g. BLCKSC, CUTCP, LBM, CUBLAS")
+	profilePath := flag.String("profile", "", "predict from a saved profile JSON (from gpowerprofile) instead of re-profiling; disables -validate")
+	seed := flag.Uint64("seed", 42, "simulation seed; must match the gpowerm run")
+	fcore := flag.Float64("fcore", 0, "core frequency MHz (0 = all configurations)")
+	fmem := flag.Float64("fmem", 0, "memory frequency MHz (0 = all configurations)")
+	breakdown := flag.Bool("breakdown", false, "print the per-component power decomposition")
+	validate := flag.Bool("validate", false, "also measure real power at each printed configuration")
+	flag.Parse()
+
+	model, err := gpupower.LoadModel(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpu, err := gpupower.Open(model.DeviceName, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var prof *gpupower.Profile
+	var wl gpupower.Workload
+	canValidate := true
+	if *profilePath != "" {
+		prof, err = gpupower.LoadProfile(*profilePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := prof.CompatibleWith(model); err != nil {
+			log.Fatal(err)
+		}
+		canValidate = false
+		fmt.Printf("%s loaded from %s (profiled at %v)\n", prof.App.Name, *profilePath, prof.Ref)
+	} else {
+		wl, err = gpupower.WorkloadByName(*appName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof, err = gpu.ProfileForModel(wl.App, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (%s, %s) profiled at %v\n", wl.Short, wl.Full, wl.Suite, prof.Ref)
+	}
+	fmt.Printf("Utilization:")
+	for _, c := range []gpupower.Component{hw.Int, hw.SP, hw.DP, hw.SF, hw.Shared, hw.L2, hw.DRAM} {
+		if prof.Utilization[c] >= 0.005 {
+			fmt.Printf(" %s=%.2f", c, prof.Utilization[c])
+		}
+	}
+	fmt.Println()
+
+	var configs []gpupower.Config
+	if *fcore > 0 && *fmem > 0 {
+		configs = []gpupower.Config{{CoreMHz: *fcore, MemMHz: *fmem}}
+	} else {
+		configs = gpu.Configs()
+	}
+	for _, cfg := range configs {
+		pred, err := model.Predict(prof.Utilization, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		line := fmt.Sprintf("%v  predicted %6.1f W", cfg, pred)
+		if *validate && canValidate {
+			meas, err := gpu.MeasurePower(wl.App, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			line += fmt.Sprintf("  measured %6.1f W  err %+5.1f%%", meas, 100*(pred-meas)/meas)
+		}
+		fmt.Println(line)
+		if *breakdown {
+			bd, err := model.Decompose(prof.Utilization, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("    constant %.1f W", bd.Constant)
+			for _, c := range []gpupower.Component{hw.Int, hw.SP, hw.DP, hw.SF, hw.Shared, hw.L2, hw.DRAM} {
+				if bd.Component[c] >= 0.5 {
+					fmt.Printf("  %s %.1f W", c, bd.Component[c])
+				}
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Command gpowerprofile characterizes an application at a model's reference
+// configuration and writes the profile to JSON — the artifact the paper's
+// sensor-less and virtualization use cases exchange (a guest VM receives
+// profiles and a model; it never needs the power sensor).
+//
+//	gpowerprofile -model titanx.json -app BLCKSC -o blcksc-profile.json
+//
+// The -seed must match the gpowerm run (profiles are die-specific, like the
+// counters they come from).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gpupower"
+	"gpupower/internal/hw"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gpowerprofile: ")
+	modelPath := flag.String("model", "model.json", "fitted model JSON (from gpowerm)")
+	appName := flag.String("app", "BLCKSC", "validation application short name (Table III)")
+	seed := flag.Uint64("seed", 42, "simulation seed; must match the gpowerm run")
+	out := flag.String("o", "profile.json", "output profile path")
+	flag.Parse()
+
+	model, err := gpupower.LoadModel(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpu, err := gpupower.Open(model.DeviceName, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl, err := gpupower.WorkloadByName(*appName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := gpu.ProfileForModel(wl.App, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := prof.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s profiled at %v on %s\n", wl.Short, prof.Ref, gpu.Name())
+	fmt.Printf("  reference power: %.1f W\n", prof.RefPower)
+	fmt.Printf("  utilization:")
+	for _, c := range []gpupower.Component{hw.Int, hw.SP, hw.DP, hw.SF, hw.Shared, hw.L2, hw.DRAM} {
+		if prof.Utilization[c] >= 0.005 {
+			fmt.Printf(" %s=%.2f", c, prof.Utilization[c])
+		}
+	}
+	fmt.Printf("\nProfile written to %s\n", *out)
+}

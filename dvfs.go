@@ -1,0 +1,124 @@
+package gpupower
+
+import (
+	"fmt"
+	"sort"
+
+	"gpupower/internal/core"
+)
+
+// The DVFS-management use case of the paper (Section V-B, "Use cases" #3):
+// the fitted power model shrinks the search for an energy-optimal V-F
+// configuration from exhaustive execution at every configuration to a pure
+// table evaluation. Power comes from the model; relative execution time
+// comes from a roofline companion built on the same utilization vector
+// (the paper pairs its power model with the authors' earlier performance
+// classification work [9]).
+
+// EstimateRelativeTime predicts T(cfg)/T(ref) for an application with the
+// given reference-configuration utilizations: the core-domain share of the
+// critical path stretches with f_ref/f_core and the memory share with
+// f_ref/f_mem, with the bound resource dominating.
+func EstimateRelativeTime(u Utilization, ref, cfg Config) float64 {
+	return core.EstimateRelativeTime(u, ref, cfg)
+}
+
+// OperatingPoint is one evaluated V-F configuration.
+type OperatingPoint struct {
+	Config Config
+	// PowerW is the model-predicted average power.
+	PowerW float64
+	// RelTime is the estimated execution-time ratio vs the reference.
+	RelTime float64
+	// RelEnergy is PowerW · RelTime normalized by the reference's
+	// power (energy ratio vs running at the reference configuration).
+	RelEnergy float64
+	// RelEDP is the energy-delay-product ratio vs the reference.
+	RelEDP float64
+}
+
+// Objective selects what the DVFS search minimizes.
+type Objective int
+
+const (
+	// MinEnergy minimizes energy (power × time).
+	MinEnergy Objective = iota
+	// MinEDP minimizes the energy-delay product.
+	MinEDP
+	// MinPowerUnderTDP minimizes power (always TDP-feasible by preferring
+	// lower clocks).
+	MinPowerUnderTDP
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MinEnergy:
+		return "min-energy"
+	case MinEDP:
+		return "min-EDP"
+	case MinPowerUnderTDP:
+		return "min-power"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// EvaluateOperatingPoints evaluates the model at every configuration of the
+// device without executing the application anywhere but the reference —
+// the design-space pruning the paper highlights.
+func EvaluateOperatingPoints(m *Model, dev *Device, p *Profile) ([]OperatingPoint, error) {
+	refPower, err := m.Predict(p.Utilization, p.Ref)
+	if err != nil {
+		return nil, err
+	}
+	if refPower <= 0 {
+		return nil, fmt.Errorf("gpupower: non-positive reference power prediction %g", refPower)
+	}
+	var out []OperatingPoint
+	for _, cfg := range dev.AllConfigs() {
+		pw, err := m.Predict(p.Utilization, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rt := EstimateRelativeTime(p.Utilization, p.Ref, cfg)
+		relEnergy := pw * rt / refPower
+		out = append(out, OperatingPoint{
+			Config:    cfg,
+			PowerW:    pw,
+			RelTime:   rt,
+			RelEnergy: relEnergy,
+			RelEDP:    relEnergy * rt,
+		})
+	}
+	return out, nil
+}
+
+// FindBestConfig returns the configuration minimizing the objective,
+// considering only TDP-feasible points.
+func FindBestConfig(m *Model, dev *Device, p *Profile, obj Objective) (OperatingPoint, error) {
+	pts, err := EvaluateOperatingPoints(m, dev, p)
+	if err != nil {
+		return OperatingPoint{}, err
+	}
+	feasible := pts[:0]
+	for _, pt := range pts {
+		if pt.PowerW <= dev.TDP {
+			feasible = append(feasible, pt)
+		}
+	}
+	if len(feasible) == 0 {
+		return OperatingPoint{}, fmt.Errorf("gpupower: no TDP-feasible configuration for %s", p.App.Name)
+	}
+	sort.Slice(feasible, func(i, j int) bool {
+		a, b := feasible[i], feasible[j]
+		switch obj {
+		case MinEnergy:
+			return a.RelEnergy < b.RelEnergy
+		case MinEDP:
+			return a.RelEDP < b.RelEDP
+		default:
+			return a.PowerW < b.PowerW
+		}
+	})
+	return feasible[0], nil
+}

@@ -1,0 +1,138 @@
+package gpupower_test
+
+// Godoc examples for the public API. They are compiled with the test suite;
+// outputs are intentionally not asserted (power values depend on the seeded
+// die instance), so each example ends without an Output comment and serves
+// as living documentation.
+
+import (
+	"fmt"
+	"log"
+
+	"gpupower"
+)
+
+// Example demonstrates the core workflow: fit once, profile once, predict
+// everywhere.
+func Example() {
+	gpu, err := gpupower.Open(gpupower.GTXTitanX, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := gpu.FitPowerModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl, err := gpupower.WorkloadByName("BLCKSC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := gpu.ProfileForModel(wl.App, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	watts, err := model.Predict(prof.Utilization, gpupower.Config{CoreMHz: 595, MemMHz: 810})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BlackScholes at (595, 810): %.1f W\n", watts)
+}
+
+// ExampleModel_Decompose shows the per-component power breakdown (paper
+// Fig. 10), the application-analysis use case.
+func ExampleModel_Decompose() {
+	gpu, err := gpupower.Open(gpupower.TeslaK40c, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := gpu.FitPowerModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl, err := gpupower.WorkloadByName("CUTCP")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := gpu.ProfileForModel(wl.App, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bd, err := model.Decompose(prof.Utilization, gpu.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("constant %.0f W, SP %.0f W, DRAM %.0f W\n",
+		bd.Constant, bd.Component[gpupower.SP], bd.Component[gpupower.DRAM])
+}
+
+// ExampleFindBestConfig shows the DVFS-management use case: the
+// energy-optimal configuration without exhaustive execution.
+func ExampleFindBestConfig() {
+	gpu, err := gpupower.Open(gpupower.TeslaK40c, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := gpu.FitPowerModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl, err := gpupower.WorkloadByName("LBM")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := gpu.ProfileForModel(wl.App, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := gpupower.FindBestConfig(model, gpu.Device(), prof, gpupower.MinEnergy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("min-energy config: %v (x%.2f energy vs reference)\n", best.Config, best.RelEnergy)
+}
+
+// ExampleGPU_NewGovernor shows the real-time governor: profile a kernel's
+// first call, lock the policy-optimal clocks for the rest of the run.
+func ExampleGPU_NewGovernor() {
+	gpu, err := gpupower.Open(gpupower.TeslaK40c, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := gpu.FitPowerModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	gov, err := gpu.NewGovernor(model, gpupower.GovMinEnergy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl, err := gpupower.WorkloadByName("SRAD_2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := gov.RunApp(wl.App, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("energy saving vs always-default: %.1f%%\n", rep.EnergySavingsPercent())
+}
+
+// ExampleModel_Save shows model persistence for the sensor-less use case.
+func ExampleModel_Save() {
+	gpu, err := gpupower.Open(gpupower.TeslaK40c, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := gpu.FitPowerModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := model.Save("/tmp/k40c-model.json"); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := gpupower.LoadModel("/tmp/k40c-model.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("model for", loaded.DeviceName)
+}

@@ -1,0 +1,66 @@
+// Quickstart: fit the DVFS-aware power model on a simulated GTX Titan X,
+// profile an application once at the reference configuration, and predict
+// its power across the device's whole voltage-frequency space.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpupower"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Open a simulated GPU. The seed identifies the die instance: sensor
+	// noise and per-die counter biases all derive from it.
+	gpu, err := gpupower.Open(gpupower.GTXTitanX, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Device: %s (%d V-F configurations, TDP %.0f W)\n",
+		gpu.Name(), len(gpu.Configs()), gpu.TDP())
+
+	// Fit the model: runs the 83-microbenchmark suite (performance events at
+	// the reference configuration, power at every configuration) and the
+	// paper's iterative estimator.
+	fmt.Println("Fitting the DVFS-aware power model (83 microbenchmarks)...")
+	model, err := gpu.FitPowerModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Done: %d iterations, converged=%v\n\n", model.Iterations, model.Converged)
+
+	// Profile BlackScholes once, at the reference configuration only.
+	wl, err := gpupower.WorkloadByName("BLCKSC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := gpu.ProfileForModel(wl.App, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s profiled at %v — measured %.1f W there.\n", wl.Full, prof.Ref, prof.RefPower)
+	fmt.Printf("Utilization: SP=%.2f DRAM=%.2f SF=%.2f L2=%.2f\n\n",
+		prof.Utilization[gpupower.SP], prof.Utilization[gpupower.DRAM],
+		prof.Utilization[gpupower.SF], prof.Utilization[gpupower.L2])
+
+	// Predict everywhere; validate a few points against real measurements.
+	fmt.Println("Power predictions across the memory ladder (core at 975 MHz):")
+	for _, fm := range gpu.Device().MemFreqs {
+		cfg := gpupower.Config{CoreMHz: 975, MemMHz: fm}
+		pred, err := model.Predict(prof.Utilization, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		meas, err := gpu.MeasurePower(wl.App, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  fmem=%4.0f MHz: predicted %6.1f W, measured %6.1f W (%+.1f%%)\n",
+			fm, pred, meas, 100*(pred-meas)/meas)
+	}
+}

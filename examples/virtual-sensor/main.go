@@ -1,0 +1,91 @@
+// Virtual sensor: the paper's use case 1 (Section V-B) — "GPUs without
+// sensor: using a previously built model to provide an estimate of the
+// total and/or per-component GPU power consumption". The same scenario
+// covers the virtualization case, where guest VMs cannot read the power
+// sensor but can collect performance events.
+//
+// The model is fitted on one machine (here: fitted and saved to JSON), then
+// loaded elsewhere and driven purely by performance events — the power
+// sensor is never consulted on the "sensor-less" side, only to grade the
+// estimates at the end.
+//
+//	go run ./examples/virtual-sensor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+
+	"gpupower"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	dir, err := os.MkdirTemp("", "gpupower-virtual-sensor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	modelPath := filepath.Join(dir, "k40c-model.json")
+
+	// --- Host side: build the model once, with full sensor access. ---
+	host, err := gpupower.Open(gpupower.TeslaK40c, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Host: fitting the power model on", host.Name(), "...")
+	model, err := host.FitPowerModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := model.Save(modelPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Host: model exported to", modelPath)
+
+	// --- Guest side: same die, but pretend the sensor is unreadable. ---
+	guest, err := gpupower.Open(gpupower.TeslaK40c, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := gpupower.LoadModel(modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGuest: estimating power from performance events only (model %q)\n\n",
+		loaded.DeviceName)
+
+	var worst float64
+	for _, name := range []string{"GAUSS", "HOTS", "SRAD_2", "CUBLAS"} {
+		wl, err := gpupower.WorkloadByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof, err := guest.ProfileForModel(wl.App, loaded)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, cfg := range guest.Configs() {
+			est, err := loaded.Predict(prof.Utilization, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Grading only: the "real sensor" the guest cannot see.
+			truth, err := guest.MeasurePower(wl.App, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rel := 100 * math.Abs(est-truth) / truth
+			if rel > worst {
+				worst = rel
+			}
+			fmt.Printf("  %-7s %v  virtual sensor: %6.1f W   (real: %6.1f W, err %4.1f%%)\n",
+				wl.Short, cfg, est, truth, rel)
+		}
+	}
+	fmt.Printf("\nWorst virtual-sensor error across all points: %.1f%%\n", worst)
+}

@@ -1,0 +1,83 @@
+package gpupower_test
+
+import (
+	"testing"
+
+	"gpupower"
+)
+
+// Facade-level tests for the governor and auto-tuner wrappers (their
+// internals are tested in internal/governor and internal/autotune; here we
+// verify the public wiring on the fast K40c rig).
+
+func TestFacadeGovernor(t *testing.T) {
+	gpu, model := fitted(t)
+	gov, err := gpu.NewGovernor(model, gpupower.GovMinEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := gpupower.WorkloadByName("SRAD_2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := gov.RunApp(wl.App, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != 5 || len(rep.Records) != 5 {
+		t.Fatalf("report shape wrong: %d iterations, %d records", rep.Iterations, len(rep.Records))
+	}
+	if rep.EnergyJ <= 0 || rep.BaselineEnergyJ <= 0 {
+		t.Fatal("non-positive energy totals")
+	}
+	// The min-energy governor must not waste energy vs the baseline.
+	if rep.EnergySavingsPercent() < -1 {
+		t.Fatalf("governor wasted %.1f%% energy", -rep.EnergySavingsPercent())
+	}
+	// Mismatched device must be rejected.
+	other := *model
+	other.DeviceName = gpupower.TitanXp
+	if _, err := gpu.NewGovernor(&other, gpupower.GovMinEnergy); err == nil {
+		t.Fatal("device mismatch accepted")
+	}
+}
+
+func TestFacadeTuner(t *testing.T) {
+	gpu, model := fitted(t)
+	tuner, err := gpu.NewTuner(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := gpupower.WorkloadByName("K-M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tuner.Tune(wl.App, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Choice) != 2 {
+		t.Fatalf("plan has %d choices, want 2", len(plan.Choice))
+	}
+	if plan.RelTime > 1.2+1e-9 {
+		t.Fatalf("plan time x%.3f exceeds the budget", plan.RelTime)
+	}
+	if plan.RelEnergy > 1+1e-9 {
+		t.Fatalf("plan wastes energy (x%.3f)", plan.RelEnergy)
+	}
+	for _, c := range plan.Choice {
+		if !gpu.Device().SupportsCoreFreq(c.Config.CoreMHz) || !gpu.Device().SupportsMemFreq(c.Config.MemMHz) {
+			t.Fatalf("plan chose off-ladder config %v", c.Config)
+		}
+	}
+}
+
+func TestGovernorPolicyNames(t *testing.T) {
+	for _, p := range []gpupower.GovernorPolicy{
+		gpupower.GovMinEnergy, gpupower.GovMinEDP, gpupower.GovMaxPerfUnderCap,
+	} {
+		if p.String() == "" {
+			t.Fatal("empty policy name")
+		}
+	}
+}

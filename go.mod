@@ -1,0 +1,3 @@
+module gpupower
+
+go 1.22

@@ -1,0 +1,33 @@
+package gpupower
+
+import "gpupower/internal/governor"
+
+// Governor is the real-time DVFS governor of the paper's future-work
+// scenario (Section VII): it profiles each kernel on its first call at the
+// reference configuration, predicts power across the whole V-F space with
+// the fitted model, and pins the policy-optimal configuration for all
+// subsequent calls.
+type Governor = governor.Governor
+
+// GovernorPolicy selects what the governor optimizes.
+type GovernorPolicy = governor.Policy
+
+// Governor policies.
+const (
+	// GovMinEnergy minimizes predicted energy.
+	GovMinEnergy = governor.MinEnergy
+	// GovMinEDP minimizes the predicted energy-delay product.
+	GovMinEDP = governor.MinEDP
+	// GovMaxPerfUnderCap maximizes performance under a power cap.
+	GovMaxPerfUnderCap = governor.MaxPerfUnderCap
+)
+
+// GovernorReport summarizes a governed run against the always-reference
+// baseline.
+type GovernorReport = governor.Report
+
+// NewGovernor creates a DVFS governor on this GPU for a model fitted on the
+// same device.
+func (g *GPU) NewGovernor(m *Model, policy GovernorPolicy) (*Governor, error) {
+	return governor.New(g.prof, m, policy)
+}

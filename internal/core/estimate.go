@@ -1,0 +1,501 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"gpupower/internal/hw"
+	"gpupower/internal/linalg"
+)
+
+// EstimatorOptions tunes the Section III-D iterative algorithm. The zero
+// value is not usable; call DefaultEstimatorOptions.
+type EstimatorOptions struct {
+	// MaxIterations bounds the step-2/step-3 alternation (the paper's
+	// algorithm "converged in less than 50 iterations").
+	MaxIterations int
+	// Tol is the convergence threshold on the largest voltage change and on
+	// the relative parameter change between iterations.
+	Tol float64
+	// SSETol declares convergence when the relative change of the training
+	// sum of squared errors between iterations falls below it. The
+	// alternation is a (block-)coordinate descent on the SSE, so a flat
+	// objective is the principled stopping signal even when weakly
+	// identifiable parameters (e.g. the β0/β2 static split) keep drifting
+	// along the valley floor.
+	SSETol float64
+	// VoltageLo/VoltageHi bound the normalized voltage search box in step 2.
+	VoltageLo, VoltageHi float64
+	// OverRelax extrapolates each voltage update:
+	// V ← V_prev + η·(V_new − V_prev). The X↔V̄ alternation descends a
+	// shallow valley (the static-power split between domains is weakly
+	// identifiable), so plain alternation (η = 1) crawls; η ≈ 1.8
+	// accelerates it substantially without destabilizing the quartic
+	// per-configuration objectives. Values ≤ 1 disable acceleration.
+	OverRelax float64
+
+	// Ablation switches (all false for the paper's algorithm):
+	// DisableVoltage pins V̄ ≡ 1 everywhere (a frequency-only model).
+	DisableVoltage bool
+	// LinearVoltage pins V̄ = f/f_ref (the linear-scaling assumption of
+	// pre-Maxwell models the paper argues against).
+	LinearVoltage bool
+	// DisableMonotonic skips the Eq. 12 monotonicity constraint on V̄(f).
+	DisableMonotonic bool
+
+	// KnownVoltages, when non-nil, supplies measured normalized voltages
+	// for every configuration; the paper's simplification then applies:
+	// "if there is a previous information regarding the voltage levels of
+	// each domain at any given frequency configuration, the proposed
+	// methodology can be simplified into a single execution of step 3, by
+	// utilizing the real voltage values" (Section III-D). Incompatible with
+	// the voltage ablation switches.
+	KnownVoltages *VoltageTable
+
+	// Trace, when non-nil, receives the per-iteration convergence deltas
+	// (used by the convergence experiment and for diagnostics).
+	Trace func(iter int, voltDelta, paramDelta, sse float64)
+}
+
+// DefaultEstimatorOptions returns the paper's settings.
+func DefaultEstimatorOptions() *EstimatorOptions {
+	return &EstimatorOptions{
+		MaxIterations: 50,
+		Tol:           1e-3,
+		SSETol:        1e-4,
+		VoltageLo:     0.5,
+		VoltageHi:     1.8,
+		OverRelax:     1.8,
+	}
+}
+
+// nParams is the length of X = [β0 β1 β2 β3 ω_int ω_sp ω_dp ω_sf ω_sh ω_l2 ω_mem].
+const nParams = 11
+
+// designRow fills one row of the regression design for benchmark
+// utilization u at configuration cfg with normalized voltages (vc, vm):
+//
+//	P̂ = β0·vc + β1·vc²·fc + β2·vm + β3·vm²·fm
+//	    + Σ_i ω_i·vc²·fc·U_i + ω_mem·vm²·fm·U_dram
+func designRow(u Utilization, cfg hw.Config, vc, vm float64) []float64 {
+	row := make([]float64, nParams)
+	fc, fm := cfg.CoreMHz, cfg.MemMHz
+	row[0] = vc
+	row[1] = vc * vc * fc
+	row[2] = vm
+	row[3] = vm * vm * fm
+	for i, c := range CoreOmegaOrder {
+		row[4+i] = vc * vc * fc * u[c]
+	}
+	row[10] = vm * vm * fm * u[hw.DRAM]
+	return row
+}
+
+// paramsToModel unpacks the X vector into model fields.
+func paramsToModel(m *Model, x []float64) {
+	copy(m.Beta[:], x[:4])
+	m.OmegaCore = make(map[hw.Component]float64, len(CoreOmegaOrder))
+	for i, c := range CoreOmegaOrder {
+		m.OmegaCore[c] = x[4+i]
+	}
+	m.OmegaMem = x[10]
+}
+
+// modelToParams packs model fields back into an X vector.
+func modelToParams(m *Model) []float64 {
+	x := make([]float64, nParams)
+	copy(x[:4], m.Beta[:])
+	for i, c := range CoreOmegaOrder {
+		x[4+i] = m.OmegaCore[c]
+	}
+	x[10] = m.OmegaMem
+	return x
+}
+
+// solveX performs the (non-negative) least-squares estimation of X over the
+// given configuration indices, using the current voltage table (step 1 with
+// V̄ ≡ 1, step 3 with the estimated voltages).
+func solveX(d *Dataset, volt *VoltageTable, configIdx []int) ([]float64, error) {
+	rows := len(d.Benchmarks) * len(configIdx)
+	a := linalg.NewMatrix(rows, nParams)
+	b := make([]float64, rows)
+	r := 0
+	for _, fi := range configIdx {
+		cfg := d.Configs[fi]
+		vc, vm, err := volt.At(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for bi, bench := range d.Benchmarks {
+			a.SetRow(r, designRow(bench.Util, cfg, vc, vm))
+			b[r] = d.Power[bi][fi]
+			r++
+		}
+	}
+	return linalg.NNLS(a, b)
+}
+
+// solveVoltages performs step 2: for every configuration, estimate
+// (V̄core, V̄mem) by minimizing the squared prediction error over the
+// benchmark set, then project each domain's ladder onto the monotonicity
+// constraint (Eq. 12) and renormalize so V̄(ref) = 1.
+func solveVoltages(d *Dataset, x []float64, volt *VoltageTable, opts *EstimatorOptions) error {
+	// Precompute A_b = β1 + Σ ω_i U_ib and B_b = β3 + ω_mem·U_dram,b.
+	nb := len(d.Benchmarks)
+	A := make([]float64, nb)
+	B := make([]float64, nb)
+	for bi, bench := range d.Benchmarks {
+		A[bi] = x[1]
+		for i, c := range CoreOmegaOrder {
+			A[bi] += x[4+i] * bench.Util[c]
+		}
+		B[bi] = x[3] + x[10]*bench.Util[hw.DRAM]
+	}
+	beta0, beta2 := x[0], x[2]
+
+	for fi, cfg := range d.Configs {
+		if cfg == d.Ref {
+			if err := volt.Set(cfg, 1, 1); err != nil {
+				return err
+			}
+			continue
+		}
+		fc, fm := cfg.CoreMHz, cfg.MemMHz
+		obj := func(vc, vm float64) float64 {
+			var s float64
+			for bi := range d.Benchmarks {
+				pred := beta0*vc + vc*vc*fc*A[bi] + beta2*vm + vm*vm*fm*B[bi]
+				diff := d.Power[bi][fi] - pred
+				s += diff * diff
+			}
+			return s
+		}
+		vc, vm, err := linalg.Minimize2D(obj, opts.VoltageLo, opts.VoltageHi,
+			opts.VoltageLo, opts.VoltageHi, 1e-6)
+		if err != nil {
+			return err
+		}
+		if err := volt.Set(cfg, vc, vm); err != nil {
+			return err
+		}
+	}
+
+	if !opts.DisableMonotonic {
+		if err := projectMonotonic(volt); err != nil {
+			return err
+		}
+	}
+	return renormalize(volt, d.Ref)
+}
+
+// projectMonotonic enforces Eq. 12's constraint: for each memory frequency,
+// V̄core must be non-decreasing along the core ladder; for each core
+// frequency, V̄mem non-decreasing along the memory ladder.
+func projectMonotonic(volt *VoltageTable) error {
+	for mi := range volt.VCore {
+		fit, err := linalg.IsotonicRegression(volt.VCore[mi], nil)
+		if err != nil {
+			return err
+		}
+		copy(volt.VCore[mi], fit)
+	}
+	nc := len(volt.CoreFreqs)
+	nm := len(volt.MemFreqs)
+	col := make([]float64, nm)
+	for ci := 0; ci < nc; ci++ {
+		for mi := 0; mi < nm; mi++ {
+			col[mi] = volt.VMem[mi][ci]
+		}
+		fit, err := linalg.IsotonicRegression(col, nil)
+		if err != nil {
+			return err
+		}
+		for mi := 0; mi < nm; mi++ {
+			volt.VMem[mi][ci] = fit[mi]
+		}
+	}
+	return nil
+}
+
+// renormalize rescales each domain's table so V̄ = 1 exactly at the
+// reference configuration (the Eq. 5 normalization), preserving the
+// relative shape the optimizer found.
+func renormalize(volt *VoltageTable, ref hw.Config) error {
+	vcRef, vmRef, err := volt.At(ref)
+	if err != nil {
+		return err
+	}
+	if vcRef <= 0 || vmRef <= 0 {
+		return fmt.Errorf("core: non-positive reference voltage (%g, %g)", vcRef, vmRef)
+	}
+	for mi := range volt.VCore {
+		for ci := range volt.VCore[mi] {
+			volt.VCore[mi][ci] /= vcRef
+			volt.VMem[mi][ci] /= vmRef
+		}
+	}
+	return nil
+}
+
+// initialConfigs picks the paper's F1, F2, F3 for step 1: the reference,
+// one with a different core frequency, one with a different memory
+// frequency (when the device has more than one memory level). The extreme
+// ladder ends give the regression maximal frequency contrast.
+func initialConfigs(d *Dataset) ([]int, error) {
+	ref, err := d.configIndex(d.Ref)
+	if err != nil {
+		return nil, err
+	}
+	idx := []int{ref}
+	// F2: same memory frequency, most distant core frequency.
+	bestF2, bestDist := -1, 0.0
+	for i, cfg := range d.Configs {
+		if cfg.MemMHz == d.Ref.MemMHz && cfg.CoreMHz != d.Ref.CoreMHz {
+			if dist := math.Abs(cfg.CoreMHz - d.Ref.CoreMHz); dist > bestDist {
+				bestF2, bestDist = i, dist
+			}
+		}
+	}
+	if bestF2 < 0 {
+		return nil, fmt.Errorf("core: dataset has no second core frequency at the reference memory level")
+	}
+	idx = append(idx, bestF2)
+	// F3: same core frequency, most distant memory frequency (optional for
+	// single-memory-level devices like the Tesla K40c).
+	bestF3, bestDist := -1, 0.0
+	for i, cfg := range d.Configs {
+		if cfg.CoreMHz == d.Ref.CoreMHz && cfg.MemMHz != d.Ref.MemMHz {
+			if dist := math.Abs(cfg.MemMHz - d.Ref.MemMHz); dist > bestDist {
+				bestF3, bestDist = i, dist
+			}
+		}
+	}
+	if bestF3 >= 0 {
+		idx = append(idx, bestF3)
+	}
+	return idx, nil
+}
+
+// applyFixedVoltages fills the table for the two ablation modes.
+func applyFixedVoltages(d *Dataset, volt *VoltageTable, opts *EstimatorOptions) error {
+	for _, cfg := range d.Configs {
+		vc, vm := 1.0, 1.0
+		if opts.LinearVoltage {
+			vc = cfg.CoreMHz / d.Ref.CoreMHz
+			vm = cfg.MemMHz / d.Ref.MemMHz
+		}
+		if err := volt.Set(cfg, vc, vm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Estimate runs the Section III-D algorithm on a training dataset and
+// returns the fitted DVFS-aware power model.
+func Estimate(d *Dataset, opts *EstimatorOptions) (*Model, error) {
+	if opts == nil {
+		opts = DefaultEstimatorOptions()
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxIterations < 1 {
+		return nil, fmt.Errorf("core: MaxIterations must be >= 1")
+	}
+
+	volt := NewVoltageTable(d.Device.CoreFreqs, d.Device.MemFreqs)
+	m := &Model{
+		DeviceName:      d.Device.Name,
+		Ref:             d.Ref,
+		Voltages:        volt,
+		L2BytesPerCycle: d.L2BytesPerCycle,
+	}
+
+	allConfigs := make([]int, len(d.Configs))
+	for i := range d.Configs {
+		allConfigs[i] = i
+	}
+
+	// Known-voltage simplification (Section III-D): copy the measured
+	// voltages and run step 3 once.
+	if opts.KnownVoltages != nil {
+		if opts.DisableVoltage || opts.LinearVoltage {
+			return nil, fmt.Errorf("core: KnownVoltages is incompatible with the voltage ablations")
+		}
+		for _, cfg := range d.Configs {
+			vc, vm, err := opts.KnownVoltages.At(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("core: known voltages: %w", err)
+			}
+			if err := volt.Set(cfg, vc, vm); err != nil {
+				return nil, err
+			}
+		}
+		x, err := solveX(d, volt, allConfigs)
+		if err != nil {
+			return nil, err
+		}
+		paramsToModel(m, x)
+		m.Iterations = 1
+		m.Converged = true
+		return m, m.Validate()
+	}
+
+	// Ablation modes bypass the alternation: fix V̄ and run step 3 once.
+	if opts.DisableVoltage || opts.LinearVoltage {
+		if err := applyFixedVoltages(d, volt, opts); err != nil {
+			return nil, err
+		}
+		x, err := solveX(d, volt, allConfigs)
+		if err != nil {
+			return nil, err
+		}
+		paramsToModel(m, x)
+		m.Iterations = 1
+		m.Converged = true
+		return m, m.Validate()
+	}
+
+	// Step 1: initial X from {F1, F2, F3} with V̄ ≡ 1.
+	init, err := initialConfigs(d)
+	if err != nil {
+		return nil, err
+	}
+	x, err := solveX(d, volt, init)
+	if err != nil {
+		return nil, fmt.Errorf("core: step 1 failed: %w", err)
+	}
+
+	// Steps 2–4: alternate voltage and parameter estimation.
+	prevX := append([]float64(nil), x...)
+	prevVolt := volt.Clone()
+	prevSSE := math.Inf(1)
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		m.Iterations = iter
+		if err := solveVoltages(d, x, volt, opts); err != nil {
+			return nil, fmt.Errorf("core: step 2 (iteration %d) failed: %w", iter, err)
+		}
+		if opts.OverRelax > 1 && iter > 1 {
+			if err := overRelax(prevVolt, volt, opts, d.Ref); err != nil {
+				return nil, fmt.Errorf("core: over-relaxation (iteration %d) failed: %w", iter, err)
+			}
+		}
+		x, err = solveX(d, volt, allConfigs)
+		if err != nil {
+			return nil, fmt.Errorf("core: step 3 (iteration %d) failed: %w", iter, err)
+		}
+
+		dv := voltageDelta(prevVolt, volt)
+		dx := relDelta(prevX, x)
+		sse := trainingSSE(d, volt, x)
+		if opts.Trace != nil {
+			opts.Trace(iter, dv, dx, sse)
+		}
+		sseFlat := prevSSE > 0 && math.Abs(prevSSE-sse)/prevSSE < opts.SSETol
+		if (dv < opts.Tol && dx < opts.Tol) || (iter > 1 && sseFlat) {
+			m.Converged = true
+			break
+		}
+		prevSSE = sse
+		prevX = append(prevX[:0], x...)
+		prevVolt = volt.Clone()
+	}
+
+	paramsToModel(m, x)
+	return m, m.Validate()
+}
+
+// overRelax extrapolates the voltage table along the last update direction,
+// re-projects onto the monotonicity cone and restores the reference
+// normalization.
+func overRelax(prev, volt *VoltageTable, opts *EstimatorOptions, ref hw.Config) error {
+	eta := opts.OverRelax
+	clamp := func(v float64) float64 {
+		if v < opts.VoltageLo {
+			return opts.VoltageLo
+		}
+		if v > opts.VoltageHi {
+			return opts.VoltageHi
+		}
+		return v
+	}
+	for mi := range volt.VCore {
+		for ci := range volt.VCore[mi] {
+			volt.VCore[mi][ci] = clamp(prev.VCore[mi][ci] + eta*(volt.VCore[mi][ci]-prev.VCore[mi][ci]))
+			volt.VMem[mi][ci] = clamp(prev.VMem[mi][ci] + eta*(volt.VMem[mi][ci]-prev.VMem[mi][ci]))
+		}
+	}
+	if !opts.DisableMonotonic {
+		if err := projectMonotonic(volt); err != nil {
+			return err
+		}
+	}
+	return renormalize(volt, ref)
+}
+
+// trainingSSE evaluates the sum of squared prediction errors of parameter
+// vector x with voltage table volt over the whole dataset.
+func trainingSSE(d *Dataset, volt *VoltageTable, x []float64) float64 {
+	var sse float64
+	for fi, cfg := range d.Configs {
+		vc, vm, err := volt.At(cfg)
+		if err != nil {
+			continue
+		}
+		for bi, bench := range d.Benchmarks {
+			row := designRow(bench.Util, cfg, vc, vm)
+			pred := 0.0
+			for j, v := range row {
+				pred += v * x[j]
+			}
+			diff := d.Power[bi][fi] - pred
+			sse += diff * diff
+		}
+	}
+	return sse
+}
+
+// voltageDelta is the largest absolute voltage change between two tables.
+func voltageDelta(a, b *VoltageTable) float64 {
+	var mx float64
+	for mi := range a.VCore {
+		if d := linalg.MaxAbsDiff(a.VCore[mi], b.VCore[mi]); d > mx {
+			mx = d
+		}
+		if d := linalg.MaxAbsDiff(a.VMem[mi], b.VMem[mi]); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// relDelta is the largest relative parameter change. The denominator is
+// floored at 1% of the largest parameter magnitude, so near-zero
+// coefficients jittering at the NNLS tolerance do not block convergence.
+func relDelta(a, b []float64) float64 {
+	var scale float64
+	for i := range a {
+		if v := math.Abs(a[i]); v > scale {
+			scale = v
+		}
+		if v := math.Abs(b[i]); v > scale {
+			scale = v
+		}
+	}
+	floor := 1e-2 * scale
+	if floor == 0 {
+		floor = 1e-12
+	}
+	var mx float64
+	for i := range a {
+		den := math.Abs(a[i])
+		if den < floor {
+			den = floor
+		}
+		if d := math.Abs(a[i]-b[i]) / den; d > mx {
+			mx = d
+		}
+	}
+	return mx
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"gpupower/internal/hw"
+)
+
+// CoreOmegaOrder fixes the ordering of the core-domain component
+// coefficients in the parameter vector X = [β0 β1 β2 β3 ω… ω_mem].
+var CoreOmegaOrder = []hw.Component{hw.Int, hw.SP, hw.DP, hw.SF, hw.Shared, hw.L2}
+
+// VoltageTable stores the estimated normalized voltages per configuration.
+// V̄core may depend on both frequencies (the paper predicts core-voltage
+// differences across memory frequencies on the GTX Titan X); V̄mem is
+// indexed the same way for symmetry.
+type VoltageTable struct {
+	// CoreFreqs and MemFreqs mirror the device ladders (ascending MHz).
+	CoreFreqs []float64
+	MemFreqs  []float64
+	// VCore[mi][ci] is V̄core at (CoreFreqs[ci], MemFreqs[mi]); VMem likewise.
+	VCore [][]float64
+	VMem  [][]float64
+}
+
+// NewVoltageTable returns a table initialized to V̄ = 1 everywhere.
+func NewVoltageTable(coreFreqs, memFreqs []float64) *VoltageTable {
+	t := &VoltageTable{
+		CoreFreqs: append([]float64(nil), coreFreqs...),
+		MemFreqs:  append([]float64(nil), memFreqs...),
+	}
+	for range memFreqs {
+		vc := make([]float64, len(coreFreqs))
+		vm := make([]float64, len(coreFreqs))
+		for i := range vc {
+			vc[i], vm[i] = 1, 1
+		}
+		t.VCore = append(t.VCore, vc)
+		t.VMem = append(t.VMem, vm)
+	}
+	return t
+}
+
+func (t *VoltageTable) indexOf(cfg hw.Config) (mi, ci int, err error) {
+	mi, ci = -1, -1
+	for i, f := range t.MemFreqs {
+		if f == cfg.MemMHz {
+			mi = i
+			break
+		}
+	}
+	for i, f := range t.CoreFreqs {
+		if f == cfg.CoreMHz {
+			ci = i
+			break
+		}
+	}
+	if mi < 0 || ci < 0 {
+		return 0, 0, fmt.Errorf("core: configuration %v not in voltage table", cfg)
+	}
+	return mi, ci, nil
+}
+
+// At returns (V̄core, V̄mem) for a ladder configuration.
+func (t *VoltageTable) At(cfg hw.Config) (vc, vm float64, err error) {
+	mi, ci, err := t.indexOf(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	return t.VCore[mi][ci], t.VMem[mi][ci], nil
+}
+
+// Set stores (V̄core, V̄mem) for a ladder configuration.
+func (t *VoltageTable) Set(cfg hw.Config, vc, vm float64) error {
+	mi, ci, err := t.indexOf(cfg)
+	if err != nil {
+		return err
+	}
+	t.VCore[mi][ci] = vc
+	t.VMem[mi][ci] = vm
+	return nil
+}
+
+// Clone deep-copies the table.
+func (t *VoltageTable) Clone() *VoltageTable {
+	c := NewVoltageTable(t.CoreFreqs, t.MemFreqs)
+	for mi := range t.VCore {
+		copy(c.VCore[mi], t.VCore[mi])
+		copy(c.VMem[mi], t.VMem[mi])
+	}
+	return c
+}
+
+// Model is the fitted DVFS-aware power model of one device (Eqs. 6–7 with
+// the voltage tables estimated by the Section III-D algorithm).
+type Model struct {
+	DeviceName string
+	Ref        hw.Config
+
+	// Beta are [β0, β1, β2, β3]: core static, core idle-dynamic, memory
+	// static, memory idle-dynamic (all normalized to the reference voltage).
+	Beta [4]float64
+
+	// OmegaCore are the dynamic coefficients of the core-domain components;
+	// OmegaMem is ω_mem for DRAM.
+	OmegaCore map[hw.Component]float64
+	OmegaMem  float64
+
+	// Voltages holds the estimated V̄ for every ladder configuration.
+	Voltages *VoltageTable
+
+	// L2BytesPerCycle is the experimentally calibrated L2 peak bandwidth
+	// used when converting events to utilizations.
+	L2BytesPerCycle float64
+
+	// Iterations and Converged report how the Section III-D loop ended.
+	Iterations int
+	Converged  bool
+}
+
+// Validate checks the model for physical consistency.
+func (m *Model) Validate() error {
+	for i, b := range m.Beta {
+		if b < 0 || math.IsNaN(b) {
+			return fmt.Errorf("core: β%d = %g is not physical", i, b)
+		}
+	}
+	for _, c := range CoreOmegaOrder {
+		w, ok := m.OmegaCore[c]
+		if !ok {
+			return fmt.Errorf("core: missing ω for %s", c)
+		}
+		if w < 0 || math.IsNaN(w) {
+			return fmt.Errorf("core: ω_%s = %g is not physical", c, w)
+		}
+	}
+	if m.OmegaMem < 0 || math.IsNaN(m.OmegaMem) {
+		return fmt.Errorf("core: ω_mem = %g is not physical", m.OmegaMem)
+	}
+	if m.Voltages == nil {
+		return fmt.Errorf("core: model has no voltage table")
+	}
+	if m.L2BytesPerCycle <= 0 {
+		return fmt.Errorf("core: L2 bytes/cycle %g must be positive", m.L2BytesPerCycle)
+	}
+	for mi := range m.Voltages.VCore {
+		for ci := range m.Voltages.VCore[mi] {
+			if v := m.Voltages.VCore[mi][ci]; v <= 0 {
+				return fmt.Errorf("core: V̄core %g at index (%d,%d) not positive", v, mi, ci)
+			}
+			if v := m.Voltages.VMem[mi][ci]; v <= 0 {
+				return fmt.Errorf("core: V̄mem %g at index (%d,%d) not positive", v, mi, ci)
+			}
+		}
+	}
+	return nil
+}
+
+// Breakdown is the model's power decomposition at one configuration
+// (paper Figs. 5B and 10): the constant share (static + idle V-F power of
+// both domains) plus each component's dynamic power.
+type Breakdown struct {
+	Config    hw.Config
+	Constant  float64
+	Component map[hw.Component]float64
+}
+
+// Total returns the total predicted power of the breakdown.
+func (b *Breakdown) Total() float64 {
+	s := b.Constant
+	for _, v := range b.Component {
+		s += v
+	}
+	return s
+}
+
+// Decompose predicts the per-part power of an application with utilization u
+// at configuration cfg (must be a ladder configuration of the fitted device).
+func (m *Model) Decompose(u Utilization, cfg hw.Config) (*Breakdown, error) {
+	vc, vm, err := m.Voltages.At(cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := &Breakdown{
+		Config:    cfg,
+		Component: make(map[hw.Component]float64, 7),
+	}
+	// Eq. 6 constant part: β0·V̄c + V̄c²·f_c·β1; Eq. 7: β2·V̄m + V̄m²·f_m·β3.
+	b.Constant = m.Beta[0]*vc + vc*vc*cfg.CoreMHz*m.Beta[1] +
+		m.Beta[2]*vm + vm*vm*cfg.MemMHz*m.Beta[3]
+	for _, c := range CoreOmegaOrder {
+		b.Component[c] = vc * vc * cfg.CoreMHz * m.OmegaCore[c] * u[c]
+	}
+	b.Component[hw.DRAM] = vm * vm * cfg.MemMHz * m.OmegaMem * u[hw.DRAM]
+	return b, nil
+}
+
+// Predict returns the total predicted power of an application with
+// utilization u at configuration cfg.
+func (m *Model) Predict(u Utilization, cfg hw.Config) (float64, error) {
+	b, err := m.Decompose(u, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return b.Total(), nil
+}
+
+// PredictedCoreVoltage returns the estimated V̄core ladder at a memory
+// frequency, for the Fig. 6 voltage-validation plot.
+func (m *Model) PredictedCoreVoltage(memMHz float64) (coreFreqs, vbar []float64, err error) {
+	for mi, f := range m.Voltages.MemFreqs {
+		if f == memMHz {
+			return append([]float64(nil), m.Voltages.CoreFreqs...),
+				append([]float64(nil), m.Voltages.VCore[mi]...), nil
+		}
+	}
+	return nil, nil, fmt.Errorf("core: memory frequency %g MHz not in model", memMHz)
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"math"
+
+	"gpupower/internal/hw"
+)
+
+// EstimateRelativeTime predicts T(cfg)/T(ref) for an application with the
+// given reference-configuration utilizations, using a roofline companion to
+// the power model: the core-domain share of the critical path stretches
+// with f_ref/f_core and the memory share with f_ref/f_mem, the bound
+// resource dominating. The paper pairs its power model with the authors'
+// earlier performance-scaling classification [9]; this is the simplest
+// member of that family and is what the DVFS search and the real-time
+// governor use.
+func EstimateRelativeTime(u Utilization, ref, cfg hw.Config) float64 {
+	var coreU float64
+	for _, c := range hw.CoreComponents {
+		if u[c] > coreU {
+			coreU = u[c]
+		}
+	}
+	memU := u[hw.DRAM]
+	bound := math.Max(coreU, memU)
+	if bound <= 0 {
+		return 1 // no measurable activity: latency-bound, frequency-insensitive
+	}
+	coreTime := coreU * ref.CoreMHz / cfg.CoreMHz
+	memTime := memU * ref.MemMHz / cfg.MemMHz
+	return math.Max(coreTime, memTime) / bound
+}

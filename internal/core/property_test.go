@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gpupower/internal/hw"
+)
+
+// Property-based tests (testing/quick) on the model's core data structures
+// and algebraic invariants.
+
+// clampU folds an arbitrary float into a valid utilization value.
+func clampU(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Abs(math.Mod(v, 1))
+}
+
+// utilFrom builds a valid utilization vector from arbitrary floats.
+func utilFrom(vals [7]float64) Utilization {
+	u := Utilization{}
+	for i, c := range hw.Components {
+		u[c] = clampU(vals[i])
+	}
+	return u
+}
+
+// TestPredictAffineInUtilization: the Eq. 6–7 model is affine in U, so
+// P(U) − P(0) must be additive: [P(Ua)−P(0)] + [P(Ub)−P(0)] = P(Ua+Ub)−P(0)
+// whenever Ua+Ub stays in range.
+func TestPredictAffineInUtilization(t *testing.T) {
+	m := referenceModel()
+	cfg := hw.Config{CoreMHz: 823, MemMHz: 3300}
+	_ = m.Voltages.Set(cfg, 0.95, 1.0)
+	zero, err := m.Predict(Utilization{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b [7]float64) bool {
+		ua, ub := utilFrom(a), utilFrom(b)
+		sum := Utilization{}
+		for _, c := range hw.Components {
+			ua[c] /= 2 // keep the sum within [0,1]
+			ub[c] /= 2
+			sum[c] = ua[c] + ub[c]
+		}
+		pa, err1 := m.Predict(ua, cfg)
+		pb, err2 := m.Predict(ub, cfg)
+		ps, err3 := m.Predict(sum, cfg)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		lhs := (pa - zero) + (pb - zero)
+		rhs := ps - zero
+		return math.Abs(lhs-rhs) < 1e-9*(1+math.Abs(rhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPredictMonotoneInUtilization: with non-negative coefficients, more
+// utilization can never predict less power.
+func TestPredictMonotoneInUtilization(t *testing.T) {
+	m := referenceModel()
+	cfg := m.Ref
+	f := func(base [7]float64, which uint8, extra float64) bool {
+		u := utilFrom(base)
+		c := hw.Components[int(which)%len(hw.Components)]
+		u2 := u.Clone()
+		u2[c] = math.Min(1, u2[c]+clampU(extra))
+		p1, err1 := m.Predict(u, cfg)
+		p2, err2 := m.Predict(u2, cfg)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return p2 >= p1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecomposeSumsToPredict: the breakdown always reassembles into the
+// total, for arbitrary utilizations and every ladder configuration.
+func TestDecomposeSumsToPredict(t *testing.T) {
+	m := referenceModel()
+	configs := hw.GTXTitanX().AllConfigs()
+	f := func(vals [7]float64, cfgIdx uint16) bool {
+		u := utilFrom(vals)
+		cfg := configs[int(cfgIdx)%len(configs)]
+		bd, err := m.Decompose(u, cfg)
+		if err != nil {
+			return false
+		}
+		p, err := m.Predict(u, cfg)
+		if err != nil {
+			return false
+		}
+		return math.Abs(bd.Total()-p) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVoltageTableSetAtRoundTrip: Set followed by At returns what was set,
+// for arbitrary in-range values at arbitrary ladder coordinates.
+func TestVoltageTableSetAtRoundTrip(t *testing.T) {
+	dev := hw.GTXTitanX()
+	v := NewVoltageTable(dev.CoreFreqs, dev.MemFreqs)
+	cfgs := dev.AllConfigs()
+	f := func(cfgIdx uint16, vc, vm float64) bool {
+		cfg := cfgs[int(cfgIdx)%len(cfgs)]
+		wc := 0.5 + clampU(vc)
+		wm := 0.5 + clampU(vm)
+		if err := v.Set(cfg, wc, wm); err != nil {
+			return false
+		}
+		gc, gm, err := v.At(cfg)
+		return err == nil && gc == wc && gm == wm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRelativeTimeProperties: the roofline companion never returns a
+// non-positive ratio, is exactly 1 at the reference, and scales inversely
+// with the bound domain's frequency for single-component profiles.
+func TestRelativeTimeProperties(t *testing.T) {
+	dev := hw.GTXTitanX()
+	ref := dev.DefaultConfig()
+	cfgs := dev.AllConfigs()
+	f := func(vals [7]float64, cfgIdx uint16) bool {
+		u := utilFrom(vals)
+		cfg := cfgs[int(cfgIdx)%len(cfgs)]
+		rt := EstimateRelativeTime(u, ref, cfg)
+		if rt <= 0 || math.IsNaN(rt) {
+			return false
+		}
+		if EstimateRelativeTime(u, ref, ref) != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// Pure DRAM-bound profile: time ∝ f_mem_ref / f_mem.
+	u := Utilization{hw.DRAM: 0.8}
+	for _, cfg := range cfgs {
+		want := ref.MemMHz / cfg.MemMHz
+		got := EstimateRelativeTime(u, ref, cfg)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("DRAM-bound relative time at %v: %g, want %g", cfg, got, want)
+		}
+	}
+}

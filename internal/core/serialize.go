@@ -1,0 +1,105 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"gpupower/internal/hw"
+)
+
+// modelJSON is the stable on-disk representation of a fitted model.
+type modelJSON struct {
+	DeviceName string     `json:"device"`
+	RefCore    float64    `json:"ref_core_mhz"`
+	RefMem     float64    `json:"ref_mem_mhz"`
+	Beta       [4]float64 `json:"beta"`
+	OmegaCore  []float64  `json:"omega_core"` // ordered per CoreOmegaOrder
+	OmegaMem   float64    `json:"omega_mem"`
+
+	CoreFreqs []float64   `json:"core_freqs_mhz"`
+	MemFreqs  []float64   `json:"mem_freqs_mhz"`
+	VCore     [][]float64 `json:"vbar_core"`
+	VMem      [][]float64 `json:"vbar_mem"`
+
+	L2BytesPerCycle float64 `json:"l2_bytes_per_cycle"`
+	Iterations      int     `json:"iterations"`
+	Converged       bool    `json:"converged"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	j := modelJSON{
+		DeviceName:      m.DeviceName,
+		RefCore:         m.Ref.CoreMHz,
+		RefMem:          m.Ref.MemMHz,
+		Beta:            m.Beta,
+		OmegaMem:        m.OmegaMem,
+		CoreFreqs:       m.Voltages.CoreFreqs,
+		MemFreqs:        m.Voltages.MemFreqs,
+		VCore:           m.Voltages.VCore,
+		VMem:            m.Voltages.VMem,
+		L2BytesPerCycle: m.L2BytesPerCycle,
+		Iterations:      m.Iterations,
+		Converged:       m.Converged,
+	}
+	for _, c := range CoreOmegaOrder {
+		j.OmegaCore = append(j.OmegaCore, m.OmegaCore[c])
+	}
+	return json.MarshalIndent(j, "", "  ")
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var j modelJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if len(j.OmegaCore) != len(CoreOmegaOrder) {
+		return fmt.Errorf("core: model JSON has %d core coefficients, want %d",
+			len(j.OmegaCore), len(CoreOmegaOrder))
+	}
+	m.DeviceName = j.DeviceName
+	m.Ref = hw.Config{CoreMHz: j.RefCore, MemMHz: j.RefMem}
+	m.Beta = j.Beta
+	m.OmegaCore = make(map[hw.Component]float64, len(CoreOmegaOrder))
+	for i, c := range CoreOmegaOrder {
+		m.OmegaCore[c] = j.OmegaCore[i]
+	}
+	m.OmegaMem = j.OmegaMem
+	m.Voltages = &VoltageTable{
+		CoreFreqs: j.CoreFreqs,
+		MemFreqs:  j.MemFreqs,
+		VCore:     j.VCore,
+		VMem:      j.VMem,
+	}
+	m.L2BytesPerCycle = j.L2BytesPerCycle
+	m.Iterations = j.Iterations
+	m.Converged = j.Converged
+	return m.Validate()
+}
+
+// Save writes the model to a JSON file.
+func (m *Model) Save(path string) error {
+	data, err := m.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadModel reads a model from a JSON file.
+func LoadModel(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Model
+	if err := m.UnmarshalJSON(data); err != nil {
+		return nil, fmt.Errorf("core: loading %s: %w", path, err)
+	}
+	return &m, nil
+}

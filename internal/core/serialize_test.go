@@ -1,0 +1,78 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gpupower/internal/hw"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	m := referenceModel()
+	_ = m.Voltages.Set(hw.Config{CoreMHz: 595, MemMHz: 810}, 0.87, 1.02)
+	data, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.DeviceName != m.DeviceName || back.Ref != m.Ref {
+		t.Fatal("identity fields lost")
+	}
+	if back.Beta != m.Beta || back.OmegaMem != m.OmegaMem {
+		t.Fatal("coefficients lost")
+	}
+	for c, w := range m.OmegaCore {
+		if back.OmegaCore[c] != w {
+			t.Fatalf("ω_%s lost", c)
+		}
+	}
+	vc, vm, err := back.Voltages.At(hw.Config{CoreMHz: 595, MemMHz: 810})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc != 0.87 || vm != 1.02 {
+		t.Fatalf("voltage table lost: (%g, %g)", vc, vm)
+	}
+	if back.L2BytesPerCycle != m.L2BytesPerCycle || back.Iterations != m.Iterations || back.Converged != m.Converged {
+		t.Fatal("metadata lost")
+	}
+}
+
+func TestModelSaveLoad(t *testing.T) {
+	m := referenceModel()
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.DeviceName != m.DeviceName {
+		t.Fatal("load mismatch")
+	}
+	if _, err := LoadModel(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	var m Model
+	if err := m.UnmarshalJSON([]byte(`{"omega_core": [1, 2]}`)); err == nil {
+		t.Fatal("short coefficient vector accepted")
+	}
+	if err := m.UnmarshalJSON([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestMarshalRejectsInvalidModel(t *testing.T) {
+	m := referenceModel()
+	m.Beta[0] = -1
+	if _, err := m.MarshalJSON(); err == nil {
+		t.Fatal("invalid model marshalled")
+	}
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gpupower/internal/baselines"
+	"gpupower/internal/core"
+	"gpupower/internal/hw"
+	"gpupower/internal/microbench"
+)
+
+// AblationRow is one design variant's validation MAE.
+type AblationRow struct {
+	Variant string
+	MAE     float64
+}
+
+// AblationResult quantifies the design choices DESIGN.md calls out, on the
+// GTX Titan X: the full algorithm vs (1) no voltage modelling, (2) the
+// linear V(f) assumption, (3) no monotonicity constraint, (4) a reduced
+// microbenchmark suite.
+type AblationResult struct {
+	Device string
+	Rows   []AblationRow
+}
+
+// fitVariant fits the model with modified estimator options.
+func fitVariant(d *core.Dataset, mod func(o *core.EstimatorOptions)) (*core.Model, error) {
+	opts := core.DefaultEstimatorOptions()
+	if mod != nil {
+		mod(opts)
+	}
+	return core.Estimate(d, opts)
+}
+
+// reducedDataset keeps only every stride-th benchmark of each collection
+// (always keeping Idle), emulating a suite too small to decorrelate the
+// components.
+func reducedDataset(d *core.Dataset, stride int) *core.Dataset {
+	out := &core.Dataset{
+		Device:          d.Device,
+		Ref:             d.Ref,
+		Configs:         d.Configs,
+		L2BytesPerCycle: d.L2BytesPerCycle,
+	}
+	for bi, b := range d.Benchmarks {
+		if bi%stride != 0 && b.Name != "ub_idle" {
+			continue
+		}
+		out.Benchmarks = append(out.Benchmarks, b)
+		out.Power = append(out.Power, d.Power[bi])
+	}
+	return out
+}
+
+// RunAblation runs the ablation study.
+func RunAblation(seed uint64) (*AblationResult, error) {
+	const deviceName = "GTX Titan X"
+	r, err := SharedRig(deviceName, seed)
+	if err != nil {
+		return nil, err
+	}
+	d, err := r.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Device: deviceName}
+
+	eval := func(variant string, m *core.Model) error {
+		mae, err := evaluateOnValidation(r, d.Ref, d.L2BytesPerCycle,
+			func(in baselines.Input, cfg hw.Config) (float64, error) {
+				return m.Predict(in.Util, cfg)
+			})
+		if err != nil {
+			return fmt.Errorf("ablation %q: %w", variant, err)
+		}
+		res.Rows = append(res.Rows, AblationRow{Variant: variant, MAE: mae})
+		return nil
+	}
+
+	full, err := r.Model()
+	if err != nil {
+		return nil, err
+	}
+	if err := eval("full algorithm (voltage-estimating, monotonic)", full); err != nil {
+		return nil, err
+	}
+
+	noVolt, err := fitVariant(d, func(o *core.EstimatorOptions) { o.DisableVoltage = true })
+	if err != nil {
+		return nil, err
+	}
+	if err := eval("(1) no voltage modelling (V̄ ≡ 1)", noVolt); err != nil {
+		return nil, err
+	}
+
+	linV, err := fitVariant(d, func(o *core.EstimatorOptions) { o.LinearVoltage = true })
+	if err != nil {
+		return nil, err
+	}
+	if err := eval("(2) linear V(f) assumption (V̄ = f/f_ref)", linV); err != nil {
+		return nil, err
+	}
+
+	noMono, err := fitVariant(d, func(o *core.EstimatorOptions) { o.DisableMonotonic = true })
+	if err != nil {
+		return nil, err
+	}
+	if err := eval("(3) no monotonicity constraint on V̄", noMono); err != nil {
+		return nil, err
+	}
+
+	small := reducedDataset(d, 6)
+	smallModel, err := fitVariant(small, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := eval(fmt.Sprintf("(4) reduced suite (%d of %d microbenchmarks)",
+		len(small.Benchmarks), microbench.SuiteSize), smallModel); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// String renders the ablation table.
+func (r *AblationResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation study (%s) — validation-set MAE over all V-F configurations\n", r.Device)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "  %-52s %6.1f%%\n", row.Variant, row.MAE)
+	}
+	return sb.String()
+}

@@ -1,0 +1,434 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"gpupower/internal/hw"
+)
+
+// The experiment tests assert the paper's qualitative claims (the "shape"
+// of every figure) on the simulated devices at the default seed. All rigs
+// are shared through SharedRig, so the three models are fitted once per
+// test binary.
+
+func TestFig2Shape(t *testing.T) {
+	r, err := RunFig2(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Apps) != 2 {
+		t.Fatalf("want 2 application panels, got %d", len(r.Apps))
+	}
+	blck, cutcp := r.Apps[0], r.Apps[1]
+	if blck.App != "BLCKSC" || cutcp.App != "CUTCP" {
+		t.Fatalf("unexpected panel order: %s, %s", blck.App, cutcp.App)
+	}
+
+	// Paper: 181 W vs 135 W at the default configuration.
+	if blck.DefaultPower < 160 || blck.DefaultPower > 200 {
+		t.Errorf("BlackScholes default power %.0f W, want ~181", blck.DefaultPower)
+	}
+	if cutcp.DefaultPower < 120 || cutcp.DefaultPower > 155 {
+		t.Errorf("CUTCP default power %.0f W, want ~135", cutcp.DefaultPower)
+	}
+
+	// Paper: the memory-bound app drops 52%, the compute-bound one 24%.
+	if blck.MemDropPercent < cutcp.MemDropPercent+10 {
+		t.Errorf("memory-frequency sensitivity not contrasted: %.0f%% vs %.0f%%",
+			blck.MemDropPercent, cutcp.MemDropPercent)
+	}
+	if blck.MemDropPercent < 35 || blck.MemDropPercent > 60 {
+		t.Errorf("BlackScholes drop %.0f%%, want ~52%%", blck.MemDropPercent)
+	}
+	if cutcp.MemDropPercent < 12 || cutcp.MemDropPercent > 35 {
+		t.Errorf("CUTCP drop %.0f%%, want ~24%%", cutcp.MemDropPercent)
+	}
+
+	for _, app := range r.Apps {
+		for _, curve := range app.Curves {
+			// Power rises with the core frequency (non-linearly, but
+			// monotonically on these devices).
+			for i := 1; i < len(curve.PowerW); i++ {
+				if curve.PowerW[i] < curve.PowerW[i-1]-1.5 {
+					t.Errorf("%s at fmem=%.0f: power drops along the core ladder", app.App, curve.MemMHz)
+				}
+			}
+		}
+		// The high-memory curve dominates the low-memory one.
+		hi, lo := app.Curves[0], app.Curves[1]
+		for i := range hi.PowerW {
+			if hi.PowerW[i] <= lo.PowerW[i] {
+				t.Errorf("%s: fmem=%.0f not above fmem=%.0f at %g MHz",
+					app.App, hi.MemMHz, lo.MemMHz, hi.CoreMHz[i])
+			}
+		}
+	}
+	if !strings.Contains(r.String(), "Figure 2") {
+		t.Fatal("String() missing header")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	r, err := RunFig5(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entries) != 83 {
+		t.Fatalf("entries = %d, want 83", len(r.Entries))
+	}
+	// Paper: constant share ≈ 84 W at the default configuration.
+	if r.ConstantShareW < 70 || r.ConstantShareW > 95 {
+		t.Errorf("constant share %.0f W, want ~84", r.ConstantShareW)
+	}
+	// Paper: maximum dynamic share ≈ 49%, achieved on a Mix benchmark.
+	if r.MaxDynamicSharePct < 35 || r.MaxDynamicSharePct > 62 {
+		t.Errorf("max dynamic share %.0f%%, want ~49%%", r.MaxDynamicSharePct)
+	}
+	if !strings.HasPrefix(r.MaxDynamicShareOn, "ub_mix") {
+		t.Errorf("max dynamic share on %s, want a Mix benchmark", r.MaxDynamicShareOn)
+	}
+	if r.MAE > 10 {
+		t.Errorf("training-suite MAE %.1f%%, want < 10%%", r.MAE)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	r, err := RunFig6(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Devices) != 2 {
+		t.Fatalf("want 2 panels, got %d", len(r.Devices))
+	}
+	for _, d := range r.Devices {
+		// Predicted curve must be monotone non-decreasing...
+		for i := 1; i < len(d.Predicted); i++ {
+			if d.Predicted[i] < d.Predicted[i-1]-1e-9 {
+				t.Errorf("%s: predicted voltage not monotone", d.Device)
+			}
+		}
+		// ...show both regions (plateau then rise)...
+		if d.Predicted[len(d.Predicted)-1] < d.Predicted[0]+0.1 {
+			t.Errorf("%s: no voltage rise across the ladder", d.Device)
+		}
+	}
+	// ...and track the measured curve. The Titan X panel is the
+	// best-identified one (4 memory levels).
+	tx := r.Devices[0]
+	if tx.Device != "GTX Titan X" {
+		t.Fatalf("first panel is %s", tx.Device)
+	}
+	if tx.MaxAbsErr > 0.08 {
+		t.Errorf("Titan X voltage error %.3f, want < 0.08", tx.MaxAbsErr)
+	}
+	// Breakpoint identification within three ladder steps (paper: "accurate
+	// in identifying the breaking point"; our estimate rounds the plateau
+	// knee to the nearest ladder levels).
+	if diff := tx.BreakpointPredicted - tx.BreakpointMeasured; diff < -120 || diff > 120 {
+		t.Errorf("Titan X breakpoint %.0f vs measured %.0f", tx.BreakpointPredicted, tx.BreakpointMeasured)
+	}
+	xp := r.Devices[1]
+	if xp.MaxAbsErr > 0.20 {
+		t.Errorf("Titan Xp voltage error %.3f, want < 0.20", xp.MaxAbsErr)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	r, err := RunFig7(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Devices) != 3 {
+		t.Fatalf("want 3 devices, got %d", len(r.Devices))
+	}
+	byName := map[string]Fig7DeviceResult{}
+	for _, d := range r.Devices {
+		byName[d.Device] = d
+	}
+	xp, tx, k40 := byName["Titan Xp"], byName["GTX Titan X"], byName["Tesla K40c"]
+
+	// Paper: 6.9 / 6.0 / 12.4 %. Shape: Pascal and Maxwell accurate and
+	// similar; Kepler clearly worse but still far below the baselines.
+	if xp.MAE > 9 {
+		t.Errorf("Titan Xp MAE %.1f%%, want < 9%% (paper 6.9%%)", xp.MAE)
+	}
+	if tx.MAE > 9 {
+		t.Errorf("GTX Titan X MAE %.1f%%, want < 9%% (paper 6.0%%)", tx.MAE)
+	}
+	if k40.MAE > 16 {
+		t.Errorf("Tesla K40c MAE %.1f%%, want < 16%% (paper 12.4%%)", k40.MAE)
+	}
+	if k40.MAE < tx.MAE || k40.MAE < xp.MAE {
+		t.Errorf("Kepler (%.1f%%) must be the least accurate (Xp %.1f%%, TX %.1f%%)",
+			k40.MAE, xp.MAE, tx.MAE)
+	}
+	// Point counts: |validation set| × |configs|.
+	if want := 26 * 22 * 2; len(xp.Points) != want {
+		t.Errorf("Titan Xp points = %d, want %d", len(xp.Points), want)
+	}
+	if want := 26 * 16 * 4; len(tx.Points) != want {
+		t.Errorf("Titan X points = %d, want %d", len(tx.Points), want)
+	}
+	// Paper: the Titan X spans a large power range (40 W to 248 W there).
+	mn, mx := minMaxMeasured(tx.Points)
+	if mn > 80 || mx < 220 {
+		t.Errorf("Titan X power range [%.0f, %.0f] too narrow", mn, mx)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	r, err := RunFig8(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Panels) != 4 {
+		t.Fatalf("want 4 memory panels, got %d", len(r.Panels))
+	}
+	// Panels are ordered by descending memory frequency: 4005 first, 810 last.
+	if r.Panels[0].MemMHz != 4005 || r.Panels[3].MemMHz != 810 {
+		t.Fatalf("panel order wrong: %g ... %g", r.Panels[0].MemMHz, r.Panels[3].MemMHz)
+	}
+	for _, p := range r.Panels {
+		if len(p.Errors) != 26 {
+			t.Fatalf("panel %g has %d benchmarks, want 26", p.MemMHz, len(p.Errors))
+		}
+	}
+	// Paper: error grows with distance from the reference memory frequency
+	// (4.9% at 3505 MHz vs 8.7% at 810 MHz).
+	var ref, far Fig8MemPanel
+	for _, p := range r.Panels {
+		if p.MemMHz == 3505 {
+			ref = p
+		}
+		if p.MemMHz == 810 {
+			far = p
+		}
+	}
+	if far.MAE <= ref.MAE {
+		t.Errorf("error at 810 MHz (%.1f%%) should exceed the reference panel (%.1f%%)",
+			far.MAE, ref.MAE)
+	}
+	if r.OverallMAE > 9 {
+		t.Errorf("overall MAE %.1f%%, want < 9%% (paper 6.0%%)", r.OverallMAE)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	r, err := RunFig9(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Sizes) != 3 {
+		t.Fatalf("want 3 sizes, got %d", len(r.Sizes))
+	}
+	// Larger inputs give higher utilization and power at every frequency.
+	for i := 1; i < 3; i++ {
+		prev, cur := r.Sizes[i-1], r.Sizes[i]
+		if cur.Util[hw.SP] < prev.Util[hw.SP] {
+			t.Errorf("U(SP) decreased from size %d to %d", prev.Size, cur.Size)
+		}
+		for j := range cur.Measured {
+			if cur.Measured[j] < prev.Measured[j] {
+				t.Errorf("measured power decreased with input size at %g MHz", cur.CoreMHz[j])
+			}
+		}
+	}
+	if r.MAE > 10 {
+		t.Errorf("Fig. 9 MAE %.1f%%, want < 10%% (paper 6.8%%)", r.MAE)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	r, err := RunFig10(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Panels) != 2 {
+		t.Fatalf("want 2 panels, got %d", len(r.Panels))
+	}
+	refPanel, lowPanel := r.Panels[0], r.Panels[1]
+	if refPanel.Config.MemMHz != 3505 || lowPanel.Config.MemMHz != 810 {
+		t.Fatal("panel configurations wrong")
+	}
+	// 26 validation apps + matrixMulCUBLAS.
+	if len(refPanel.Entries) != 27 {
+		t.Fatalf("entries = %d, want 27", len(refPanel.Entries))
+	}
+	// Paper: constant share ≈ 80 W at the reference, ≈ 50 W at low memory.
+	if refPanel.MeanConstantW < 70 || refPanel.MeanConstantW > 95 {
+		t.Errorf("reference constant share %.0f W, want ~80", refPanel.MeanConstantW)
+	}
+	// The absolute split between "constant" and DRAM-dynamic power at the
+	// off-reference configuration is weakly identifiable (the estimator may
+	// trade β3 against the free V̄mem ladder), so the band is generous; the
+	// qualitative claim is the drop itself.
+	if lowPanel.MeanConstantW < 40 || lowPanel.MeanConstantW > 75 {
+		t.Errorf("low-memory constant share %.0f W, want ~50-70", lowPanel.MeanConstantW)
+	}
+	if lowPanel.MeanConstantW >= refPanel.MeanConstantW {
+		t.Error("constant share must drop with the memory frequency")
+	}
+	// Paper: 5.2% and 8.8% MAE.
+	if refPanel.MAE > 9 || lowPanel.MAE > 13 {
+		t.Errorf("panel MAEs %.1f%%/%.1f%%, want <9/<13", refPanel.MAE, lowPanel.MAE)
+	}
+	// DRAM power varies strongly between panels while core components stay
+	// roughly constant (paper's observation).
+	for i := range refPanel.Entries {
+		hiDRAM := refPanel.Entries[i].Breakdown.Component[hw.DRAM]
+		loDRAM := lowPanel.Entries[i].Breakdown.Component[hw.DRAM]
+		if hiDRAM > 5 && loDRAM >= hiDRAM {
+			t.Errorf("%s: DRAM power did not drop with memory frequency", refPanel.Entries[i].App)
+		}
+	}
+}
+
+func TestConvergenceShape(t *testing.T) {
+	r, err := RunConvergence(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Devices) != 3 {
+		t.Fatalf("want 3 devices, got %d", len(r.Devices))
+	}
+	for _, d := range r.Devices {
+		if d.Iterations > 50 {
+			t.Errorf("%s: %d iterations, paper reports < 50", d.Device, d.Iterations)
+		}
+		if len(d.Steps) != d.Iterations {
+			t.Errorf("%s: %d trace steps for %d iterations", d.Device, len(d.Steps), d.Iterations)
+		}
+		// SSE must be non-increasing to within noise over the alternation.
+		first, last := d.Steps[0].SSE, d.Steps[len(d.Steps)-1].SSE
+		if last > first*1.05 {
+			t.Errorf("%s: SSE grew from %g to %g", d.Device, first, last)
+		}
+	}
+}
+
+func TestBaselinesShape(t *testing.T) {
+	r, err := RunBaselines(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Devices) != 3 {
+		t.Fatalf("want 3 devices, got %d", len(r.Devices))
+	}
+	for _, d := range r.Devices {
+		if len(d.Rows) != 5 {
+			t.Fatalf("%s: %d models, want 5", d.Device, len(d.Rows))
+		}
+		proposed := d.Rows[0]
+		if !strings.HasPrefix(proposed.Model, "Proposed") {
+			t.Fatalf("%s: first row is %q", d.Device, proposed.Model)
+		}
+		for _, row := range d.Rows[1:] {
+			// The paper's quantitative comparison: the proposed model beats
+			// the event-based regression baselines (Abe et al., the
+			// linear-frequency family, and the no-DVFS model) on every
+			// device. The Wu-style comparator is excluded from this claim:
+			// it consumes extra runtime information (the application's
+			// measured power at the reference configuration), which the
+			// event-only models never see.
+			if strings.HasPrefix(row.Model, "Wu") {
+				if row.MAE > 25 {
+					t.Errorf("%s: Wu-style baseline imploded (%.1f%%)", d.Device, row.MAE)
+				}
+				continue
+			}
+			if proposed.MAE >= row.MAE {
+				t.Errorf("%s: proposed (%.1f%%) does not beat %s (%.1f%%)",
+					d.Device, proposed.MAE, row.Model, row.MAE)
+			}
+		}
+		// On devices with a wide V-F space, the no-DVFS model must be far
+		// worse than the DVFS-aware ones. (The K40c exposes a single memory
+		// level and a 1.3x core range, so even a constant prediction stays
+		// within ~15%.)
+		if d.Device != "Tesla K40c" {
+			for _, row := range d.Rows {
+				if strings.HasPrefix(row.Model, "Fixed-configuration") && row.MAE < 2*proposed.MAE {
+					t.Errorf("%s: fixed-config model suspiciously good (%.1f%%)", d.Device, row.MAE)
+				}
+			}
+		}
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	r, err := RunAblation(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("want 5 rows, got %d", len(r.Rows))
+	}
+	full := r.Rows[0].MAE
+	for _, row := range r.Rows[1:] {
+		if full > row.MAE+0.3 {
+			t.Errorf("full algorithm (%.1f%%) worse than ablation %q (%.1f%%)",
+				full, row.Variant, row.MAE)
+		}
+	}
+	// Removing voltage awareness must hurt on a voltage-scaling device.
+	noVolt := r.Rows[1].MAE
+	if noVolt < full+0.5 {
+		t.Errorf("no-voltage ablation (%.1f%%) should clearly trail the full algorithm (%.1f%%)",
+			noVolt, full)
+	}
+}
+
+func TestTables(t *testing.T) {
+	s1, err := RenderTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"352321", "335544", "318767", "active_cycles", "fb_subp0_read_sectors"} {
+		if !strings.Contains(s1, frag) {
+			t.Errorf("Table I missing %q", frag)
+		}
+	}
+	s2 := RenderTable2()
+	for _, frag := range []string{"Pascal", "Maxwell", "Kepler", "1404", "975", "875", "250", "235"} {
+		if !strings.Contains(s2, frag) {
+			t.Errorf("Table II missing %q", frag)
+		}
+	}
+	s3 := RenderTable3()
+	for _, frag := range []string{"Rodinia", "Parboil", "Polybench", "CUDA SDK", "BlackScholes", "CUTCP", "total applications: 27"} {
+		if !strings.Contains(s3, frag) {
+			t.Errorf("Table III missing %q", frag)
+		}
+	}
+}
+
+func TestRigErrors(t *testing.T) {
+	if _, err := NewRig("GTX 480", 1); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	if _, err := SharedRig("GTX 480", 1); err == nil {
+		t.Fatal("unknown device accepted by SharedRig")
+	}
+}
+
+func TestSharedRigCaching(t *testing.T) {
+	a, err := SharedRig("Tesla K40c", 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SharedRig("Tesla K40c", 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("SharedRig did not cache")
+	}
+	c, err := SharedRig("Tesla K40c", 54321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different seeds share a rig")
+	}
+}

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"gpupower/internal/hw"
+)
+
+// CSV export: every figure's data series in a machine-readable form, so the
+// plots can be regenerated with any plotting tool. One file per artifact.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+// WriteCSV emits the Fig. 2 power curves and utilizations.
+func (r *Fig2Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{}
+	for _, app := range r.Apps {
+		for _, curve := range app.Curves {
+			for i := range curve.CoreMHz {
+				rows = append(rows, []string{
+					app.App, f(curve.MemMHz), f(curve.CoreMHz[i]), f(curve.PowerW[i]),
+				})
+			}
+		}
+		for _, c := range hw.Components {
+			rows = append(rows, []string{
+				app.App, "utilization", c.String(), f(app.Utilization[c]),
+			})
+		}
+	}
+	return writeCSV(w, []string{"app", "fmem_mhz", "fcore_mhz", "power_w"}, rows)
+}
+
+// WriteCSV emits the Fig. 5 per-microbenchmark utilizations and breakdown.
+func (r *Fig5Result) WriteCSV(w io.Writer) error {
+	header := []string{"benchmark", "collection", "measured_w", "predicted_w", "constant_w"}
+	for _, c := range hw.Components {
+		header = append(header, "u_"+c.String(), "p_"+c.String()+"_w")
+	}
+	rows := [][]string{}
+	for _, e := range r.Entries {
+		row := []string{
+			e.Name, string(e.Collection), f(e.Measured), f(e.Breakdown.Total()), f(e.Breakdown.Constant),
+		}
+		for _, c := range hw.Components {
+			row = append(row, f(e.Util[c]), f(e.Breakdown.Component[c]))
+		}
+		rows = append(rows, row)
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits the Fig. 6 voltage series.
+func (r *Fig6Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{}
+	for _, d := range r.Devices {
+		for i := range d.CoreMHz {
+			rows = append(rows, []string{
+				d.Device, f(d.CoreMHz[i]), f(d.Predicted[i]), f(d.Measured[i]),
+			})
+		}
+	}
+	return writeCSV(w, []string{"device", "fcore_mhz", "vbar_predicted", "vbar_measured"}, rows)
+}
+
+// WriteCSV emits the Fig. 7 scatter points.
+func (r *Fig7Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{}
+	for _, d := range r.Devices {
+		for _, p := range d.Points {
+			rows = append(rows, []string{
+				d.Device, p.App, f(p.Config.CoreMHz), f(p.Config.MemMHz),
+				f(p.Measured), f(p.Predicted),
+			})
+		}
+	}
+	return writeCSV(w, []string{"device", "app", "fcore_mhz", "fmem_mhz", "measured_w", "predicted_w"}, rows)
+}
+
+// WriteCSV emits the Fig. 8 per-benchmark signed errors.
+func (r *Fig8Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{}
+	for _, p := range r.Panels {
+		for _, e := range p.Errors {
+			rows = append(rows, []string{f(p.MemMHz), e.App, f(e.MeanErrorPct)})
+		}
+		rows = append(rows, []string{f(p.MemMHz), "_panel_mae", f(p.MAE)})
+	}
+	return writeCSV(w, []string{"fmem_mhz", "app", "mean_error_pct"}, rows)
+}
+
+// WriteCSV emits the Fig. 9 series.
+func (r *Fig9Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{}
+	for _, s := range r.Sizes {
+		for i := range s.CoreMHz {
+			rows = append(rows, []string{
+				strconv.Itoa(s.Size), f(s.CoreMHz[i]), f(s.Measured[i]), f(s.Predicted[i]),
+				strconv.FormatBool(s.TDPCapped[i]),
+			})
+		}
+	}
+	return writeCSV(w, []string{"size", "fcore_mhz", "measured_w", "predicted_w", "tdp_capped"}, rows)
+}
+
+// WriteCSV emits the Fig. 10 breakdown panels.
+func (r *Fig10Result) WriteCSV(w io.Writer) error {
+	header := []string{"fcore_mhz", "fmem_mhz", "app", "measured_w", "predicted_w", "constant_w"}
+	for _, c := range hw.Components {
+		header = append(header, "p_"+c.String()+"_w")
+	}
+	rows := [][]string{}
+	for _, p := range r.Panels {
+		for _, e := range p.Entries {
+			row := []string{
+				f(p.Config.CoreMHz), f(p.Config.MemMHz), e.App,
+				f(e.Measured), f(e.Breakdown.Total()), f(e.Breakdown.Constant),
+			}
+			for _, c := range hw.Components {
+				row = append(row, f(e.Breakdown.Component[c]))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits the convergence traces.
+func (r *ConvergenceAllResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{}
+	for _, d := range r.Devices {
+		for _, s := range d.Steps {
+			rows = append(rows, []string{
+				d.Device, strconv.Itoa(s.Iteration), f(s.VoltDelta), f(s.ParamDelta), f(s.SSE),
+			})
+		}
+	}
+	return writeCSV(w, []string{"device", "iteration", "volt_delta", "param_delta", "sse"}, rows)
+}
+
+// WriteCSV emits the baseline comparison table.
+func (r *BaselineResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{}
+	for _, d := range r.Devices {
+		for _, row := range d.Rows {
+			rows = append(rows, []string{d.Device, row.Model, f(row.MAE)})
+		}
+	}
+	return writeCSV(w, []string{"device", "model", "mae_pct"}, rows)
+}
+
+// WriteCSV emits the ablation table.
+func (r *AblationResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{r.Device, row.Variant, f(row.MAE)})
+	}
+	return writeCSV(w, []string{"device", "variant", "mae_pct"}, rows)
+}
+
+// ExportAllCSVs runs every experiment and writes one CSV per artifact into
+// dir (created if needed). Returns the file paths written.
+func ExportAllCSVs(dir string, seed uint64) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	write := func(name string, fn func(w io.Writer) error) error {
+		path := filepath.Join(dir, name)
+		file, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		if err := fn(file); err != nil {
+			return fmt.Errorf("experiments: exporting %s: %w", name, err)
+		}
+		written = append(written, path)
+		return nil
+	}
+
+	fig2, err := RunFig2(seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := write("fig2.csv", fig2.WriteCSV); err != nil {
+		return nil, err
+	}
+	fig5, err := RunFig5(seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := write("fig5.csv", fig5.WriteCSV); err != nil {
+		return nil, err
+	}
+	fig6, err := RunFig6(seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := write("fig6.csv", fig6.WriteCSV); err != nil {
+		return nil, err
+	}
+	fig7, err := RunFig7(seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := write("fig7.csv", fig7.WriteCSV); err != nil {
+		return nil, err
+	}
+	fig8, err := RunFig8(seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := write("fig8.csv", fig8.WriteCSV); err != nil {
+		return nil, err
+	}
+	fig9, err := RunFig9(seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := write("fig9.csv", fig9.WriteCSV); err != nil {
+		return nil, err
+	}
+	fig10, err := RunFig10(seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := write("fig10.csv", fig10.WriteCSV); err != nil {
+		return nil, err
+	}
+	conv, err := RunConvergence(seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := write("convergence.csv", conv.WriteCSV); err != nil {
+		return nil, err
+	}
+	base, err := RunBaselines(seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := write("baselines.csv", base.WriteCSV); err != nil {
+		return nil, err
+	}
+	abl, err := RunAblation(seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := write("ablation.csv", abl.WriteCSV); err != nil {
+		return nil, err
+	}
+	return written, nil
+}

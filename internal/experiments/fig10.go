@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gpupower/internal/core"
+	"gpupower/internal/hw"
+	"gpupower/internal/stats"
+	"gpupower/internal/suites"
+)
+
+// Fig10Entry is one application at one configuration: measured power and
+// the model's decomposition.
+type Fig10Entry struct {
+	App       string
+	Util      core.Utilization
+	Measured  float64
+	Breakdown *core.Breakdown
+}
+
+// Fig10Panel is one V-F configuration's panel.
+type Fig10Panel struct {
+	Config  hw.Config
+	Entries []Fig10Entry
+	MAE     float64
+	// MeanConstantW is the average constant (non-utilization) power share,
+	// ≈80 W at the reference configuration and ≈50 W at the low-memory one
+	// in the paper.
+	MeanConstantW float64
+}
+
+// Fig10Result reproduces paper Fig. 10: utilization and power breakdown of
+// the validation set at two V-F configurations on the GTX Titan X.
+type Fig10Result struct {
+	Device string
+	Panels []Fig10Panel
+}
+
+// RunFig10 reproduces Fig. 10.
+func RunFig10(seed uint64) (*Fig10Result, error) {
+	const deviceName = "GTX Titan X"
+	r, err := SharedRig(deviceName, seed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := r.Model()
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig10Result{Device: deviceName}
+
+	apps := append(suites.ValidationSet(), suites.CUBLASApp())
+	configs := []hw.Config{
+		{CoreMHz: 975, MemMHz: 3505},
+		{CoreMHz: 975, MemMHz: 810},
+	}
+	for _, cfg := range configs {
+		panel := Fig10Panel{Config: cfg}
+		var pred, meas []float64
+		var constSum float64
+		for _, app := range apps {
+			prof, err := r.Profiler.ProfileApp(app.App, m.Ref)
+			if err != nil {
+				return nil, err
+			}
+			util, err := core.AppUtilization(r.Device, prof, m.L2BytesPerCycle)
+			if err != nil {
+				return nil, err
+			}
+			bd, err := m.Decompose(util, cfg)
+			if err != nil {
+				return nil, err
+			}
+			p, err := r.Profiler.MeasureAppPower(app.App, cfg)
+			if err != nil {
+				return nil, err
+			}
+			panel.Entries = append(panel.Entries, Fig10Entry{
+				App: app.Short, Util: util, Measured: p, Breakdown: bd,
+			})
+			pred = append(pred, bd.Total())
+			meas = append(meas, p)
+			constSum += bd.Constant
+		}
+		panel.MAE, err = stats.MAPE(pred, meas)
+		if err != nil {
+			return nil, err
+		}
+		panel.MeanConstantW = constSum / float64(len(apps))
+		out.Panels = append(out.Panels, panel)
+	}
+	return out, nil
+}
+
+// String renders the Fig. 10 panels.
+func (r *Fig10Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 10 — power breakdown of the validation set (%s)\n", r.Device)
+	for _, p := range r.Panels {
+		fmt.Fprintf(&sb, "  %v: MAE = %.1f%%, constant share ≈ %.0f W\n", p.Config, p.MAE, p.MeanConstantW)
+		for _, e := range p.Entries {
+			fmt.Fprintf(&sb, "    %-8s meas=%6.1fW pred=%6.1fW const=%5.1fW", e.App, e.Measured, e.Breakdown.Total(), e.Breakdown.Constant)
+			for _, c := range hw.Components {
+				if v := e.Breakdown.Component[c]; v >= 1 {
+					fmt.Fprintf(&sb, " %s=%.0fW", c, v)
+				}
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}

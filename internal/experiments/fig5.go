@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gpupower/internal/core"
+	"gpupower/internal/hw"
+	"gpupower/internal/kernels"
+	"gpupower/internal/microbench"
+	"gpupower/internal/stats"
+)
+
+// Fig5Entry is one microbenchmark's row: utilizations, measured power and
+// the model's per-component power breakdown at the default configuration.
+type Fig5Entry struct {
+	Name       string
+	Collection microbench.Collection
+	Util       core.Utilization
+	Measured   float64
+	Breakdown  *core.Breakdown
+}
+
+// Fig5Result reproduces paper Fig. 5: per-component utilization rates and
+// power breakdown of the 83-microbenchmark suite on the GTX Titan X at the
+// default configuration.
+type Fig5Result struct {
+	Device  string
+	Entries []Fig5Entry
+	// ConstantShareW is the model's configuration-constant power at the
+	// default configuration (the paper reports ≈84 W).
+	ConstantShareW float64
+	// MaxDynamicSharePct is the largest dynamic share of total power across
+	// the suite (the paper reports ≈49 %, on a Mix microbenchmark).
+	MaxDynamicSharePct float64
+	MaxDynamicShareOn  string
+	// MAE is the model-vs-measured error over the suite at this config.
+	MAE float64
+}
+
+// RunFig5 reproduces Fig. 5 on the GTX Titan X.
+func RunFig5(seed uint64) (*Fig5Result, error) {
+	const deviceName = "GTX Titan X"
+	r, err := SharedRig(deviceName, seed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := r.Model()
+	if err != nil {
+		return nil, err
+	}
+	ref := r.Device.DefaultConfig()
+	out := &Fig5Result{Device: deviceName}
+
+	var preds, meas []float64
+	for _, b := range microbench.Suite() {
+		prof, err := r.Profiler.ProfileApp(kernels.SingleKernelApp(b.Kernel), ref)
+		if err != nil {
+			return nil, err
+		}
+		util, err := core.UtilizationFromMetrics(r.Device, ref, prof.Kernels[0].Metrics, m.L2BytesPerCycle)
+		if err != nil {
+			return nil, err
+		}
+		bd, err := m.Decompose(util, ref)
+		if err != nil {
+			return nil, err
+		}
+		p, _, err := r.Profiler.MeasureKernelPower(b.Kernel, ref)
+		if err != nil {
+			return nil, err
+		}
+		out.Entries = append(out.Entries, Fig5Entry{
+			Name:       b.Kernel.Name,
+			Collection: b.Collection,
+			Util:       util,
+			Measured:   p,
+			Breakdown:  bd,
+		})
+		preds = append(preds, bd.Total())
+		meas = append(meas, p)
+
+		if dyn := bd.Total() - bd.Constant; bd.Total() > 0 {
+			if share := 100 * dyn / bd.Total(); share > out.MaxDynamicSharePct {
+				out.MaxDynamicSharePct = share
+				out.MaxDynamicShareOn = b.Kernel.Name
+			}
+		}
+		out.ConstantShareW = bd.Constant
+	}
+	out.MAE, err = stats.MAPE(preds, meas)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// String renders the Fig. 5 summary and per-collection gradients.
+func (r *Fig5Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 5 — microbenchmark suite on %s at the default configuration\n", r.Device)
+	fmt.Fprintf(&sb, "  suite size: %d  constant power share: %.0f W  max dynamic share: %.0f%% (%s)  MAE: %.1f%%\n",
+		len(r.Entries), r.ConstantShareW, r.MaxDynamicSharePct, r.MaxDynamicShareOn, r.MAE)
+	for _, coll := range microbench.Collections {
+		var names []string
+		for _, e := range r.Entries {
+			if e.Collection == coll {
+				names = append(names, e.Name)
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-7s (x%d):\n", coll, len(names))
+		for _, e := range r.Entries {
+			if e.Collection != coll {
+				continue
+			}
+			fmt.Fprintf(&sb, "    %-14s meas=%6.1fW pred=%6.1fW  U:", e.Name, e.Measured, e.Breakdown.Total())
+			for _, c := range hw.Components {
+				if u := e.Util[c]; u >= 0.05 {
+					fmt.Fprintf(&sb, " %s=%.2f", c, u)
+				}
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}

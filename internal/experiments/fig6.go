@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Fig6DeviceResult reproduces one panel of paper Fig. 6: measured (third-
+// party tool) vs model-predicted normalized core voltage across the core
+// ladder at the default memory frequency.
+type Fig6DeviceResult struct {
+	Device    string
+	CoreMHz   []float64
+	Predicted []float64
+	Measured  []float64
+	// MaxAbsErr is the largest |predicted − measured| over the ladder.
+	MaxAbsErr float64
+	// BreakpointPredicted/Measured are the frequencies where each curve
+	// leaves its low-frequency plateau (paper: "two distinct regions").
+	BreakpointPredicted float64
+	BreakpointMeasured  float64
+}
+
+// Fig6Result holds the GTX Titan X and Titan Xp panels.
+type Fig6Result struct {
+	Devices []Fig6DeviceResult
+}
+
+// breakpoint returns the first ladder frequency at which the curve rises
+// more than 1.5% above its plateau (the minimum of the curve).
+func breakpoint(freqs, v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	plateau := v[0]
+	for _, x := range v {
+		if x < plateau {
+			plateau = x
+		}
+	}
+	for i, x := range v {
+		if x > plateau*1.015 {
+			return freqs[i]
+		}
+	}
+	return freqs[len(freqs)-1]
+}
+
+// RunFig6Device runs the voltage-prediction validation for one device.
+func RunFig6Device(deviceName string, seed uint64) (*Fig6DeviceResult, error) {
+	r, err := SharedRig(deviceName, seed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := r.Model()
+	if err != nil {
+		return nil, err
+	}
+	freqs, pred, err := m.PredictedCoreVoltage(r.Device.DefaultMem)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6DeviceResult{Device: deviceName, CoreMHz: freqs, Predicted: pred}
+	for _, f := range freqs {
+		res.Measured = append(res.Measured, r.Sim.ThirdPartyVoltageReadout(f))
+	}
+	for i := range pred {
+		if d := math.Abs(pred[i] - res.Measured[i]); d > res.MaxAbsErr {
+			res.MaxAbsErr = d
+		}
+	}
+	res.BreakpointPredicted = breakpoint(freqs, pred)
+	res.BreakpointMeasured = breakpoint(freqs, res.Measured)
+	return res, nil
+}
+
+// RunFig6 reproduces Fig. 6 on the two devices whose voltages the paper
+// could measure (GTX Titan X and Titan Xp).
+func RunFig6(seed uint64) (*Fig6Result, error) {
+	out := &Fig6Result{}
+	for _, name := range []string{"GTX Titan X", "Titan Xp"} {
+		r, err := RunFig6Device(name, seed)
+		if err != nil {
+			return nil, err
+		}
+		out.Devices = append(out.Devices, *r)
+	}
+	return out, nil
+}
+
+// String renders the Fig. 6 panels as text.
+func (r *Fig6Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6 — measured vs predicted core voltage (V/Vref)\n")
+	for _, d := range r.Devices {
+		fmt.Fprintf(&sb, "  %s: max |err| = %.3f, plateau breakpoint predicted %.0f MHz vs measured %.0f MHz\n",
+			d.Device, d.MaxAbsErr, d.BreakpointPredicted, d.BreakpointMeasured)
+		for i := range d.CoreMHz {
+			fmt.Fprintf(&sb, "    f=%5.0f MHz  predicted=%.3f  measured=%.3f\n",
+				d.CoreMHz[i], d.Predicted[i], d.Measured[i])
+		}
+	}
+	return sb.String()
+}

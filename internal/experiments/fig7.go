@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gpupower/internal/core"
+	"gpupower/internal/hw"
+	"gpupower/internal/stats"
+	"gpupower/internal/suites"
+)
+
+// Fig7Point is one (application, configuration) prediction vs measurement.
+type Fig7Point struct {
+	App       string
+	Config    hw.Config
+	Measured  float64
+	Predicted float64
+}
+
+// Fig7DeviceResult is the paper's Fig. 7 panel for one device: predicted vs
+// measured power for the whole validation set across every V-F
+// configuration, with the mean absolute (percentage) error.
+type Fig7DeviceResult struct {
+	Device     string
+	MemLevels  int
+	CoreLevels int
+	Points     []Fig7Point
+	MAE        float64 // percent
+}
+
+// Fig7Result aggregates the three device panels.
+type Fig7Result struct {
+	Devices []Fig7DeviceResult
+}
+
+// predictAppEverywhere profiles an application once at the reference
+// configuration and predicts + measures its power at every configuration.
+func predictAppEverywhere(r *Rig, m *core.Model, app suites.Application, configs []hw.Config) ([]Fig7Point, error) {
+	prof, err := r.Profiler.ProfileApp(app.App, m.Ref)
+	if err != nil {
+		return nil, err
+	}
+	util, err := core.AppUtilization(r.Device, prof, m.L2BytesPerCycle)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]Fig7Point, 0, len(configs))
+	for _, cfg := range configs {
+		pred, err := m.Predict(util, cfg)
+		if err != nil {
+			return nil, err
+		}
+		meas, err := r.Profiler.MeasureAppPower(app.App, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, Fig7Point{App: app.Short, Config: cfg, Measured: meas, Predicted: pred})
+	}
+	return pts, nil
+}
+
+// RunFig7Device runs the Fig. 7 validation for one device.
+func RunFig7Device(deviceName string, seed uint64) (*Fig7DeviceResult, error) {
+	r, err := SharedRig(deviceName, seed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := r.Model()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7DeviceResult{
+		Device:     deviceName,
+		MemLevels:  len(r.Device.MemFreqs),
+		CoreLevels: len(r.Device.CoreFreqs),
+	}
+	configs := r.Device.AllConfigs()
+	for _, app := range suites.ValidationSet() {
+		pts, err := predictAppEverywhere(r, m, app, configs)
+		if err != nil {
+			return nil, fmt.Errorf("fig7: %s on %s: %w", app.Short, deviceName, err)
+		}
+		res.Points = append(res.Points, pts...)
+	}
+	pred := make([]float64, len(res.Points))
+	meas := make([]float64, len(res.Points))
+	for i, p := range res.Points {
+		pred[i], meas[i] = p.Predicted, p.Measured
+	}
+	res.MAE, err = stats.MAPE(pred, meas)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunFig7 runs the full Fig. 7 experiment on the paper's three devices.
+func RunFig7(seed uint64) (*Fig7Result, error) {
+	out := &Fig7Result{}
+	for _, dev := range hw.AllDevices() {
+		r, err := RunFig7Device(dev.Name, seed)
+		if err != nil {
+			return nil, err
+		}
+		out.Devices = append(out.Devices, *r)
+	}
+	return out, nil
+}
+
+// String renders the Fig. 7 summary rows (paper values: 6.9 %, 6.0 %,
+// 12.4 % for Titan Xp, GTX Titan X, Tesla K40c).
+func (r *Fig7Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 7 — power prediction for all V-F configurations (validation set)\n")
+	for _, d := range r.Devices {
+		mn, mx := minMaxMeasured(d.Points)
+		fmt.Fprintf(&sb, "  %-12s  mem levels: %d  core levels: %d  points: %4d  power range: [%.0f, %.0f] W  MAE: %.1f%%\n",
+			d.Device, d.MemLevels, d.CoreLevels, len(d.Points), mn, mx, d.MAE)
+	}
+	return sb.String()
+}
+
+func minMaxMeasured(pts []Fig7Point) (mn, mx float64) {
+	if len(pts) == 0 {
+		return 0, 0
+	}
+	mn, mx = pts[0].Measured, pts[0].Measured
+	for _, p := range pts[1:] {
+		if p.Measured < mn {
+			mn = p.Measured
+		}
+		if p.Measured > mx {
+			mx = p.Measured
+		}
+	}
+	return mn, mx
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gpupower/internal/core"
+	"gpupower/internal/hw"
+	"gpupower/internal/stats"
+	"gpupower/internal/suites"
+)
+
+// Fig8BenchError is one benchmark's signed mean error over all core
+// frequencies at one memory frequency.
+type Fig8BenchError struct {
+	App          string
+	MeanErrorPct float64
+}
+
+// Fig8MemPanel is one panel of paper Fig. 8: per-benchmark mean error over
+// the 16 core frequencies at a fixed memory frequency, plus the panel MAE.
+type Fig8MemPanel struct {
+	MemMHz float64
+	Errors []Fig8BenchError
+	MAE    float64 // percent
+}
+
+// Fig8Result reproduces paper Fig. 8 on the GTX Titan X: one panel per
+// memory frequency, plus the overall MAE across all V-F configurations.
+type Fig8Result struct {
+	Device     string
+	Panels     []Fig8MemPanel
+	OverallMAE float64
+}
+
+// RunFig8 reproduces Fig. 8.
+func RunFig8(seed uint64) (*Fig8Result, error) {
+	const deviceName = "GTX Titan X"
+	r, err := SharedRig(deviceName, seed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := r.Model()
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig8Result{Device: deviceName}
+
+	apps := suites.ValidationSet()
+	type appData struct {
+		util core.Utilization
+	}
+	data := make(map[string]appData, len(apps))
+	for _, app := range apps {
+		prof, err := r.Profiler.ProfileApp(app.App, m.Ref)
+		if err != nil {
+			return nil, err
+		}
+		util, err := core.AppUtilization(r.Device, prof, m.L2BytesPerCycle)
+		if err != nil {
+			return nil, err
+		}
+		data[app.Short] = appData{util: util}
+	}
+
+	var allPred, allMeas []float64
+	// Panels in the paper's order: descending memory frequency.
+	for mi := len(r.Device.MemFreqs) - 1; mi >= 0; mi-- {
+		fm := r.Device.MemFreqs[mi]
+		panel := Fig8MemPanel{MemMHz: fm}
+		var panelPred, panelMeas []float64
+		for _, app := range apps {
+			var pred, meas []float64
+			for _, fc := range r.Device.CoreFreqs {
+				cfg := hw.Config{CoreMHz: fc, MemMHz: fm}
+				p, err := m.Predict(data[app.Short].util, cfg)
+				if err != nil {
+					return nil, err
+				}
+				q, err := r.Profiler.MeasureAppPower(app.App, cfg)
+				if err != nil {
+					return nil, err
+				}
+				pred = append(pred, p)
+				meas = append(meas, q)
+			}
+			me, err := stats.MeanPercentError(pred, meas)
+			if err != nil {
+				return nil, err
+			}
+			panel.Errors = append(panel.Errors, Fig8BenchError{App: app.Short, MeanErrorPct: me})
+			panelPred = append(panelPred, pred...)
+			panelMeas = append(panelMeas, meas...)
+		}
+		panel.MAE, err = stats.MAPE(panelPred, panelMeas)
+		if err != nil {
+			return nil, err
+		}
+		allPred = append(allPred, panelPred...)
+		allMeas = append(allMeas, panelMeas...)
+		out.Panels = append(out.Panels, panel)
+	}
+	out.OverallMAE, err = stats.MAPE(allPred, allMeas)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// String renders the Fig. 8 panels as text.
+func (r *Fig8Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 8 — prediction error per memory frequency (%s); overall MAE %.1f%%\n",
+		r.Device, r.OverallMAE)
+	for _, p := range r.Panels {
+		fmt.Fprintf(&sb, "  fmem = %4.0f MHz  MAE = %.1f%%\n", p.MemMHz, p.MAE)
+		for _, e := range p.Errors {
+			fmt.Fprintf(&sb, "    %-8s %+6.1f%%\n", e.App, e.MeanErrorPct)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gpupower/internal/core"
+	"gpupower/internal/hw"
+	"gpupower/internal/stats"
+	"gpupower/internal/suites"
+)
+
+// Fig9SizeResult is one matrixMulCUBLAS input size: the measured and
+// predicted power across the core ladder at the default memory frequency,
+// and the utilization vector at the reference configuration.
+type Fig9SizeResult struct {
+	Size      int
+	Util      core.Utilization
+	CoreMHz   []float64
+	Measured  []float64
+	Predicted []float64
+	// TDPCapped marks core frequencies where the model predicted a
+	// TDP violation, so the prediction was re-issued at the next lower
+	// ladder level (the paper's Fig. 9 footnote behaviour).
+	TDPCapped []bool
+}
+
+// Fig9Result reproduces paper Fig. 9: the effect of the input-matrix size
+// on matrixMulCUBLAS power, on the GTX Titan X.
+type Fig9Result struct {
+	Device  string
+	Sizes   []Fig9SizeResult
+	MAE     float64
+	TDPNote string
+}
+
+// RunFig9 reproduces Fig. 9.
+func RunFig9(seed uint64) (*Fig9Result, error) {
+	const deviceName = "GTX Titan X"
+	r, err := SharedRig(deviceName, seed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := r.Model()
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig9Result{Device: deviceName}
+	fm := r.Device.DefaultMem
+
+	var allPred, allMeas []float64
+	for _, size := range []int{64, 512, 4096} {
+		app, err := suites.MatrixMulCUBLAS(size)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := r.Profiler.ProfileApp(app.App, m.Ref)
+		if err != nil {
+			return nil, err
+		}
+		util, err := core.AppUtilization(r.Device, prof, m.L2BytesPerCycle)
+		if err != nil {
+			return nil, err
+		}
+		sr := Fig9SizeResult{Size: size, Util: util}
+		for _, fc := range r.Device.CoreFreqs {
+			cfg := hw.Config{CoreMHz: fc, MemMHz: fm}
+			pred, err := m.Predict(util, cfg)
+			if err != nil {
+				return nil, err
+			}
+			capped := false
+			// Fig. 9 footnote: when the prediction at a frequency surpasses
+			// TDP, the hardware would auto-decrease the clock; predict at the
+			// closest lower level that does not violate TDP.
+			for pred > r.Device.TDP {
+				lower, ok := stepDown(r.Device.CoreFreqs, cfg.CoreMHz)
+				if !ok {
+					break
+				}
+				capped = true
+				cfg.CoreMHz = lower
+				pred, err = m.Predict(util, cfg)
+				if err != nil {
+					return nil, err
+				}
+			}
+			meas, err := r.Profiler.MeasureAppPower(app.App, hw.Config{CoreMHz: fc, MemMHz: fm})
+			if err != nil {
+				return nil, err
+			}
+			sr.CoreMHz = append(sr.CoreMHz, fc)
+			sr.Predicted = append(sr.Predicted, pred)
+			sr.Measured = append(sr.Measured, meas)
+			sr.TDPCapped = append(sr.TDPCapped, capped)
+			if capped {
+				out.TDPNote = fmt.Sprintf(
+					"size %d at fcore=%.0f MHz predicted above TDP (%.0f W); prediction capped to fcore=%.0f MHz",
+					size, fc, r.Device.TDP, cfg.CoreMHz)
+			}
+			allPred = append(allPred, pred)
+			allMeas = append(allMeas, meas)
+		}
+		out.Sizes = append(out.Sizes, sr)
+	}
+	out.MAE, err = stats.MAPE(allPred, allMeas)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func stepDown(ladder []float64, f float64) (float64, bool) {
+	for i := len(ladder) - 1; i >= 0; i-- {
+		if ladder[i] < f {
+			return ladder[i], true
+		}
+	}
+	return 0, false
+}
+
+// String renders the Fig. 9 series.
+func (r *Fig9Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 9 — matrixMulCUBLAS input-size sweep (%s), MAE %.1f%%\n", r.Device, r.MAE)
+	if r.TDPNote != "" {
+		fmt.Fprintf(&sb, "  note: %s\n", r.TDPNote)
+	}
+	for _, s := range r.Sizes {
+		fmt.Fprintf(&sb, "  %dx%d  U(SP)=%.2f U(Shared)=%.2f U(L2)=%.2f U(DRAM)=%.2f\n",
+			s.Size, s.Size, s.Util[hw.SP], s.Util[hw.Shared], s.Util[hw.L2], s.Util[hw.DRAM])
+		fmt.Fprintf(&sb, "    fcore:")
+		for i := range s.CoreMHz {
+			mark := ""
+			if s.TDPCapped[i] {
+				mark = "*"
+			}
+			fmt.Fprintf(&sb, " %.0f:%.0f/%.0fW%s", s.CoreMHz[i], s.Measured[i], s.Predicted[i], mark)
+		}
+		sb.WriteString("  (measured/predicted, * = TDP-capped prediction)\n")
+	}
+	return sb.String()
+}

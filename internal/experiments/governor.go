@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gpupower/internal/governor"
+	"gpupower/internal/suites"
+)
+
+// GovernorRow is one (application, policy) governed run.
+type GovernorRow struct {
+	App            string
+	Policy         governor.Policy
+	EnergySavePct  float64
+	RuntimeDiffPct float64
+	Iterations     int
+}
+
+// GovernorResult exercises the paper's future-work scenario (Section VII):
+// a real-time governor profiles each kernel's first call, predicts power
+// across the V-F space, and pins the policy-optimal configuration.
+type GovernorResult struct {
+	Device string
+	Rows   []GovernorRow
+}
+
+// RunGovernorStudy runs three representative applications under the three
+// policies on the GTX Titan X.
+func RunGovernorStudy(seed uint64) (*GovernorResult, error) {
+	const deviceName = "GTX Titan X"
+	r, err := SharedRig(deviceName, seed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := r.Model()
+	if err != nil {
+		return nil, err
+	}
+	out := &GovernorResult{Device: deviceName}
+	const iterations = 30
+	for _, short := range []string{"LBM", "CUTCP", "BCKP"} {
+		app, err := suites.ByShort(short)
+		if err != nil {
+			return nil, err
+		}
+		for _, pol := range []governor.Policy{governor.MinEnergy, governor.MinEDP, governor.MaxPerfUnderCap} {
+			g, err := governor.New(r.Profiler, m, pol)
+			if err != nil {
+				return nil, err
+			}
+			if pol == governor.MaxPerfUnderCap {
+				g.PowerCap = 150
+			}
+			rep, err := g.RunApp(app.App, iterations)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, GovernorRow{
+				App:            short,
+				Policy:         pol,
+				EnergySavePct:  rep.EnergySavingsPercent(),
+				RuntimeDiffPct: rep.SlowdownPercent(),
+				Iterations:     iterations,
+			})
+		}
+	}
+	return out, nil
+}
+
+// String renders the governor study.
+func (r *GovernorResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Real-time DVFS governor study (%s, paper Section VII future work)\n", r.Device)
+	fmt.Fprintf(&sb, "  %-8s %-20s %14s %15s\n", "app", "policy", "energy saving", "runtime change")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "  %-8s %-20s %13.1f%% %+14.1f%%\n",
+			row.App, row.Policy, row.EnergySavePct, row.RuntimeDiffPct)
+	}
+	return sb.String()
+}

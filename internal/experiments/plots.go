@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gpupower/internal/textplot"
+)
+
+// Terminal renderings of the paper's figures, used by `gpowerbench -plot`.
+
+// Plot renders the Fig. 2 power-vs-core-frequency curves.
+func (r *Fig2Result) Plot() (string, error) {
+	var sb strings.Builder
+	for _, app := range r.Apps {
+		chart := &textplot.Chart{
+			Title:  fmt.Sprintf("Fig. 2 — %s on %s (power vs core frequency)", app.App, r.Device),
+			XLabel: "fcore [MHz]",
+			YLabel: "power [W]",
+		}
+		for _, curve := range app.Curves {
+			chart.Series = append(chart.Series, textplot.Series{
+				Name: fmt.Sprintf("fmem=%.0f", curve.MemMHz),
+				X:    curve.CoreMHz,
+				Y:    curve.PowerW,
+			})
+		}
+		s, err := chart.Render()
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(s)
+		sb.WriteString("\n")
+	}
+	return sb.String(), nil
+}
+
+// Plot renders the Fig. 6 measured-vs-predicted voltage curves.
+func (r *Fig6Result) Plot() (string, error) {
+	var sb strings.Builder
+	for _, d := range r.Devices {
+		chart := &textplot.Chart{
+			Title:  fmt.Sprintf("Fig. 6 — %s core voltage (V/Vref vs fcore)", d.Device),
+			XLabel: "fcore [MHz]",
+			YLabel: "V/Vref",
+			Series: []textplot.Series{
+				{Name: "predicted", X: d.CoreMHz, Y: d.Predicted, Marker: '*'},
+				{Name: "measured", X: d.CoreMHz, Y: d.Measured, Marker: 'o'},
+			},
+		}
+		s, err := chart.Render()
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(s)
+		sb.WriteString("\n")
+	}
+	return sb.String(), nil
+}
+
+// Plot renders the Fig. 7 predicted-vs-measured scatter per device (the
+// identity line is where perfect predictions land).
+func (r *Fig7Result) Plot() (string, error) {
+	var sb strings.Builder
+	for _, d := range r.Devices {
+		meas := make([]float64, len(d.Points))
+		pred := make([]float64, len(d.Points))
+		for i, p := range d.Points {
+			meas[i], pred[i] = p.Measured, p.Predicted
+		}
+		// Identity reference.
+		mn, mx := minMaxMeasured(d.Points)
+		ident := textplot.Series{Name: "ideal", X: []float64{mn, mx}, Y: []float64{mn, mx}, Marker: '.'}
+		chart := &textplot.Chart{
+			Title:  fmt.Sprintf("Fig. 7 — %s (predicted vs measured power, MAE %.1f%%)", d.Device, d.MAE),
+			XLabel: "measured [W]",
+			YLabel: "predicted [W]",
+			Series: []textplot.Series{
+				{Name: "apps", X: meas, Y: pred, Marker: '*'},
+				ident,
+			},
+		}
+		s, err := chart.Render()
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(s)
+		sb.WriteString("\n")
+	}
+	return sb.String(), nil
+}
+
+// Plot renders the Fig. 9 measured power per input size.
+func (r *Fig9Result) Plot() (string, error) {
+	chart := &textplot.Chart{
+		Title:  fmt.Sprintf("Fig. 9 — matrixMulCUBLAS on %s (power vs core frequency)", r.Device),
+		XLabel: "fcore [MHz]",
+		YLabel: "power [W]",
+	}
+	for _, s := range r.Sizes {
+		chart.Series = append(chart.Series, textplot.Series{
+			Name: fmt.Sprintf("%dx%d", s.Size, s.Size),
+			X:    s.CoreMHz,
+			Y:    s.Measured,
+		})
+	}
+	return chart.Render()
+}

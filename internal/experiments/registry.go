@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gpupower/internal/microbench"
+)
+
+// Plotter is implemented by results that can render an ASCII chart.
+type Plotter interface {
+	Plot() (string, error)
+}
+
+// Runner executes one named experiment and writes its textual result.
+// When plot is true and the result supports charts, the chart follows the
+// text.
+type Runner func(w io.Writer, seed uint64, plot bool) error
+
+// registry maps experiment names to runners; the CLI and tests share it.
+var registry = map[string]Runner{
+	"table1": func(w io.Writer, _ uint64, _ bool) error {
+		s, err := RenderTable1()
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, s)
+		return err
+	},
+	"table2": func(w io.Writer, _ uint64, _ bool) error {
+		_, err := io.WriteString(w, RenderTable2())
+		return err
+	},
+	"table3": func(w io.Writer, _ uint64, _ bool) error {
+		_, err := io.WriteString(w, RenderTable3())
+		return err
+	},
+	"sources": func(w io.Writer, _ uint64, _ bool) error {
+		_, err := io.WriteString(w, microbench.RenderSources())
+		return err
+	},
+	"fig2": func(w io.Writer, seed uint64, plot bool) error {
+		r, err := RunFig2(seed)
+		if err != nil {
+			return err
+		}
+		return emit(w, r, plot)
+	},
+	"fig5": func(w io.Writer, seed uint64, plot bool) error {
+		r, err := RunFig5(seed)
+		if err != nil {
+			return err
+		}
+		return emit(w, r, plot)
+	},
+	"fig6": func(w io.Writer, seed uint64, plot bool) error {
+		r, err := RunFig6(seed)
+		if err != nil {
+			return err
+		}
+		return emit(w, r, plot)
+	},
+	"fig7": func(w io.Writer, seed uint64, plot bool) error {
+		r, err := RunFig7(seed)
+		if err != nil {
+			return err
+		}
+		return emit(w, r, plot)
+	},
+	"fig8": func(w io.Writer, seed uint64, plot bool) error {
+		r, err := RunFig8(seed)
+		if err != nil {
+			return err
+		}
+		return emit(w, r, plot)
+	},
+	"fig9": func(w io.Writer, seed uint64, plot bool) error {
+		r, err := RunFig9(seed)
+		if err != nil {
+			return err
+		}
+		return emit(w, r, plot)
+	},
+	"fig10": func(w io.Writer, seed uint64, plot bool) error {
+		r, err := RunFig10(seed)
+		if err != nil {
+			return err
+		}
+		return emit(w, r, plot)
+	},
+	"convergence": func(w io.Writer, seed uint64, plot bool) error {
+		r, err := RunConvergence(seed)
+		if err != nil {
+			return err
+		}
+		return emit(w, r, plot)
+	},
+	"baselines": func(w io.Writer, seed uint64, plot bool) error {
+		r, err := RunBaselines(seed)
+		if err != nil {
+			return err
+		}
+		return emit(w, r, plot)
+	},
+	"ablation": func(w io.Writer, seed uint64, plot bool) error {
+		r, err := RunAblation(seed)
+		if err != nil {
+			return err
+		}
+		return emit(w, r, plot)
+	},
+	"governor": func(w io.Writer, seed uint64, plot bool) error {
+		r, err := RunGovernorStudy(seed)
+		if err != nil {
+			return err
+		}
+		return emit(w, r, plot)
+	},
+	"breakdown": func(w io.Writer, seed uint64, plot bool) error {
+		for _, dev := range []string{"Titan Xp", "GTX Titan X", "Tesla K40c"} {
+			r, err := RunBreakdownTruth(dev, seed)
+			if err != nil {
+				return err
+			}
+			if err := emit(w, r, plot); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	"timemodel": func(w io.Writer, seed uint64, plot bool) error {
+		r, err := RunTimeModel(seed)
+		if err != nil {
+			return err
+		}
+		return emit(w, r, plot)
+	},
+	"robustness": func(w io.Writer, seed uint64, plot bool) error {
+		r, err := RunRobustness([]uint64{seed, seed + 1, seed + 2, seed + 3, seed + 4})
+		if err != nil {
+			return err
+		}
+		return emit(w, r, plot)
+	},
+}
+
+// emit writes a result's text and, when requested and supported, its chart.
+func emit(w io.Writer, r fmt.Stringer, plot bool) error {
+	if _, err := io.WriteString(w, r.String()); err != nil {
+		return err
+	}
+	if plot {
+		if p, ok := r.(Plotter); ok {
+			s, err := p.Plot()
+			if err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Names lists all registered experiments, sorted, in the order the CLI's
+// "all" mode uses (paper order first, extensions after).
+func Names() []string {
+	paper := []string{
+		"table1", "table2", "table3",
+		"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"convergence", "baselines", "ablation",
+	}
+	extra := []string{}
+	seen := map[string]bool{}
+	for _, n := range paper {
+		seen[n] = true
+	}
+	for n := range registry {
+		if !seen[n] {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	return append(paper, extra...)
+}
+
+// AllNames is the set run by "-exp all" (excludes the expensive seed sweep
+// and the verbose source listing).
+func AllNames() []string {
+	var out []string
+	for _, n := range Names() {
+		if n == "robustness" || n == "sources" {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// RunByName executes one named experiment, writing its result to w.
+func RunByName(name string, w io.Writer, seed uint64, plot bool) error {
+	runner, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return runner(w, seed, plot)
+}

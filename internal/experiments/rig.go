@@ -1,0 +1,116 @@
+// Package experiments contains one driver per table/figure of the paper's
+// evaluation (Section V), plus baseline comparisons and ablations. Each
+// driver returns a machine-readable result and can render the paper-style
+// rows/series as text. All drivers are deterministic for a given seed.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"gpupower/internal/core"
+	"gpupower/internal/hw"
+	"gpupower/internal/microbench"
+	"gpupower/internal/profiler"
+	"gpupower/internal/sim"
+)
+
+// DefaultSeed is the seed used by the command-line harness and the Go
+// benchmarks; every published number in EXPERIMENTS.md comes from it.
+const DefaultSeed uint64 = 42
+
+// Rig bundles everything an experiment needs on one device: the simulated
+// GPU, its profiler, and (lazily) a fitted model with its training dataset.
+type Rig struct {
+	Device   *hw.Device
+	Sim      *sim.Device
+	Profiler *profiler.Profiler
+
+	mu      sync.Mutex
+	dataset *core.Dataset
+	model   *core.Model
+}
+
+// NewRig builds a rig for a catalog device.
+func NewRig(deviceName string, seed uint64) (*Rig, error) {
+	dev, err := hw.DeviceByName(deviceName)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(dev, seed)
+	if err != nil {
+		return nil, err
+	}
+	p, err := profiler.New(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Rig{Device: dev, Sim: s, Profiler: p}, nil
+}
+
+// Dataset measures (or returns the cached) full training dataset: the 83
+// microbenchmarks profiled at the reference configuration and measured at
+// every V-F configuration.
+func (r *Rig) Dataset() (*core.Dataset, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dataset != nil {
+		return r.dataset, nil
+	}
+	d, err := core.BuildDataset(r.Profiler, microbench.Suite(), r.Device.DefaultConfig(), r.Device.AllConfigs())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building dataset on %s: %w", r.Device.Name, err)
+	}
+	r.dataset = d
+	return d, nil
+}
+
+// Model fits (or returns the cached) DVFS-aware power model.
+func (r *Rig) Model() (*core.Model, error) {
+	d, err := r.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.model != nil {
+		return r.model, nil
+	}
+	m, err := core.Estimate(d, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fitting model on %s: %w", r.Device.Name, err)
+	}
+	r.model = m
+	return m, nil
+}
+
+// rigCache shares fitted rigs across experiments within one process (the
+// benchmark harness regenerates many figures from the same three models).
+var (
+	rigCacheMu sync.Mutex
+	rigCache   = map[string]*Rig{}
+)
+
+// SharedRig returns a process-wide cached rig for (deviceName, seed).
+func SharedRig(deviceName string, seed uint64) (*Rig, error) {
+	key := fmt.Sprintf("%s/%d", deviceName, seed)
+	rigCacheMu.Lock()
+	defer rigCacheMu.Unlock()
+	if r, ok := rigCache[key]; ok {
+		return r, nil
+	}
+	r, err := NewRig(deviceName, seed)
+	if err != nil {
+		return nil, err
+	}
+	rigCache[key] = r
+	return r, nil
+}
+
+// ResetSharedRigs clears the process-wide rig cache (tests use it to ensure
+// independence).
+func ResetSharedRigs() {
+	rigCacheMu.Lock()
+	defer rigCacheMu.Unlock()
+	rigCache = map[string]*Rig{}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"gpupower/internal/hw"
+)
+
+func TestRobustnessTwoSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("robustness fits multiple dies; skipped in -short mode")
+	}
+	r, err := RunRobustness([]uint64{DefaultSeed, DefaultSeed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Seeds) != 2 {
+		t.Fatalf("seed count = %d", len(r.Seeds))
+	}
+	for _, name := range []string{"Titan Xp", "GTX Titan X", "Tesla K40c"} {
+		mean, _, mn, mx, err := r.Stats(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mean <= 0 || mean > 20 {
+			t.Errorf("%s: mean MAE %.1f%% out of band", name, mean)
+		}
+		if mn > mx {
+			t.Errorf("%s: min %.1f > max %.1f", name, mn, mx)
+		}
+	}
+	if !r.OrderingStable() {
+		t.Error("Kepler-worst ordering not stable across seeds")
+	}
+	if !strings.Contains(r.String(), "robustness") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestRobustnessValidation(t *testing.T) {
+	if _, err := RunRobustness(nil); err == nil {
+		t.Fatal("empty seed list accepted")
+	}
+	if _, _, _, _, err := (&RobustnessResult{MAE: map[string][]float64{}}).Stats("nope"); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}
+
+func TestBreakdownTruth(t *testing.T) {
+	// The simulator-only component-level validation: on the accurate-counter
+	// devices the model's decomposition must track the hidden truth closely;
+	// on Kepler the attribution degrades (the counter-quality story).
+	tx, err := RunBreakdownTruth("GTX Titan X", DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.Apps != 26 {
+		t.Fatalf("apps = %d, want 26", tx.Apps)
+	}
+	// Constant share attribution within ~10 W of the true ~89 W.
+	if tx.ConstantErrW > 12 {
+		t.Errorf("Titan X constant attribution error %.1f W", tx.ConstantErrW)
+	}
+	// Per-component dynamic attribution: the dominant component (DRAM) must
+	// be attributed within ~20% of its mean true power on a good-counter
+	// device.
+	if dram := tx.MeanTruthW[hw.DRAM]; dram > 0 {
+		if tx.MeanAbsErrW[hw.DRAM] > 0.2*dram {
+			t.Errorf("Titan X DRAM attribution error %.1f W on a %.1f W mean",
+				tx.MeanAbsErrW[hw.DRAM], dram)
+		}
+	}
+	k40, err := RunBreakdownTruth("Tesla K40c", DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k40.ConstantErrW < tx.ConstantErrW {
+		t.Errorf("Kepler attribution (%.1f W) should be worse than Maxwell's (%.1f W)",
+			k40.ConstantErrW, tx.ConstantErrW)
+	}
+	if !strings.Contains(tx.String(), "Decomposition vs hidden truth") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestBreakdownTruthUnknownDevice(t *testing.T) {
+	if _, err := RunBreakdownTruth("GTX 480", DefaultSeed); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}
+
+func TestGovernorStudy(t *testing.T) {
+	r, err := RunGovernorStudy(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9 (3 apps x 3 policies)", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// min-energy and min-EDP must never waste energy vs the baseline.
+		if row.Policy.String() == "min-energy" && row.EnergySavePct < 0 {
+			t.Errorf("%s: min-energy governor wasted energy (%.1f%%)", row.App, row.EnergySavePct)
+		}
+	}
+	if !strings.Contains(r.String(), "governor study") {
+		t.Error("String() missing header")
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gpupower/internal/cupti"
+	"gpupower/internal/hw"
+	"gpupower/internal/suites"
+)
+
+// RenderTable1 reproduces the paper's Table I: the performance events
+// required to compute the model metrics, per device.
+func RenderTable1() (string, error) {
+	var sb strings.Builder
+	sb.WriteString("Table I — performance events per device\n")
+	for _, dev := range hw.AllDevices() {
+		s, err := cupti.FormatTable(dev)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(s)
+	}
+	return sb.String(), nil
+}
+
+// RenderTable2 reproduces the paper's Table II: the device descriptions.
+func RenderTable2() string {
+	var sb strings.Builder
+	sb.WriteString("Table II — summarized description of the used GPUs\n")
+	fmt.Fprintf(&sb, "  %-22s %-10s %-12s %-10s\n", "", "Titan Xp", "GTX Titan X", "Tesla K40c")
+	devs := hw.AllDevices()
+	row := func(label string, f func(d *hw.Device) string) {
+		fmt.Fprintf(&sb, "  %-22s %-10s %-12s %-10s\n", label, f(devs[0]), f(devs[1]), f(devs[2]))
+	}
+	row("Base architecture", func(d *hw.Device) string { return string(d.Arch) })
+	row("Compute capability", func(d *hw.Device) string { return d.ComputeCapability })
+	row("Memory freqs (MHz)", func(d *hw.Device) string {
+		parts := make([]string, len(d.MemFreqs))
+		for i := range d.MemFreqs {
+			parts[len(d.MemFreqs)-1-i] = fmt.Sprintf("%.0f", d.MemFreqs[i])
+		}
+		return strings.Join(parts, ",")
+	})
+	row("Core freq range (MHz)", func(d *hw.Device) string {
+		return fmt.Sprintf("[%.0f:%.0f]", d.CoreFreqs[len(d.CoreFreqs)-1], d.CoreFreqs[0])
+	})
+	row("Core freq levels", func(d *hw.Device) string { return fmt.Sprintf("%d", len(d.CoreFreqs)) })
+	row("Default mem freq", func(d *hw.Device) string { return fmt.Sprintf("%.0f", d.DefaultMem) })
+	row("Default core freq", func(d *hw.Device) string { return fmt.Sprintf("%.0f", d.DefaultCore) })
+	row("Threads per warp", func(d *hw.Device) string { return fmt.Sprintf("%d", d.WarpSize) })
+	row("Number of SMs", func(d *hw.Device) string { return fmt.Sprintf("%d", d.NumSMs) })
+	row("Memory bus width", func(d *hw.Device) string { return fmt.Sprintf("%dB", d.MemBusBytes) })
+	row("Shared mem banks", func(d *hw.Device) string { return fmt.Sprintf("%d", d.SharedBanks) })
+	row("SP/INT units/SM", func(d *hw.Device) string { return fmt.Sprintf("%d", d.UnitsPerSM[hw.SP]) })
+	row("DP units/SM", func(d *hw.Device) string { return fmt.Sprintf("%d", d.UnitsPerSM[hw.DP]) })
+	row("SF units/SM", func(d *hw.Device) string { return fmt.Sprintf("%d", d.UnitsPerSM[hw.SF]) })
+	row("TDP (W)", func(d *hw.Device) string { return fmt.Sprintf("%.0f", d.TDP) })
+	return sb.String()
+}
+
+// RenderTable3 reproduces the paper's Table III: the validation benchmarks
+// grouped by suite.
+func RenderTable3() string {
+	var sb strings.Builder
+	sb.WriteString("Table III — standard benchmarks used to validate the power model\n")
+	groups := map[suites.SuiteName][]string{}
+	order := []suites.SuiteName{suites.Rodinia, suites.Parboil, suites.Poly, suites.CUDASDK}
+	apps := append(suites.ValidationSet(), suites.CUBLASApp())
+	for _, a := range apps {
+		groups[a.Suite] = append(groups[a.Suite], a.Full)
+	}
+	for _, g := range order {
+		fmt.Fprintf(&sb, "  %-10s %s\n", g, strings.Join(groups[g], ", "))
+	}
+	fmt.Fprintf(&sb, "  total applications: %d\n", len(apps))
+	return sb.String()
+}

@@ -1,0 +1,256 @@
+// Package governor implements the paper's primary future-work direction
+// (Section VII): applying the DVFS-aware power model in real time "by
+// taking advantage of the iterative nature of many of the most common GPU
+// applications, by measuring the performance events during the first call
+// to a GPU kernel and then using the power prediction to determine the
+// frequency/voltage configuration that best suits that kernel".
+//
+// The governor runs an iterative application on the simulated device:
+// iteration 1 executes at the reference configuration while events are
+// collected; the model then evaluates the whole V-F space and the governor
+// applies the policy-optimal configuration for the remaining iterations.
+// Per-kernel decisions are cached, so multi-kernel applications converge
+// after one profiling pass per kernel.
+package governor
+
+import (
+	"fmt"
+
+	"gpupower/internal/core"
+	"gpupower/internal/hw"
+	"gpupower/internal/kernels"
+	"gpupower/internal/profiler"
+)
+
+// Policy selects what the governor optimizes.
+type Policy int
+
+const (
+	// MinEnergy minimizes predicted energy (power × estimated time).
+	MinEnergy Policy = iota
+	// MinEDP minimizes the predicted energy-delay product.
+	MinEDP
+	// MaxPerfUnderCap maximizes performance subject to a power cap:
+	// the fastest configuration whose predicted power stays below the cap.
+	MaxPerfUnderCap
+)
+
+func (p Policy) String() string {
+	switch p {
+	case MinEnergy:
+		return "min-energy"
+	case MinEDP:
+		return "min-EDP"
+	case MaxPerfUnderCap:
+		return "max-perf-under-cap"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Governor drives per-kernel DVFS decisions on one device.
+type Governor struct {
+	prof   *profiler.Profiler
+	model  *core.Model
+	policy Policy
+
+	// PowerCap is the cap for MaxPerfUnderCap, W. Zero means the device TDP.
+	PowerCap float64
+
+	// decisions caches the chosen configuration per kernel name.
+	decisions map[string]hw.Config
+	// utils caches the first-iteration utilization per kernel name.
+	utils map[string]core.Utilization
+}
+
+// New creates a governor for a fitted model on the profiler's device.
+func New(p *profiler.Profiler, m *core.Model, policy Policy) (*Governor, error) {
+	if p == nil || m == nil {
+		return nil, fmt.Errorf("governor: nil profiler or model")
+	}
+	if m.DeviceName != p.Device().HW().Name {
+		return nil, fmt.Errorf("governor: model fitted on %q, device is %q",
+			m.DeviceName, p.Device().HW().Name)
+	}
+	return &Governor{
+		prof:      p,
+		model:     m,
+		policy:    policy,
+		decisions: map[string]hw.Config{},
+		utils:     map[string]core.Utilization{},
+	}, nil
+}
+
+// Decide returns the governor's configuration for a kernel with known
+// utilization, per the active policy.
+func (g *Governor) Decide(u core.Utilization) (hw.Config, error) {
+	dev := g.prof.Device().HW()
+	ref := g.model.Ref
+	cap := g.PowerCap
+	if cap <= 0 {
+		cap = dev.TDP
+	}
+
+	best := ref
+	bestScore, haveBest := 0.0, false
+	for _, cfg := range dev.AllConfigs() {
+		p, err := g.model.Predict(u, cfg)
+		if err != nil {
+			return hw.Config{}, err
+		}
+		if p > cap {
+			continue
+		}
+		rt := core.EstimateRelativeTime(u, ref, cfg)
+		var score float64
+		switch g.policy {
+		case MinEnergy:
+			score = p * rt
+		case MinEDP:
+			score = p * rt * rt
+		case MaxPerfUnderCap:
+			score = rt
+		default:
+			return hw.Config{}, fmt.Errorf("governor: unknown policy %v", g.policy)
+		}
+		if !haveBest || score < bestScore {
+			best, bestScore, haveBest = cfg, score, true
+		}
+	}
+	if !haveBest {
+		return hw.Config{}, fmt.Errorf("governor: no configuration satisfies the %g W cap", cap)
+	}
+	return best, nil
+}
+
+// IterationRecord is one application iteration as executed by the governor.
+type IterationRecord struct {
+	Iteration int
+	Config    hw.Config // requested configuration
+	EnergyJ   float64
+	Seconds   float64
+	Profiling bool // true when this iteration collected events at the reference
+}
+
+// Report summarizes a governed run against the always-default baseline.
+type Report struct {
+	App        string
+	Policy     Policy
+	Iterations int
+
+	Records []IterationRecord
+
+	// Governed totals.
+	EnergyJ float64
+	Seconds float64
+	// Baseline totals (every iteration at the reference configuration).
+	BaselineEnergyJ float64
+	BaselineSeconds float64
+}
+
+// EnergySavingsPercent is the governed run's energy saving vs the baseline.
+func (r *Report) EnergySavingsPercent() float64 {
+	if r.BaselineEnergyJ == 0 {
+		return 0
+	}
+	return 100 * (r.BaselineEnergyJ - r.EnergyJ) / r.BaselineEnergyJ
+}
+
+// SlowdownPercent is the governed run's time increase vs the baseline
+// (negative values mean the governed run was faster).
+func (r *Report) SlowdownPercent() float64 {
+	if r.BaselineSeconds == 0 {
+		return 0
+	}
+	return 100 * (r.Seconds - r.BaselineSeconds) / r.BaselineSeconds
+}
+
+// runKernelAt executes one kernel launch at cfg and returns its true energy
+// and duration (the simulator's ground truth — what a wattmeter integrates).
+func (g *Governor) runKernelAt(k *kernels.KernelSpec, cfg hw.Config) (energyJ, seconds float64, err error) {
+	dev := g.prof.Device()
+	if err := dev.SetClocks(cfg.MemMHz, cfg.CoreMHz); err != nil {
+		return 0, 0, err
+	}
+	run, err := dev.Execute(k)
+	if err != nil {
+		return 0, 0, err
+	}
+	return run.TruePower * run.Exec.Seconds(), run.Exec.Seconds(), nil
+}
+
+// RunApp executes an iterative application for the given iteration count
+// under governor control, and the same workload at the reference
+// configuration as the baseline.
+func (g *Governor) RunApp(app *kernels.App, iterations int) (*Report, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	if iterations < 1 {
+		return nil, fmt.Errorf("governor: iterations must be >= 1, got %d", iterations)
+	}
+	rep := &Report{App: app.Name, Policy: g.policy, Iterations: iterations}
+
+	for iter := 1; iter <= iterations; iter++ {
+		for _, k := range app.Kernels {
+			cfg, profiling, err := g.configFor(k)
+			if err != nil {
+				return nil, err
+			}
+			e, s, err := g.runKernelAt(k, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rep.Records = append(rep.Records, IterationRecord{
+				Iteration: iter, Config: cfg, EnergyJ: e, Seconds: s, Profiling: profiling,
+			})
+			rep.EnergyJ += e
+			rep.Seconds += s
+
+			be, bs, err := g.runKernelAt(k, g.model.Ref)
+			if err != nil {
+				return nil, err
+			}
+			rep.BaselineEnergyJ += be
+			rep.BaselineSeconds += bs
+		}
+	}
+	return rep, nil
+}
+
+// configFor returns the configuration for one kernel launch, profiling it
+// at the reference configuration on first sight.
+func (g *Governor) configFor(k *kernels.KernelSpec) (hw.Config, bool, error) {
+	if cfg, ok := g.decisions[k.Name]; ok {
+		return cfg, false, nil
+	}
+	// First call: run at the reference configuration and collect events.
+	prof, err := g.prof.ProfileApp(kernels.SingleKernelApp(k), g.model.Ref)
+	if err != nil {
+		return hw.Config{}, false, err
+	}
+	u, err := core.AppUtilization(g.prof.Device().HW(), prof, g.model.L2BytesPerCycle)
+	if err != nil {
+		return hw.Config{}, false, err
+	}
+	g.utils[k.Name] = u
+	cfg, err := g.Decide(u)
+	if err != nil {
+		return hw.Config{}, false, err
+	}
+	g.decisions[k.Name] = cfg
+	// The profiling launch itself happens at the reference configuration.
+	return g.model.Ref, true, nil
+}
+
+// Decision returns the cached configuration for a kernel, if decided.
+func (g *Governor) Decision(kernelName string) (hw.Config, bool) {
+	cfg, ok := g.decisions[kernelName]
+	return cfg, ok
+}
+
+// Utilization returns the cached first-iteration utilization for a kernel.
+func (g *Governor) Utilization(kernelName string) (core.Utilization, bool) {
+	u, ok := g.utils[kernelName]
+	return u, ok
+}

@@ -1,0 +1,105 @@
+package hw
+
+import (
+	"fmt"
+	"time"
+)
+
+// The device catalog reproduces the paper's Table II. Core-frequency ladders
+// are reconstructed with uniform steps across the published ranges and level
+// counts, anchored so the published default clocks are exact ladder entries.
+
+// TitanXp returns the NVIDIA Titan Xp description (Pascal, CC 6.1).
+func TitanXp() *Device {
+	return &Device{
+		Name:              "Titan Xp",
+		Arch:              Pascal,
+		ComputeCapability: "6.1",
+		NumSMs:            30,
+		WarpSize:          32,
+		UnitsPerSM: map[Component]int{
+			Int: 128, SP: 128, DP: 4, SF: 32,
+		},
+		MemBusBytes:     48,
+		SharedBanks:     32,
+		L2BytesPerCycle: 1024,
+		// 22 levels over [582:1911] MHz; index 13 is the 1404 MHz default.
+		CoreFreqs: []float64{
+			582, 645, 708, 771, 835, 898, 961, 1024, 1088, 1151, 1214,
+			1277, 1341, 1404, 1467, 1531, 1594, 1657, 1721, 1784, 1847, 1911,
+		},
+		// The NVIDIA driver exposes only the two top memory levels.
+		MemFreqs:      []float64{4705, 5705},
+		DefaultCore:   1404,
+		DefaultMem:    5705,
+		TDP:           250,
+		SensorRefresh: 35 * time.Millisecond,
+	}
+}
+
+// GTXTitanX returns the NVIDIA GTX Titan X description (Maxwell, CC 5.2).
+func GTXTitanX() *Device {
+	return &Device{
+		Name:              "GTX Titan X",
+		Arch:              Maxwell,
+		ComputeCapability: "5.2",
+		NumSMs:            24,
+		WarpSize:          32,
+		UnitsPerSM: map[Component]int{
+			Int: 128, SP: 128, DP: 4, SF: 32,
+		},
+		MemBusBytes:     48,
+		SharedBanks:     32,
+		L2BytesPerCycle: 768,
+		// 16 levels over [595:1164] MHz; index 10 is the 975 MHz default.
+		CoreFreqs: []float64{
+			595, 633, 671, 709, 747, 785, 823, 861, 899, 937,
+			975, 1013, 1051, 1089, 1127, 1164,
+		},
+		MemFreqs:      []float64{810, 3300, 3505, 4005},
+		DefaultCore:   975,
+		DefaultMem:    3505,
+		TDP:           250,
+		SensorRefresh: 100 * time.Millisecond,
+	}
+}
+
+// TeslaK40c returns the NVIDIA Tesla K40c description (Kepler, CC 3.5).
+func TeslaK40c() *Device {
+	return &Device{
+		Name:              "Tesla K40c",
+		Arch:              Kepler,
+		ComputeCapability: "3.5",
+		NumSMs:            15,
+		WarpSize:          32,
+		UnitsPerSM: map[Component]int{
+			Int: 192, SP: 192, DP: 64, SF: 32,
+		},
+		MemBusBytes:     48,
+		SharedBanks:     32,
+		L2BytesPerCycle: 512,
+		// 4 application-clock levels over [666:875] MHz, 875 MHz default.
+		CoreFreqs:     []float64{666, 745, 810, 875},
+		MemFreqs:      []float64{3004}, // single non-idle memory level
+		DefaultCore:   875,
+		DefaultMem:    3004,
+		TDP:           235,
+		SensorRefresh: 15 * time.Millisecond,
+	}
+}
+
+// AllDevices returns the three validated devices in the paper's order
+// (Pascal, Maxwell, Kepler).
+func AllDevices() []*Device {
+	return []*Device{TitanXp(), GTXTitanX(), TeslaK40c()}
+}
+
+// DeviceByName looks a device up by its catalog name.
+func DeviceByName(name string) (*Device, error) {
+	for _, d := range AllDevices() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("hw: unknown device %q (have Titan Xp, GTX Titan X, Tesla K40c)", name)
+}

@@ -1,0 +1,185 @@
+package hw
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCatalogMatchesTable2(t *testing.T) {
+	xp := TitanXp()
+	tx := GTXTitanX()
+	k40 := TeslaK40c()
+
+	cases := []struct {
+		dev        *Device
+		arch       Arch
+		cc         string
+		sms        int
+		coreLevels int
+		memLevels  int
+		defCore    float64
+		defMem     float64
+		spPerSM    int
+		dpPerSM    int
+		tdp        float64
+		refresh    time.Duration
+	}{
+		{xp, Pascal, "6.1", 30, 22, 2, 1404, 5705, 128, 4, 250, 35 * time.Millisecond},
+		{tx, Maxwell, "5.2", 24, 16, 4, 975, 3505, 128, 4, 250, 100 * time.Millisecond},
+		{k40, Kepler, "3.5", 15, 4, 1, 875, 3004, 192, 64, 235, 15 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if err := c.dev.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.dev.Name, err)
+		}
+		if c.dev.Arch != c.arch || c.dev.ComputeCapability != c.cc {
+			t.Errorf("%s: arch/cc mismatch", c.dev.Name)
+		}
+		if c.dev.NumSMs != c.sms {
+			t.Errorf("%s: SMs = %d, want %d", c.dev.Name, c.dev.NumSMs, c.sms)
+		}
+		if len(c.dev.CoreFreqs) != c.coreLevels {
+			t.Errorf("%s: core levels = %d, want %d", c.dev.Name, len(c.dev.CoreFreqs), c.coreLevels)
+		}
+		if len(c.dev.MemFreqs) != c.memLevels {
+			t.Errorf("%s: mem levels = %d, want %d", c.dev.Name, len(c.dev.MemFreqs), c.memLevels)
+		}
+		if c.dev.DefaultCore != c.defCore || c.dev.DefaultMem != c.defMem {
+			t.Errorf("%s: defaults (%g,%g), want (%g,%g)", c.dev.Name,
+				c.dev.DefaultCore, c.dev.DefaultMem, c.defCore, c.defMem)
+		}
+		if c.dev.UnitsPerSM[SP] != c.spPerSM || c.dev.UnitsPerSM[DP] != c.dpPerSM {
+			t.Errorf("%s: units per SM wrong", c.dev.Name)
+		}
+		if c.dev.TDP != c.tdp {
+			t.Errorf("%s: TDP = %g, want %g", c.dev.Name, c.dev.TDP, c.tdp)
+		}
+		if c.dev.SensorRefresh != c.refresh {
+			t.Errorf("%s: refresh = %v, want %v", c.dev.Name, c.dev.SensorRefresh, c.refresh)
+		}
+		if c.dev.WarpSize != 32 || c.dev.MemBusBytes != 48 || c.dev.SharedBanks != 32 {
+			t.Errorf("%s: warp/bus/banks wrong", c.dev.Name)
+		}
+	}
+}
+
+func TestCoreRangesMatchTable2(t *testing.T) {
+	xp := TitanXp()
+	if xp.CoreFreqs[0] != 582 || xp.CoreFreqs[len(xp.CoreFreqs)-1] != 1911 {
+		t.Errorf("Titan Xp core range [%g:%g], want [582:1911]", xp.CoreFreqs[0], xp.CoreFreqs[len(xp.CoreFreqs)-1])
+	}
+	tx := GTXTitanX()
+	if tx.CoreFreqs[0] != 595 || tx.CoreFreqs[len(tx.CoreFreqs)-1] != 1164 {
+		t.Errorf("Titan X core range wrong")
+	}
+	k := TeslaK40c()
+	if k.CoreFreqs[0] != 666 || k.CoreFreqs[len(k.CoreFreqs)-1] != 875 {
+		t.Errorf("K40c core range wrong")
+	}
+}
+
+func TestDeviceByName(t *testing.T) {
+	for _, name := range []string{"Titan Xp", "GTX Titan X", "Tesla K40c"} {
+		d, err := DeviceByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Name != name {
+			t.Fatalf("got %q, want %q", d.Name, name)
+		}
+	}
+	if _, err := DeviceByName("GTX 480"); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}
+
+func TestAllConfigs(t *testing.T) {
+	d := GTXTitanX()
+	cfgs := d.AllConfigs()
+	if len(cfgs) != d.NumConfigs() || len(cfgs) != 16*4 {
+		t.Fatalf("config count = %d, want 64", len(cfgs))
+	}
+	seen := map[Config]bool{}
+	for _, c := range cfgs {
+		if seen[c] {
+			t.Fatalf("duplicate config %v", c)
+		}
+		seen[c] = true
+		if !d.SupportsCoreFreq(c.CoreMHz) || !d.SupportsMemFreq(c.MemMHz) {
+			t.Fatalf("config %v not supported", c)
+		}
+	}
+	if !seen[d.DefaultConfig()] {
+		t.Fatal("default config missing from enumeration")
+	}
+}
+
+func TestPeakFormulas(t *testing.T) {
+	d := GTXTitanX()
+	// PeakBand = f · bytes/cycle (paper Section III-C).
+	if got := d.PeakDRAMBandwidth(3505); got != 3505e6*48 {
+		t.Fatalf("DRAM peak = %g", got)
+	}
+	if got := d.PeakSharedBandwidth(975); got != 975e6*32*4*24 {
+		t.Fatalf("shared peak = %g", got)
+	}
+	if got := d.PeakL2Bandwidth(975); got != 975e6*d.L2BytesPerCycle {
+		t.Fatalf("L2 peak = %g", got)
+	}
+	// Eq. 8 denominator: warps/s at peak.
+	if got := d.PeakComputeWarpsPerSec(SP, 975); got != 975e6*128*24/32 {
+		t.Fatalf("SP warp peak = %g", got)
+	}
+}
+
+func TestValidateRejectsBrokenDevices(t *testing.T) {
+	broken := func(mod func(d *Device)) *Device {
+		d := GTXTitanX()
+		mod(d)
+		return d
+	}
+	cases := map[string]*Device{
+		"empty name":       broken(func(d *Device) { d.Name = "" }),
+		"no SMs":           broken(func(d *Device) { d.NumSMs = 0 }),
+		"missing units":    broken(func(d *Device) { delete(d.UnitsPerSM, SF) }),
+		"no ladders":       broken(func(d *Device) { d.CoreFreqs = nil }),
+		"unsorted ladder":  broken(func(d *Device) { d.CoreFreqs[0], d.CoreFreqs[1] = d.CoreFreqs[1], d.CoreFreqs[0] }),
+		"default off-grid": broken(func(d *Device) { d.DefaultCore = 1000 }),
+		"zero TDP":         broken(func(d *Device) { d.TDP = 0 }),
+		"zero refresh":     broken(func(d *Device) { d.SensorRefresh = 0 }),
+		"zero bus":         broken(func(d *Device) { d.MemBusBytes = 0 }),
+	}
+	for name, d := range cases {
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted broken device", name)
+		}
+	}
+}
+
+func TestComponentsAndDomains(t *testing.T) {
+	if len(Components) != 7 {
+		t.Fatalf("component count = %d, want 7", len(Components))
+	}
+	for _, c := range Components {
+		if !c.Valid() {
+			t.Fatalf("component %v invalid", c)
+		}
+		if c.String() == "" {
+			t.Fatalf("component %v has empty name", c)
+		}
+	}
+	if DomainOf(DRAM) != MemoryDomain {
+		t.Fatal("DRAM should be in the memory domain")
+	}
+	for _, c := range CoreComponents {
+		if DomainOf(c) != CoreDomain {
+			t.Fatalf("%s should be in the core domain", c)
+		}
+	}
+	if CoreDomain.String() != "core" || MemoryDomain.String() != "memory" {
+		t.Fatal("domain names wrong")
+	}
+	if Component(99).Valid() {
+		t.Fatal("bogus component validated")
+	}
+}

@@ -1,0 +1,185 @@
+// Package kernels defines the behavioural descriptor of a CUDA kernel used
+// throughout the reproduction. On real hardware the paper characterizes a
+// kernel through CUPTI performance events; here a kernel is described by the
+// work it presents to each GPU component (warp instructions per execution
+// unit, bytes moved at each memory level). The simulator's timing model turns
+// a descriptor into execution time, per-component utilizations and events —
+// the same observables the paper measures.
+package kernels
+
+import (
+	"fmt"
+
+	"gpupower/internal/hw"
+)
+
+// KernelSpec describes one kernel launch.
+//
+// Quantities are totals for a single launch across the whole device. The
+// descriptor corresponds to what the paper's microbenchmark source choices
+// control: the instruction mix per loop iteration, the iteration count N
+// (arithmetic intensity) and the memory traffic.
+type KernelSpec struct {
+	Name string
+
+	// WarpInstrs is the number of warp instructions issued to each compute
+	// unit class (Int, SP, DP, SF) over the launch.
+	WarpInstrs map[hw.Component]float64
+
+	// Shared memory traffic in bytes (loads and stores counted separately so
+	// the CUPTI shared_ld/st transaction events can be produced).
+	SharedLoadBytes  float64
+	SharedStoreBytes float64
+
+	// L2 cache traffic in bytes (read/write sector queries derive from it).
+	L2ReadBytes  float64
+	L2WriteBytes float64
+
+	// Device-memory traffic in bytes (fb read/write sectors derive from it).
+	DRAMReadBytes  float64
+	DRAMWriteBytes float64
+
+	// FixedCycles models launch/drain latency and dependency stalls that do
+	// not scale with the throughput resources, in core-domain cycles.
+	FixedCycles float64
+
+	// StallSeconds models frequency-independent stall time per launch
+	// (DRAM access latency that cannot be hidden, PCIe synchronization).
+	// Because it scales with neither clock, it makes utilization drift as
+	// the configuration moves away from the reference — one of the error
+	// sources the paper observes (Fig. 8).
+	StallSeconds float64
+
+	// IssueEfficiency ∈ (0, 1] is the fraction of the bottleneck resource's
+	// peak throughput the kernel actually sustains (dependency chains, bank
+	// conflicts, divergence). The bottleneck component's utilization
+	// saturates at this value.
+	IssueEfficiency float64
+}
+
+// Validate checks the descriptor for physical plausibility.
+func (k *KernelSpec) Validate() error {
+	if k.Name == "" {
+		return fmt.Errorf("kernels: kernel has empty name")
+	}
+	if k.IssueEfficiency <= 0 || k.IssueEfficiency > 1 {
+		return fmt.Errorf("kernels: %s: IssueEfficiency %g outside (0,1]", k.Name, k.IssueEfficiency)
+	}
+	for c, v := range k.WarpInstrs {
+		if !c.Valid() {
+			return fmt.Errorf("kernels: %s: invalid component %v", k.Name, c)
+		}
+		if c == hw.Shared || c == hw.L2 || c == hw.DRAM {
+			return fmt.Errorf("kernels: %s: WarpInstrs must target compute units, got %s", k.Name, c)
+		}
+		if v < 0 {
+			return fmt.Errorf("kernels: %s: negative warp instructions for %s", k.Name, c)
+		}
+	}
+	for _, q := range []struct {
+		name string
+		v    float64
+	}{
+		{"SharedLoadBytes", k.SharedLoadBytes},
+		{"SharedStoreBytes", k.SharedStoreBytes},
+		{"L2ReadBytes", k.L2ReadBytes},
+		{"L2WriteBytes", k.L2WriteBytes},
+		{"DRAMReadBytes", k.DRAMReadBytes},
+		{"DRAMWriteBytes", k.DRAMWriteBytes},
+		{"FixedCycles", k.FixedCycles},
+		{"StallSeconds", k.StallSeconds},
+	} {
+		if q.v < 0 {
+			return fmt.Errorf("kernels: %s: negative %s", k.Name, q.name)
+		}
+	}
+	if k.totalWork() == 0 && k.FixedCycles == 0 {
+		return fmt.Errorf("kernels: %s: kernel does no work", k.Name)
+	}
+	return nil
+}
+
+func (k *KernelSpec) totalWork() float64 {
+	var s float64
+	for _, v := range k.WarpInstrs {
+		s += v
+	}
+	return s + k.SharedLoadBytes + k.SharedStoreBytes +
+		k.L2ReadBytes + k.L2WriteBytes + k.DRAMReadBytes + k.DRAMWriteBytes
+}
+
+// Warp returns the warp-instruction count for unit c (0 when absent).
+func (k *KernelSpec) Warp(c hw.Component) float64 { return k.WarpInstrs[c] }
+
+// SharedBytes returns the total shared-memory traffic.
+func (k *KernelSpec) SharedBytes() float64 { return k.SharedLoadBytes + k.SharedStoreBytes }
+
+// L2Bytes returns the total L2 traffic.
+func (k *KernelSpec) L2Bytes() float64 { return k.L2ReadBytes + k.L2WriteBytes }
+
+// DRAMBytes returns the total device-memory traffic.
+func (k *KernelSpec) DRAMBytes() float64 { return k.DRAMReadBytes + k.DRAMWriteBytes }
+
+// Scale returns a copy of the kernel with all work quantities multiplied by
+// factor (> 0), e.g. to model a larger input size.
+func (k *KernelSpec) Scale(factor float64) (*KernelSpec, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("kernels: %s: scale factor %g must be positive", k.Name, factor)
+	}
+	out := k.Clone()
+	for c := range out.WarpInstrs {
+		out.WarpInstrs[c] *= factor
+	}
+	out.SharedLoadBytes *= factor
+	out.SharedStoreBytes *= factor
+	out.L2ReadBytes *= factor
+	out.L2WriteBytes *= factor
+	out.DRAMReadBytes *= factor
+	out.DRAMWriteBytes *= factor
+	out.FixedCycles *= factor
+	out.StallSeconds *= factor
+	return out, nil
+}
+
+// Clone returns a deep copy of the spec.
+func (k *KernelSpec) Clone() *KernelSpec {
+	out := *k
+	out.WarpInstrs = make(map[hw.Component]float64, len(k.WarpInstrs))
+	for c, v := range k.WarpInstrs {
+		out.WarpInstrs[c] = v
+	}
+	return &out
+}
+
+// App is an application composed of one or more kernels, as in the paper's
+// validation methodology: "for benchmarks with multiple kernels the total
+// power consumption was obtained by weighting the consumption of each kernel
+// with its relative execution time" (Section V-A).
+type App struct {
+	Name    string
+	Kernels []*KernelSpec
+}
+
+// Validate checks the application and all of its kernels.
+func (a *App) Validate() error {
+	if a == nil {
+		return fmt.Errorf("kernels: nil app")
+	}
+	if a.Name == "" {
+		return fmt.Errorf("kernels: app has empty name")
+	}
+	if len(a.Kernels) == 0 {
+		return fmt.Errorf("kernels: app %s has no kernels", a.Name)
+	}
+	for _, k := range a.Kernels {
+		if err := k.Validate(); err != nil {
+			return fmt.Errorf("app %s: %w", a.Name, err)
+		}
+	}
+	return nil
+}
+
+// SingleKernelApp wraps a kernel as a one-kernel application.
+func SingleKernelApp(k *KernelSpec) *App {
+	return &App{Name: k.Name, Kernels: []*KernelSpec{k}}
+}

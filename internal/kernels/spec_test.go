@@ -1,0 +1,124 @@
+package kernels
+
+import (
+	"testing"
+
+	"gpupower/internal/hw"
+)
+
+func valid() *KernelSpec {
+	return &KernelSpec{
+		Name: "k",
+		WarpInstrs: map[hw.Component]float64{
+			hw.SP: 100, hw.Int: 50,
+		},
+		SharedLoadBytes: 10, SharedStoreBytes: 10,
+		L2ReadBytes: 20, L2WriteBytes: 5,
+		DRAMReadBytes: 20, DRAMWriteBytes: 5,
+		FixedCycles:     100,
+		StallSeconds:    1e-5,
+		IssueEfficiency: 0.9,
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := valid().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]func(k *KernelSpec){
+		"empty name":        func(k *KernelSpec) { k.Name = "" },
+		"zero efficiency":   func(k *KernelSpec) { k.IssueEfficiency = 0 },
+		"eff > 1":           func(k *KernelSpec) { k.IssueEfficiency = 1.5 },
+		"negative warps":    func(k *KernelSpec) { k.WarpInstrs[hw.SP] = -1 },
+		"memory as unit":    func(k *KernelSpec) { k.WarpInstrs[hw.DRAM] = 10 },
+		"negative bytes":    func(k *KernelSpec) { k.L2ReadBytes = -5 },
+		"negative stall":    func(k *KernelSpec) { k.StallSeconds = -1 },
+		"negative fixed":    func(k *KernelSpec) { k.FixedCycles = -1 },
+		"invalid component": func(k *KernelSpec) { k.WarpInstrs[hw.Component(42)] = 1 },
+	}
+	for name, mod := range cases {
+		k := valid()
+		mod(k)
+		if err := k.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestValidateRejectsEmptyKernel(t *testing.T) {
+	k := &KernelSpec{Name: "empty", IssueEfficiency: 1}
+	if err := k.Validate(); err == nil {
+		t.Fatal("kernel with no work accepted")
+	}
+	// Fixed cycles alone is legal (the Idle pseudo-benchmark).
+	k.FixedCycles = 100
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	k := valid()
+	if k.Warp(hw.SP) != 100 || k.Warp(hw.DP) != 0 {
+		t.Fatal("Warp accessor wrong")
+	}
+	if k.SharedBytes() != 20 || k.L2Bytes() != 25 || k.DRAMBytes() != 25 {
+		t.Fatal("byte accessors wrong")
+	}
+}
+
+func TestScale(t *testing.T) {
+	k := valid()
+	s, err := k.Scale(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Warp(hw.SP) != 200 || s.L2ReadBytes != 40 || s.FixedCycles != 200 || s.StallSeconds != 2e-5 {
+		t.Fatal("Scale did not multiply all quantities")
+	}
+	// Original untouched.
+	if k.Warp(hw.SP) != 100 {
+		t.Fatal("Scale mutated the original")
+	}
+	if _, err := k.Scale(0); err == nil {
+		t.Fatal("zero factor accepted")
+	}
+	if _, err := k.Scale(-1); err == nil {
+		t.Fatal("negative factor accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	k := valid()
+	c := k.Clone()
+	c.WarpInstrs[hw.SP] = 999
+	c.L2ReadBytes = 999
+	if k.Warp(hw.SP) != 100 || k.L2ReadBytes != 20 {
+		t.Fatal("Clone shares state")
+	}
+}
+
+func TestApp(t *testing.T) {
+	app := &App{Name: "a", Kernels: []*KernelSpec{valid(), valid()}}
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&App{Name: "empty"}).Validate(); err == nil {
+		t.Fatal("app without kernels accepted")
+	}
+	if err := (&App{Kernels: []*KernelSpec{valid()}}).Validate(); err == nil {
+		t.Fatal("unnamed app accepted")
+	}
+	bad := valid()
+	bad.IssueEfficiency = 0
+	if err := (&App{Name: "bad", Kernels: []*KernelSpec{bad}}).Validate(); err == nil {
+		t.Fatal("app with invalid kernel accepted")
+	}
+	single := SingleKernelApp(valid())
+	if single.Name != "k" || len(single.Kernels) != 1 {
+		t.Fatal("SingleKernelApp wrong")
+	}
+}

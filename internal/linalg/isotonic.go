@@ -1,0 +1,87 @@
+package linalg
+
+import "fmt"
+
+// IsotonicRegression returns the non-decreasing sequence closest (in
+// weighted least squares) to y, computed with the Pool-Adjacent-Violators
+// Algorithm (PAVA). weights may be nil, in which case all points weigh 1.
+//
+// The estimator uses it to enforce the paper's voltage monotonicity
+// constraint: f_x1 > f_x2 ⇒ V̄(f_x1) ≥ V̄(f_x2) (Section III-D, Eq. 12).
+func IsotonicRegression(y, weights []float64) ([]float64, error) {
+	n := len(y)
+	if n == 0 {
+		return nil, fmt.Errorf("linalg: isotonic regression on empty input")
+	}
+	w := weights
+	if w == nil {
+		w = make([]float64, n)
+		for i := range w {
+			w[i] = 1
+		}
+	}
+	if len(w) != n {
+		return nil, fmt.Errorf("linalg: isotonic weights length %d, want %d", len(w), n)
+	}
+	for i, wi := range w {
+		if wi <= 0 {
+			return nil, fmt.Errorf("linalg: isotonic weight %d is %g, must be positive", i, wi)
+		}
+	}
+
+	// Blocks of pooled values: value, weight, count.
+	type block struct {
+		v, w  float64
+		count int
+	}
+	blocks := make([]block, 0, n)
+	for i := 0; i < n; i++ {
+		blocks = append(blocks, block{v: y[i], w: w[i], count: 1})
+		// Merge backwards while the monotonicity is violated.
+		for len(blocks) >= 2 {
+			b := len(blocks) - 1
+			if blocks[b-1].v <= blocks[b].v {
+				break
+			}
+			merged := block{
+				w:     blocks[b-1].w + blocks[b].w,
+				count: blocks[b-1].count + blocks[b].count,
+			}
+			merged.v = (blocks[b-1].v*blocks[b-1].w + blocks[b].v*blocks[b].w) / merged.w
+			blocks = blocks[:b-1]
+			blocks = append(blocks, merged)
+		}
+	}
+	out := make([]float64, 0, n)
+	for _, b := range blocks {
+		for k := 0; k < b.count; k++ {
+			out = append(out, b.v)
+		}
+	}
+	return out, nil
+}
+
+// IsotonicDecreasing returns the non-increasing fit, by reflecting the input.
+func IsotonicDecreasing(y, weights []float64) ([]float64, error) {
+	n := len(y)
+	ry := make([]float64, n)
+	for i := range y {
+		ry[i] = y[n-1-i]
+	}
+	var rw []float64
+	if weights != nil {
+		rw = make([]float64, n)
+		for i := range weights {
+			rw[i] = weights[n-1-i]
+		}
+	}
+	fit, err := IsotonicRegression(ry, rw)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range fit {
+		out[i] = fit[n-1-i]
+	}
+	return out, nil
+}

@@ -1,0 +1,162 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gpupower/internal/stats"
+)
+
+func isNonDecreasing(v []float64) bool {
+	for i := 1; i < len(v); i++ {
+		if v[i] < v[i-1]-1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIsotonicAlreadyMonotone(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	fit, err := IsotonicRegression(y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		if fit[i] != y[i] {
+			t.Fatalf("monotone input changed: %v -> %v", y, fit)
+		}
+	}
+}
+
+func TestIsotonicPoolsViolation(t *testing.T) {
+	fit, err := IsotonicRegression([]float64{1, 3, 2, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if !almostEq(fit[i], want[i], 1e-12) {
+			t.Fatalf("fit = %v, want %v", fit, want)
+		}
+	}
+}
+
+func TestIsotonicReversedInput(t *testing.T) {
+	fit, err := IsotonicRegression([]float64{3, 2, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range fit {
+		if !almostEq(v, 2, 1e-12) {
+			t.Fatalf("fit = %v, want all 2", fit)
+		}
+	}
+}
+
+func TestIsotonicWeighted(t *testing.T) {
+	// Heavy weight on the first point pulls the pooled value toward it.
+	fit, err := IsotonicRegression([]float64{3, 1}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (3*3.0 + 1*1.0) / 4
+	if !almostEq(fit[0], want, 1e-12) || !almostEq(fit[1], want, 1e-12) {
+		t.Fatalf("fit = %v, want both %g", fit, want)
+	}
+}
+
+func TestIsotonicErrors(t *testing.T) {
+	if _, err := IsotonicRegression(nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := IsotonicRegression([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("weight length mismatch accepted")
+	}
+	if _, err := IsotonicRegression([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+// Property: output is non-decreasing, idempotent, and preserves the
+// weighted mean.
+func TestIsotonicProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 || len(raw) > 50 {
+			return true
+		}
+		y := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			y[i] = math.Mod(v, 1000)
+		}
+		fit, err := IsotonicRegression(y, nil)
+		if err != nil {
+			return false
+		}
+		if !isNonDecreasing(fit) {
+			return false
+		}
+		again, err := IsotonicRegression(fit, nil)
+		if err != nil {
+			return false
+		}
+		for i := range fit {
+			if !almostEq(fit[i], again[i], 1e-9) {
+				return false
+			}
+		}
+		var sy, sf float64
+		for i := range y {
+			sy += y[i]
+			sf += fit[i]
+		}
+		return almostEq(sy, sf, 1e-6*(1+math.Abs(sy)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PAVA produces the L2-optimal monotone fit — it must be at least
+// as good as sorting the input (a valid monotone candidate).
+func TestIsotonicOptimalityVsSort(t *testing.T) {
+	rng := stats.NewRNG(3)
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(20)
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = rng.Normal(0, 5)
+		}
+		fit, err := IsotonicRegression(y, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sorted := append([]float64(nil), y...)
+		sort.Float64s(sorted)
+		var sseFit, sseSort float64
+		for i := range y {
+			sseFit += (fit[i] - y[i]) * (fit[i] - y[i])
+			sseSort += (sorted[i] - y[i]) * (sorted[i] - y[i])
+		}
+		if sseFit > sseSort+1e-9 {
+			t.Fatalf("trial %d: PAVA SSE %g worse than sorted candidate %g", trial, sseFit, sseSort)
+		}
+	}
+}
+
+func TestIsotonicDecreasing(t *testing.T) {
+	fit, err := IsotonicDecreasing([]float64{1, 3, 2, 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(fit); i++ {
+		if fit[i] > fit[i-1]+1e-12 {
+			t.Fatalf("fit %v is not non-increasing", fit)
+		}
+	}
+}

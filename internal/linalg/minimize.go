@@ -1,0 +1,81 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Minimize1D finds a minimizer of f on [lo, hi] by golden-section search
+// refined with a final parabolic step. It assumes f is continuous; for the
+// voltage-estimation objective (a quartic polynomial with positive leading
+// coefficient on a narrow physical interval) this converges to the global
+// minimum on the interval.
+func Minimize1D(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	if !(lo < hi) {
+		return 0, fmt.Errorf("linalg: Minimize1D invalid interval [%g, %g]", lo, hi)
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	const invPhi = 0.6180339887498949 // 1/φ
+	a, b := lo, hi
+	c := b - (b-a)*invPhi
+	d := a + (b-a)*invPhi
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - (b-a)*invPhi
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + (b-a)*invPhi
+			fd = f(d)
+		}
+	}
+	x := (a + b) / 2
+	// One parabolic refinement through (a, mid, b) if it stays in range.
+	m := x
+	fa, fm, fb := f(a), f(m), f(b)
+	den := (a-m)*(fm-fb) - (m-b)*(fa-fm)
+	if den != 0 {
+		num := (a-m)*(a-m)*(fm-fb) - (m-b)*(m-b)*(fa-fm)
+		cand := m - 0.5*num/den
+		if cand > lo && cand < hi && !math.IsNaN(cand) && f(cand) < fm {
+			x = cand
+		}
+	}
+	return x, nil
+}
+
+// Minimize2D minimizes f(x, y) on the box [xlo,xhi]×[ylo,yhi] by coordinate
+// descent with golden-section line searches. Used for the per-configuration
+// joint (V̄core, V̄mem) estimation (paper Eq. 12). Returns the minimizer.
+func Minimize2D(f func(x, y float64) float64, xlo, xhi, ylo, yhi, tol float64) (float64, float64, error) {
+	if !(xlo < xhi) || !(ylo < yhi) {
+		return 0, 0, fmt.Errorf("linalg: Minimize2D invalid box [%g,%g]x[%g,%g]", xlo, xhi, ylo, yhi)
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	x := (xlo + xhi) / 2
+	y := (ylo + yhi) / 2
+	const maxSweeps = 60
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		px, py := x, y
+		nx, err := Minimize1D(func(t float64) float64 { return f(t, y) }, xlo, xhi, tol)
+		if err != nil {
+			return 0, 0, err
+		}
+		x = nx
+		ny, err := Minimize1D(func(t float64) float64 { return f(x, t) }, ylo, yhi, tol)
+		if err != nil {
+			return 0, 0, err
+		}
+		y = ny
+		if math.Abs(x-px) < tol && math.Abs(y-py) < tol {
+			break
+		}
+	}
+	return x, y, nil
+}

@@ -1,0 +1,94 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"gpupower/internal/stats"
+)
+
+func TestMinimize1DQuadratic(t *testing.T) {
+	x, err := Minimize1D(func(x float64) float64 { return (x - 1.3) * (x - 1.3) }, 0, 3, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x, 1.3, 1e-6) {
+		t.Fatalf("x = %g, want 1.3", x)
+	}
+}
+
+func TestMinimize1DQuarticVoltageShape(t *testing.T) {
+	// The step-2 objective shape: (P − β0·v − v²·f·A)² with one observation.
+	const (
+		beta0 = 30.0
+		f     = 975.0
+		A     = 0.08
+		vTrue = 0.87
+	)
+	p := beta0*vTrue + vTrue*vTrue*f*A
+	obj := func(v float64) float64 {
+		d := p - beta0*v - v*v*f*A
+		return d * d
+	}
+	x, err := Minimize1D(obj, 0.5, 1.8, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x, vTrue, 1e-4) {
+		t.Fatalf("x = %g, want %g", x, vTrue)
+	}
+}
+
+func TestMinimize1DBoundary(t *testing.T) {
+	// Monotone decreasing function: minimum at the right edge.
+	x, err := Minimize1D(func(x float64) float64 { return -x }, 0, 2, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x, 2, 1e-4) {
+		t.Fatalf("x = %g, want 2", x)
+	}
+}
+
+func TestMinimize1DInvalidInterval(t *testing.T) {
+	if _, err := Minimize1D(func(x float64) float64 { return x }, 2, 1, 1e-9); err == nil {
+		t.Fatal("invalid interval accepted")
+	}
+}
+
+func TestMinimize2DQuadraticBowl(t *testing.T) {
+	x, y, err := Minimize2D(func(x, y float64) float64 {
+		return (x-0.8)*(x-0.8) + 2*(y-1.2)*(y-1.2) + 0.5*(x-0.8)*(y-1.2)
+	}, 0, 2, 0, 2, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x, 0.8, 1e-4) || !almostEq(y, 1.2, 1e-4) {
+		t.Fatalf("(x,y) = (%g,%g), want (0.8,1.2)", x, y)
+	}
+}
+
+func TestMinimize2DRandomQuadratics(t *testing.T) {
+	rng := stats.NewRNG(5)
+	for trial := 0; trial < 50; trial++ {
+		cx := rng.Uniform(0.6, 1.6)
+		cy := rng.Uniform(0.6, 1.6)
+		ax := rng.Uniform(0.5, 5)
+		ay := rng.Uniform(0.5, 5)
+		x, y, err := Minimize2D(func(x, y float64) float64 {
+			return ax*(x-cx)*(x-cx) + ay*(y-cy)*(y-cy)
+		}, 0.5, 1.8, 0.5, 1.8, 1e-10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(x-cx) > 1e-4 || math.Abs(y-cy) > 1e-4 {
+			t.Fatalf("trial %d: got (%g,%g), want (%g,%g)", trial, x, y, cx, cy)
+		}
+	}
+}
+
+func TestMinimize2DInvalidBox(t *testing.T) {
+	if _, _, err := Minimize2D(func(x, y float64) float64 { return 0 }, 1, 0, 0, 1, 1e-9); err == nil {
+		t.Fatal("invalid box accepted")
+	}
+}

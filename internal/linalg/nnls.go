@@ -1,0 +1,230 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// NNLS solves the non-negative least-squares problem
+//
+//	min_x ‖A·x − b‖₂  subject to  x ≥ 0
+//
+// using the active-set algorithm of Lawson & Hanson (1974). The power-model
+// estimator relies on it because every hardware coefficient (β, ω) is a
+// physical capacitance/leakage quantity and must be non-negative.
+func NNLS(a *Matrix, b []float64) ([]float64, error) {
+	m, n := a.Rows(), a.Cols()
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: NNLS rhs length %d, want %d", len(b), m)
+	}
+
+	x := make([]float64, n)
+	passive := make([]bool, n) // true: variable free, false: clamped at 0
+	blocked := make([]bool, n) // variables whose inclusion made the passive set singular
+
+	w := make([]float64, n) // gradient of the active (clamped) variables
+	resid := make([]float64, m)
+	copy(resid, b)
+
+	const (
+		maxOuter = 3 * 64
+		tol      = 1e-10
+	)
+	// Scale tolerance with the problem.
+	scale := a.MaxAbs() * Norm2(b)
+	if scale == 0 {
+		return x, nil // A or b is all-zero; x = 0 is optimal.
+	}
+	gradTol := tol * scale
+
+	outer := 0
+	for {
+		outer++
+		if outer > maxOuter+n*8 {
+			// Defensive bound; in practice the loop terminates long before.
+			break
+		}
+		// w = Aᵀ·resid.
+		for j := 0; j < n; j++ {
+			col := 0.0
+			for i := 0; i < m; i++ {
+				col += a.At(i, j) * resid[i]
+			}
+			w[j] = col
+		}
+		// Pick the most promising clamped variable.
+		best, bestW := -1, gradTol
+		for j := 0; j < n; j++ {
+			if !passive[j] && !blocked[j] && w[j] > bestW {
+				best, bestW = j, w[j]
+			}
+		}
+		if best < 0 {
+			break // KKT conditions satisfied.
+		}
+		passive[best] = true
+
+		// Inner loop: solve the unconstrained problem on the passive set and
+		// clip any variables that went negative.
+		for {
+			z, err := solvePassive(a, b, passive)
+			if err != nil {
+				// The passive submatrix became singular (e.g. collinear
+				// columns when every voltage is pinned to 1); clamp the
+				// variable we just freed and exclude it from future picks.
+				passive[best] = false
+				blocked[best] = true
+				break
+			}
+			// Feasible?
+			minIdx, alpha := -1, 1.0
+			for j := 0; j < n; j++ {
+				if passive[j] && z[j] <= 0 {
+					// Step length to the first bound along x→z.
+					den := x[j] - z[j]
+					if den <= 0 {
+						continue
+					}
+					a2 := x[j] / den
+					if a2 < alpha {
+						alpha, minIdx = a2, j
+					}
+				}
+			}
+			if minIdx < 0 {
+				copy(x, z)
+				break
+			}
+			for j := 0; j < n; j++ {
+				if passive[j] {
+					x[j] += alpha * (z[j] - x[j])
+				}
+			}
+			for j := 0; j < n; j++ {
+				if passive[j] && x[j] <= tol {
+					x[j] = 0
+					passive[j] = false
+				}
+			}
+		}
+
+		// Refresh the residual.
+		ax, err := a.MulVec(x)
+		if err != nil {
+			return nil, err
+		}
+		for i := range resid {
+			resid[i] = b[i] - ax[i]
+		}
+	}
+	// Clean tiny negatives from floating-point noise.
+	for j := range x {
+		if x[j] < 0 && x[j] > -1e-12 {
+			x[j] = 0
+		}
+	}
+	return x, nil
+}
+
+// solvePassive solves the least-squares problem restricted to the passive
+// columns, returning a full-length vector with zeros on the active set.
+func solvePassive(a *Matrix, b []float64, passive []bool) ([]float64, error) {
+	m, n := a.Rows(), a.Cols()
+	var idx []int
+	for j := 0; j < n; j++ {
+		if passive[j] {
+			idx = append(idx, j)
+		}
+	}
+	if len(idx) == 0 {
+		return make([]float64, n), nil
+	}
+	sub := NewMatrix(m, len(idx))
+	for i := 0; i < m; i++ {
+		for k, j := range idx {
+			sub.Set(i, k, a.At(i, j))
+		}
+	}
+	zs, err := LeastSquares(sub, b)
+	if err != nil {
+		return nil, err
+	}
+	z := make([]float64, n)
+	for k, j := range idx {
+		z[j] = zs[k]
+	}
+	return z, nil
+}
+
+// BoundedNNLS solves min ‖A·x−b‖ s.t. 0 ≤ x ≤ upper (element-wise), by a
+// simple projected refinement on top of NNLS. upper entries may be +Inf.
+func BoundedNNLS(a *Matrix, b []float64, upper []float64) ([]float64, error) {
+	n := a.Cols()
+	if len(upper) != n {
+		return nil, fmt.Errorf("linalg: BoundedNNLS upper length %d, want %d", len(upper), n)
+	}
+	x, err := NNLS(a, b)
+	if err != nil {
+		return nil, err
+	}
+	clipped := false
+	for j := range x {
+		if x[j] > upper[j] {
+			x[j] = upper[j]
+			clipped = true
+		}
+	}
+	if !clipped {
+		return x, nil
+	}
+	// Re-solve the unclipped variables with the clipped contribution moved to
+	// the right-hand side, once. This is not a full active-set method over
+	// box constraints but is exact when the clip set is correct, which holds
+	// for the well-conditioned systems produced by the estimator.
+	m := a.Rows()
+	rhs := make([]float64, m)
+	copy(rhs, b)
+	free := make([]bool, n)
+	for j := 0; j < n; j++ {
+		if x[j] >= upper[j] && !math.IsInf(upper[j], 1) {
+			for i := 0; i < m; i++ {
+				rhs[i] -= a.At(i, j) * upper[j]
+			}
+		} else {
+			free[j] = true
+		}
+	}
+	sub := 0
+	for _, f := range free {
+		if f {
+			sub++
+		}
+	}
+	if sub == 0 {
+		return x, nil
+	}
+	am := NewMatrix(m, sub)
+	cols := make([]int, 0, sub)
+	for j := 0; j < n; j++ {
+		if free[j] {
+			cols = append(cols, j)
+		}
+	}
+	for i := 0; i < m; i++ {
+		for k, j := range cols {
+			am.Set(i, k, a.At(i, j))
+		}
+	}
+	xs, err := NNLS(am, rhs)
+	if err != nil {
+		return nil, err
+	}
+	for k, j := range cols {
+		v := xs[k]
+		if v > upper[j] {
+			v = upper[j]
+		}
+		x[j] = v
+	}
+	return x, nil
+}

@@ -1,0 +1,172 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"gpupower/internal/stats"
+)
+
+func TestNNLSMatchesOLSWhenInterior(t *testing.T) {
+	// When the unconstrained optimum is strictly positive, NNLS must agree
+	// with ordinary least squares.
+	a, _ := NewMatrixFromRows([][]float64{
+		{1, 0},
+		{0, 1},
+		{1, 1},
+	})
+	b := []float64{1, 2, 3.1}
+	ols, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn, err := NNLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range ols {
+		if !almostEq(ols[j], nn[j], 1e-8) {
+			t.Fatalf("NNLS %v != OLS %v", nn, ols)
+		}
+	}
+}
+
+func TestNNLSClampsNegative(t *testing.T) {
+	// Fit y = -1·x with x ≥ 0 forced: the coefficient must clamp at 0.
+	a, _ := NewMatrixFromRows([][]float64{{1}, {2}, {3}})
+	x, err := NNLS(a, []float64{-1, -2, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 0 {
+		t.Fatalf("x = %v, want [0]", x)
+	}
+}
+
+func TestNNLSNonNegativityProperty(t *testing.T) {
+	rng := stats.NewRNG(11)
+	for trial := 0; trial < 100; trial++ {
+		m, n := 12, 5
+		a := NewMatrix(m, n)
+		b := make([]float64, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.Normal(0, 1))
+			}
+			b[i] = rng.Normal(0, 2)
+		}
+		x, err := NNLS(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range x {
+			if v < 0 {
+				t.Fatalf("trial %d: x[%d] = %g < 0", trial, j, v)
+			}
+		}
+	}
+}
+
+// Property: the NNLS solution satisfies the KKT conditions — for passive
+// variables the gradient of the residual is ~0; for clamped variables the
+// gradient pushes toward negative values.
+func TestNNLSKKT(t *testing.T) {
+	rng := stats.NewRNG(23)
+	for trial := 0; trial < 50; trial++ {
+		m, n := 15, 4
+		a := NewMatrix(m, n)
+		b := make([]float64, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.Normal(0, 1))
+			}
+			b[i] = rng.Normal(0, 1)
+		}
+		x, err := NNLS(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Residual(a, x, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			g := Dot(a.Col(j), r) // = -∂SSE/∂x_j / 2
+			if x[j] > 1e-9 {
+				if math.Abs(g) > 1e-6 {
+					t.Fatalf("trial %d: passive var %d has gradient %g", trial, j, g)
+				}
+			} else if g > 1e-6 {
+				t.Fatalf("trial %d: clamped var %d wants to grow (g=%g)", trial, j, g)
+			}
+		}
+	}
+}
+
+func TestNNLSCollinearColumns(t *testing.T) {
+	// Identical columns (the V̄≡1 static-split case): NNLS must return a
+	// valid non-negative solution without hanging.
+	a, _ := NewMatrixFromRows([][]float64{
+		{1, 1, 2},
+		{1, 1, 3},
+		{1, 1, 4},
+		{1, 1, 5},
+	})
+	b := []float64{10, 13, 16, 19}
+	x, err := NNLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfect fit exists: x0+x1 = 4, x2 = 3.
+	ax, _ := a.MulVec(x)
+	for i := range b {
+		if !almostEq(ax[i], b[i], 1e-6) {
+			t.Fatalf("fit %v vs %v", ax, b)
+		}
+	}
+	for _, v := range x {
+		if v < 0 {
+			t.Fatalf("negative component in %v", x)
+		}
+	}
+}
+
+func TestNNLSZeroInput(t *testing.T) {
+	a := NewMatrix(3, 2)
+	x, err := NNLS(a, []float64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 0 || x[1] != 0 {
+		t.Fatalf("x = %v, want zeros", x)
+	}
+}
+
+func TestNNLSRHSLengthMismatch(t *testing.T) {
+	a := NewMatrix(3, 2)
+	if _, err := NNLS(a, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestBoundedNNLS(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{
+		{1, 0},
+		{0, 1},
+	})
+	b := []float64{5, 2}
+	x, err := BoundedNNLS(a, b, []float64{3, math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 3, 1e-9) || !almostEq(x[1], 2, 1e-9) {
+		t.Fatalf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestBoundedNNLSBadUpper(t *testing.T) {
+	a := NewMatrix(2, 2)
+	if _, err := BoundedNNLS(a, []float64{0, 0}, []float64{1}); err == nil {
+		t.Fatal("upper length mismatch accepted")
+	}
+}

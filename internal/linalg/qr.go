@@ -1,0 +1,162 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrRankDeficient is returned when a least-squares system does not have a
+// unique solution at working precision.
+var ErrRankDeficient = errors.New("linalg: rank-deficient system")
+
+// QR holds a Householder QR factorization of an m×n matrix (m ≥ n):
+// A = Q·R with Q orthogonal (stored implicitly as Householder reflectors)
+// and R upper triangular.
+type QR struct {
+	qr   *Matrix   // packed reflectors below diagonal, R on/above diagonal
+	rdia []float64 // diagonal of R
+}
+
+// NewQR computes the QR factorization of a. It requires Rows ≥ Cols.
+func NewQR(a *Matrix) (*QR, error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, fmt.Errorf("linalg: QR requires rows >= cols, got %dx%d", m, n)
+	}
+	qr := a.Clone()
+	rdia := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Householder vector for column k.
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm != 0 {
+			if qr.At(k, k) < 0 {
+				nrm = -nrm
+			}
+			for i := k; i < m; i++ {
+				qr.Set(i, k, qr.At(i, k)/nrm)
+			}
+			qr.Set(k, k, qr.At(k, k)+1)
+			// Apply the reflector to remaining columns.
+			for j := k + 1; j < n; j++ {
+				var s float64
+				for i := k; i < m; i++ {
+					s += qr.At(i, k) * qr.At(i, j)
+				}
+				s = -s / qr.At(k, k)
+				for i := k; i < m; i++ {
+					qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+				}
+			}
+		}
+		rdia[k] = -nrm
+	}
+	return &QR{qr: qr, rdia: rdia}, nil
+}
+
+// FullRank reports whether R has no (near-)zero diagonal entries relative to
+// the largest one.
+func (f *QR) FullRank() bool {
+	var mx float64
+	for _, d := range f.rdia {
+		if a := math.Abs(d); a > mx {
+			mx = a
+		}
+	}
+	if mx == 0 {
+		return false
+	}
+	const relTol = 1e-12
+	for _, d := range f.rdia {
+		if math.Abs(d) <= relTol*mx {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve returns x minimizing ‖A·x − b‖₂. It returns ErrRankDeficient when A
+// is numerically rank-deficient.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	m, n := f.qr.Rows(), f.qr.Cols()
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: QR solve rhs length %d, want %d", len(b), m)
+	}
+	if !f.FullRank() {
+		return nil, ErrRankDeficient
+	}
+	y := make([]float64, m)
+	copy(y, b)
+	// Apply Qᵀ to b.
+	for k := 0; k < n; k++ {
+		if f.qr.At(k, k) == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back substitution R·x = y.
+	x := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
+		s := y[k]
+		for j := k + 1; j < n; j++ {
+			s -= f.qr.At(k, j) * x[j]
+		}
+		x[k] = s / f.rdia[k]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min_x ‖A·x − b‖₂ via QR.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	f, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// RidgeLeastSquares solves the Tikhonov-regularized problem
+// min_x ‖A·x − b‖² + λ‖x‖² by augmenting the system with √λ·I. It is used
+// as a fallback when the plain system is rank-deficient (e.g. a
+// microbenchmark set that never exercises one component).
+func RidgeLeastSquares(a *Matrix, b []float64, lambda float64) ([]float64, error) {
+	if lambda < 0 {
+		return nil, fmt.Errorf("linalg: negative ridge parameter %g", lambda)
+	}
+	m, n := a.Rows(), a.Cols()
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(b), m)
+	}
+	aug := NewMatrix(m+n, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			aug.Set(i, j, a.At(i, j))
+		}
+	}
+	sl := math.Sqrt(lambda)
+	for j := 0; j < n; j++ {
+		aug.Set(m+j, j, sl)
+	}
+	rhs := make([]float64, m+n)
+	copy(rhs, b)
+	return LeastSquares(aug, rhs)
+}
+
+// Residual returns b − A·x.
+func Residual(a *Matrix, x, b []float64) ([]float64, error) {
+	ax, err := a.MulVec(x)
+	if err != nil {
+		return nil, err
+	}
+	return Sub(b, ax), nil
+}

@@ -1,0 +1,94 @@
+// Package nvml is a façade over the simulated device mirroring the subset of
+// the NVIDIA Management Library the paper uses (Section V-A): application
+// clock control, supported-clock enumeration, power readings in milliwatts
+// and the enforced power limit. Kernel launching is not NVML's job on real
+// systems either — the profiler drives launches through the sim package
+// (playing the CUDA runtime) and reads power through this façade.
+package nvml
+
+import (
+	"fmt"
+
+	"gpupower/internal/hw"
+	"gpupower/internal/sim"
+)
+
+// Device is an NVML handle to one GPU.
+type Device struct {
+	s *sim.Device
+}
+
+// Wrap returns an NVML handle for a simulated device.
+func Wrap(s *sim.Device) *Device {
+	return &Device{s: s}
+}
+
+// Name returns the product name, like nvmlDeviceGetName.
+func (d *Device) Name() string { return d.s.HW().Name }
+
+// SetApplicationsClocks requests the (memory, graphics) application clocks in
+// MHz, like nvmlDeviceSetApplicationsClocks. Both must be supported levels.
+func (d *Device) SetApplicationsClocks(memMHz, graphicsMHz uint32) error {
+	return d.s.SetClocks(float64(memMHz), float64(graphicsMHz))
+}
+
+// ApplicationsClocks returns the currently requested clocks in MHz.
+func (d *Device) ApplicationsClocks() (memMHz, graphicsMHz uint32) {
+	cfg := d.s.Clocks()
+	return uint32(cfg.MemMHz), uint32(cfg.CoreMHz)
+}
+
+// SupportedMemoryClocks lists the memory application clocks in MHz,
+// descending like the real library.
+func (d *Device) SupportedMemoryClocks() []uint32 {
+	fs := d.s.HW().MemFreqs
+	out := make([]uint32, len(fs))
+	for i, f := range fs {
+		out[len(fs)-1-i] = uint32(f)
+	}
+	return out
+}
+
+// SupportedGraphicsClocks lists the core clocks available under a memory
+// clock, descending. The catalog devices expose the same graphics ladder for
+// every memory level, as the paper's devices do.
+func (d *Device) SupportedGraphicsClocks(memMHz uint32) ([]uint32, error) {
+	if !d.s.HW().SupportsMemFreq(float64(memMHz)) {
+		return nil, fmt.Errorf("nvml: %s: unsupported memory clock %d MHz", d.Name(), memMHz)
+	}
+	fs := d.s.HW().CoreFreqs
+	out := make([]uint32, len(fs))
+	for i, f := range fs {
+		out[len(fs)-1-i] = uint32(f)
+	}
+	return out, nil
+}
+
+// PowerUsage returns the current power draw in milliwatts (idle at the
+// current clocks — kernels are measured through the profiler's sampling
+// loop, which accounts for the sensor refresh period).
+func (d *Device) PowerUsage() uint32 {
+	return uint32(d.s.SampledIdlePower(d.s.HW().SensorRefresh) * 1000)
+}
+
+// EnforcedPowerLimit returns the TDP in milliwatts, like
+// nvmlDeviceGetEnforcedPowerLimit.
+func (d *Device) EnforcedPowerLimit() uint32 {
+	return uint32(d.s.HW().TDP * 1000)
+}
+
+// TotalEnergyConsumption returns the accumulated energy of every kernel
+// executed on this device in millijoules, like
+// nvmlDeviceGetTotalEnergyConsumption.
+func (d *Device) TotalEnergyConsumption() uint64 {
+	return uint64(d.s.TotalEnergyJoules() * 1000)
+}
+
+// SensorRefreshMillis reports the power-sensor refresh period in
+// milliseconds, as estimated experimentally in the paper (35/100/15 ms).
+func (d *Device) SensorRefreshMillis() float64 {
+	return float64(d.s.HW().SensorRefresh.Milliseconds())
+}
+
+// DefaultConfig returns the device's default application clocks.
+func (d *Device) DefaultConfig() hw.Config { return d.s.HW().DefaultConfig() }

@@ -1,0 +1,123 @@
+package nvml
+
+import (
+	"testing"
+
+	"gpupower/internal/hw"
+	"gpupower/internal/kernels"
+	"gpupower/internal/sim"
+)
+
+func handle(t *testing.T, name string) *Device {
+	t.Helper()
+	d, err := hw.DeviceByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Wrap(s)
+}
+
+func TestName(t *testing.T) {
+	if got := handle(t, "GTX Titan X").Name(); got != "GTX Titan X" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestApplicationsClocksRoundTrip(t *testing.T) {
+	h := handle(t, "GTX Titan X")
+	if err := h.SetApplicationsClocks(810, 595); err != nil {
+		t.Fatal(err)
+	}
+	mem, gr := h.ApplicationsClocks()
+	if mem != 810 || gr != 595 {
+		t.Fatalf("clocks = (%d, %d)", mem, gr)
+	}
+	if err := h.SetApplicationsClocks(999, 595); err == nil {
+		t.Fatal("invalid memory clock accepted")
+	}
+}
+
+func TestSupportedClocksDescending(t *testing.T) {
+	h := handle(t, "GTX Titan X")
+	mems := h.SupportedMemoryClocks()
+	if len(mems) != 4 || mems[0] != 4005 || mems[3] != 810 {
+		t.Fatalf("memory clocks = %v", mems)
+	}
+	cores, err := h.SupportedGraphicsClocks(3505)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cores) != 16 || cores[0] != 1164 || cores[15] != 595 {
+		t.Fatalf("graphics clocks = %v", cores)
+	}
+	if _, err := h.SupportedGraphicsClocks(999); err == nil {
+		t.Fatal("invalid memory clock accepted")
+	}
+}
+
+func TestPowerUsageMilliwatts(t *testing.T) {
+	h := handle(t, "GTX Titan X")
+	mw := h.PowerUsage()
+	// Idle at the default configuration is ~84 W on the Titan X.
+	if mw < 60000 || mw > 110000 {
+		t.Fatalf("idle power = %d mW, want ~84000", mw)
+	}
+}
+
+func TestEnforcedPowerLimit(t *testing.T) {
+	if got := handle(t, "GTX Titan X").EnforcedPowerLimit(); got != 250000 {
+		t.Fatalf("power limit = %d mW, want 250000", got)
+	}
+	if got := handle(t, "Tesla K40c").EnforcedPowerLimit(); got != 235000 {
+		t.Fatalf("K40c power limit = %d mW, want 235000", got)
+	}
+}
+
+func TestSensorRefreshMillis(t *testing.T) {
+	cases := map[string]float64{
+		"Titan Xp":    35,
+		"GTX Titan X": 100,
+		"Tesla K40c":  15,
+	}
+	for name, want := range cases {
+		if got := handle(t, name).SensorRefreshMillis(); got != want {
+			t.Errorf("%s refresh = %g ms, want %g", name, got, want)
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := handle(t, "Titan Xp").DefaultConfig()
+	if cfg.CoreMHz != 1404 || cfg.MemMHz != 5705 {
+		t.Fatalf("default = %v", cfg)
+	}
+}
+
+func TestTotalEnergyConsumption(t *testing.T) {
+	d, err := hw.DeviceByName("GTX Titan X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Wrap(s)
+	if h.TotalEnergyConsumption() != 0 {
+		t.Fatal("fresh device reports energy")
+	}
+	if _, _, err := s.SampledAveragePower(&kernels.KernelSpec{
+		Name:            "k",
+		WarpInstrs:      map[hw.Component]float64{hw.SP: 1e9},
+		IssueEfficiency: 0.9,
+	}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if h.TotalEnergyConsumption() == 0 {
+		t.Fatal("energy counter did not advance")
+	}
+}

@@ -1,0 +1,169 @@
+// Package profiler implements the paper's measurement methodology
+// (Section V-A): kernels are executed repeatedly until the run spans at
+// least one second (so the NVML sensor's refresh period cannot mislead the
+// average), every measurement is repeated and the median taken, multi-kernel
+// applications weight each kernel's power by its relative execution time,
+// and CUPTI events are collected only at the reference configuration.
+package profiler
+
+import (
+	"fmt"
+	"time"
+
+	"gpupower/internal/cupti"
+	"gpupower/internal/hw"
+	"gpupower/internal/kernels"
+	"gpupower/internal/nvml"
+	"gpupower/internal/sim"
+	"gpupower/internal/stats"
+)
+
+// Profiler measures power and events on one simulated device.
+type Profiler struct {
+	dev *sim.Device
+	nv  *nvml.Device
+	col *cupti.Collector
+
+	// MinWall is the minimum wall time per power measurement (paper: ≥1 s
+	// at the fastest configuration).
+	MinWall time.Duration
+	// Repeats is the number of measurement repetitions; the median is
+	// reported (paper: 10).
+	Repeats int
+}
+
+// New creates a profiler with the paper's methodology parameters.
+func New(dev *sim.Device) (*Profiler, error) {
+	col, err := cupti.NewCollector(dev)
+	if err != nil {
+		return nil, err
+	}
+	return &Profiler{
+		dev:     dev,
+		nv:      nvml.Wrap(dev),
+		col:     col,
+		MinWall: time.Second,
+		Repeats: 10,
+	}, nil
+}
+
+// Device returns the underlying simulated device.
+func (p *Profiler) Device() *sim.Device { return p.dev }
+
+// NVML returns the management-library handle.
+func (p *Profiler) NVML() *nvml.Device { return p.nv }
+
+// Collector returns the CUPTI event collector.
+func (p *Profiler) Collector() *cupti.Collector { return p.col }
+
+// setClocks drives the NVML clock interface.
+func (p *Profiler) setClocks(cfg hw.Config) error {
+	return p.nv.SetApplicationsClocks(uint32(cfg.MemMHz), uint32(cfg.CoreMHz))
+}
+
+// MeasureKernelPower returns the median-of-Repeats average power of one
+// kernel at cfg, in watts, together with the effective (possibly
+// TDP-capped) configuration and the single-launch time.
+func (p *Profiler) MeasureKernelPower(k *kernels.KernelSpec, cfg hw.Config) (float64, *sim.RunResult, error) {
+	if err := p.setClocks(cfg); err != nil {
+		return 0, nil, err
+	}
+	if p.Repeats < 1 {
+		return 0, nil, fmt.Errorf("profiler: Repeats must be >= 1, got %d", p.Repeats)
+	}
+	vals := make([]float64, 0, p.Repeats)
+	var run *sim.RunResult
+	for i := 0; i < p.Repeats; i++ {
+		v, r, err := p.dev.SampledAveragePower(k, p.MinWall)
+		if err != nil {
+			return 0, nil, err
+		}
+		vals = append(vals, v)
+		run = r
+	}
+	return stats.Median(vals), run, nil
+}
+
+// MeasureAppPower measures an application at cfg, weighting each kernel's
+// power by its relative execution time (Section V-A).
+func (p *Profiler) MeasureAppPower(app *kernels.App, cfg hw.Config) (float64, error) {
+	if err := app.Validate(); err != nil {
+		return 0, err
+	}
+	var weighted, totalTime float64
+	for _, k := range app.Kernels {
+		pw, run, err := p.MeasureKernelPower(k, cfg)
+		if err != nil {
+			return 0, err
+		}
+		t := run.Exec.Seconds()
+		weighted += pw * t
+		totalTime += t
+	}
+	if totalTime == 0 {
+		return 0, fmt.Errorf("profiler: app %s has zero total kernel time", app.Name)
+	}
+	return weighted / totalTime, nil
+}
+
+// KernelProfile is the event profile of one kernel at the reference
+// configuration.
+type KernelProfile struct {
+	Spec    *kernels.KernelSpec
+	Metrics map[cupti.Metric]float64
+	// Seconds is the single-launch execution time at the reference
+	// configuration, used as the weighting for multi-kernel applications.
+	Seconds float64
+}
+
+// AppProfile is the event profile of an application at the reference
+// configuration — everything the model needs to predict the application's
+// power at every other configuration.
+type AppProfile struct {
+	App       *kernels.App
+	RefConfig hw.Config
+	Kernels   []KernelProfile
+}
+
+// ProfileApp collects CUPTI events for every kernel of the application at
+// the reference configuration.
+func (p *Profiler) ProfileApp(app *kernels.App, ref hw.Config) (*AppProfile, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.setClocks(ref); err != nil {
+		return nil, err
+	}
+	prof := &AppProfile{App: app, RefConfig: ref}
+	for _, k := range app.Kernels {
+		metrics, run, err := p.col.CollectMetrics(k)
+		if err != nil {
+			return nil, err
+		}
+		if run.Effective != ref {
+			// A TDP-capped reference run would corrupt the event-to-cycle
+			// relation the model assumes; the paper's reference configs
+			// never throttle, so surface it loudly.
+			return nil, fmt.Errorf("profiler: kernel %s throttled at reference %v (ran at %v)",
+				k.Name, ref, run.Effective)
+		}
+		prof.Kernels = append(prof.Kernels, KernelProfile{
+			Spec:    k,
+			Metrics: metrics,
+			Seconds: run.Exec.Seconds(),
+		})
+	}
+	return prof, nil
+}
+
+// MeasureIdlePower measures the awake-but-idle device at cfg.
+func (p *Profiler) MeasureIdlePower(cfg hw.Config) (float64, error) {
+	if err := p.setClocks(cfg); err != nil {
+		return 0, err
+	}
+	vals := make([]float64, 0, p.Repeats)
+	for i := 0; i < p.Repeats; i++ {
+		vals = append(vals, p.dev.SampledIdlePower(p.MinWall))
+	}
+	return stats.Median(vals), nil
+}

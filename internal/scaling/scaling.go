@@ -1,0 +1,202 @@
+// Package scaling implements the performance (execution-time) side the
+// paper pairs its power model with: the authors' earlier "Performance and
+// Power-Aware Classification for Frequency Scaling of GPGPU Applications"
+// (HeteroPar 2016, the paper's reference [9]). An application's
+// time-scaling across V-F configurations is predicted from the same
+// reference-configuration utilizations the power model uses, two ways:
+//
+//   - Analytic: the roofline companion (core.EstimateRelativeTime) — the
+//     bound domain's share of the critical path stretches with 1/f.
+//   - Learned: the [9]-style classifier — training kernels are clustered
+//     by their *measured* time-scaling curves (k-means), and a
+//     nearest-centroid classifier on utilization features assigns unseen
+//     applications to a scaling class.
+//
+// Energy-aware DVFS needs both halves (E = P × T); the experiments package
+// validates the time half against the simulator's ground truth.
+package scaling
+
+import (
+	"fmt"
+
+	"gpupower/internal/core"
+	"gpupower/internal/hw"
+	"gpupower/internal/kernels"
+	"gpupower/internal/microbench"
+	"gpupower/internal/profiler"
+	"gpupower/internal/stats"
+)
+
+// Classifier is the learned time-scaling model.
+type Classifier struct {
+	Configs  []hw.Config
+	Ref      hw.Config
+	RefIndex int
+	// curves[c][f] is class c's mean time ratio T(Configs[f])/T(Ref).
+	curves [][]float64
+	// centroidUtil[c] is class c's mean utilization feature vector.
+	centroidUtil [][]float64
+}
+
+// K returns the number of scaling classes.
+func (c *Classifier) K() int { return len(c.curves) }
+
+// utilFeatures flattens a utilization vector in canonical component order.
+func utilFeatures(u core.Utilization) []float64 {
+	f := make([]float64, len(hw.Components))
+	for i, comp := range hw.Components {
+		f[i] = u[comp]
+	}
+	return f
+}
+
+// Train builds the classifier from the microbenchmark suite: each training
+// kernel's true time-scaling curve is measured across every configuration
+// (a single launch per configuration suffices — execution time, unlike the
+// power sensor, is exact), its utilization comes from reference-
+// configuration events, and the curves are clustered into k classes.
+func Train(p *profiler.Profiler, suite []microbench.Benchmark, k int, seed uint64) (*Classifier, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("scaling: class count %d must be >= 1", k)
+	}
+	dev := p.Device().HW()
+	ref := dev.DefaultConfig()
+	configs := dev.AllConfigs()
+	refIdx := -1
+	for i, cfg := range configs {
+		if cfg == ref {
+			refIdx = i
+		}
+	}
+	if refIdx < 0 {
+		return nil, fmt.Errorf("scaling: reference configuration missing from ladder")
+	}
+	l2bpc, err := core.CalibrateL2BytesPerCycle(p, ref)
+	if err != nil {
+		return nil, err
+	}
+
+	var curves, feats [][]float64
+	for _, b := range suite {
+		refRun, err := runAt(p, b.Kernel, ref)
+		if err != nil {
+			return nil, err
+		}
+		if refRun <= 0 {
+			continue // the Idle pseudo-benchmark has no meaningful scaling
+		}
+		curve := make([]float64, len(configs))
+		usable := true
+		for fi, cfg := range configs {
+			t, err := runAt(p, b.Kernel, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if t <= 0 {
+				usable = false
+				break
+			}
+			curve[fi] = t / refRun
+		}
+		if !usable {
+			continue
+		}
+		prof, err := p.ProfileApp(kernels.SingleKernelApp(b.Kernel), ref)
+		if err != nil {
+			return nil, err
+		}
+		u, err := core.AppUtilization(dev, prof, l2bpc)
+		if err != nil {
+			return nil, err
+		}
+		curves = append(curves, curve)
+		feats = append(feats, utilFeatures(u))
+	}
+	if len(curves) == 0 {
+		return nil, fmt.Errorf("scaling: no usable training curves")
+	}
+	if k > len(curves) {
+		k = len(curves)
+	}
+	assign, _ := stats.KMeans(curves, k, seed)
+
+	c := &Classifier{Configs: configs, Ref: ref, RefIndex: refIdx}
+	for cls := 0; cls < k; cls++ {
+		var members []int
+		for i, a := range assign {
+			if a == cls {
+				members = append(members, i)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		curve := make([]float64, len(configs))
+		cu := make([]float64, len(hw.Components))
+		for _, i := range members {
+			for fi := range curve {
+				curve[fi] += curves[i][fi]
+			}
+			for j := range cu {
+				cu[j] += feats[i][j]
+			}
+		}
+		inv := 1 / float64(len(members))
+		for fi := range curve {
+			curve[fi] *= inv
+		}
+		for j := range cu {
+			cu[j] *= inv
+		}
+		c.curves = append(c.curves, curve)
+		c.centroidUtil = append(c.centroidUtil, cu)
+	}
+	if len(c.curves) == 0 {
+		return nil, fmt.Errorf("scaling: clustering produced no classes")
+	}
+	return c, nil
+}
+
+// runAt executes one launch at cfg and returns the execution time in
+// seconds.
+func runAt(p *profiler.Profiler, k *kernels.KernelSpec, cfg hw.Config) (float64, error) {
+	dev := p.Device()
+	if err := dev.SetClocks(cfg.MemMHz, cfg.CoreMHz); err != nil {
+		return 0, err
+	}
+	run, err := dev.Execute(k)
+	if err != nil {
+		return 0, err
+	}
+	return run.Exec.Seconds(), nil
+}
+
+// Classify returns the index of the scaling class nearest to an
+// application's utilization vector.
+func (c *Classifier) Classify(u core.Utilization) int {
+	feat := utilFeatures(u)
+	best, bestD := 0, stats.SqDist(feat, c.centroidUtil[0])
+	for cls := 1; cls < len(c.centroidUtil); cls++ {
+		if d := stats.SqDist(feat, c.centroidUtil[cls]); d < bestD {
+			best, bestD = cls, d
+		}
+	}
+	return best
+}
+
+// PredictTimeRatio predicts T(cfg)/T(ref) for an application with the given
+// reference-configuration utilizations.
+func (c *Classifier) PredictTimeRatio(u core.Utilization, cfg hw.Config) (float64, error) {
+	for fi, cand := range c.Configs {
+		if cand == cfg {
+			return c.curves[c.Classify(u)][fi], nil
+		}
+	}
+	return 0, fmt.Errorf("scaling: configuration %v unknown to classifier", cfg)
+}
+
+// AnalyticTimeRatio is the roofline companion, exposed alongside the
+// classifier for comparison.
+func AnalyticTimeRatio(u core.Utilization, ref, cfg hw.Config) float64 {
+	return core.EstimateRelativeTime(u, ref, cfg)
+}

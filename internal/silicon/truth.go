@@ -1,0 +1,153 @@
+package silicon
+
+import (
+	"fmt"
+
+	"gpupower/internal/hw"
+)
+
+// Truth holds the hidden electrical ground truth of one die. The functional
+// form follows the physics of Eqs. 1–2 of the paper (dynamic power ∝ a·C·V²·f,
+// static power ∝ V), but deliberately includes terms *outside* the family the
+// estimator fits — a superlinear leakage correction and an unmodelled-activity
+// component (texture units, instruction caches, schedulers) — so that the
+// fitted model's accuracy figures are earned, not tautological.
+type Truth struct {
+	Device *hw.Device
+
+	// Static (leakage) power of each domain at the reference voltage, W.
+	StaticCore float64
+	StaticMem  float64
+
+	// Idle dynamic coefficients: power per MHz at reference voltage that
+	// does not depend on utilization (clock trees, idle pipeline toggling).
+	IdlePerCoreMHz float64
+	IdlePerMemMHz  float64
+
+	// Gamma is the per-component dynamic coefficient: W per MHz of the
+	// component's domain at full utilization and reference voltage.
+	Gamma map[hw.Component]float64
+
+	// CoreV and MemV are the true rail curves. Real drivers set these
+	// automatically and do not report them (Section II-A).
+	CoreV *VoltageCurve
+	MemV  *VoltageCurve
+
+	// LeakageKappa bends static power superlinearly in voltage:
+	// P_static ∝ V·(1 + κ·(V̄−1)). κ > 0 models the exponential leakage
+	// dependence on supply voltage that the paper's linear-in-V static term
+	// approximates.
+	LeakageKappa float64
+
+	// UnmodelledPerMHz is the coefficient of the activity-proportional power
+	// of components the model has no counters for (paper Section V-B:
+	// "power consumptions of other non-modelled GPU components").
+	UnmodelledPerMHz float64
+}
+
+// Validate checks the ground truth for physical consistency.
+func (t *Truth) Validate() error {
+	if t.Device == nil {
+		return fmt.Errorf("silicon: truth has no device")
+	}
+	if t.StaticCore < 0 || t.StaticMem < 0 || t.IdlePerCoreMHz < 0 || t.IdlePerMemMHz < 0 {
+		return fmt.Errorf("silicon: %s: negative static/idle coefficients", t.Device.Name)
+	}
+	for _, c := range hw.Components {
+		if t.Gamma[c] < 0 {
+			return fmt.Errorf("silicon: %s: negative gamma for %s", t.Device.Name, c)
+		}
+	}
+	if t.CoreV == nil || t.MemV == nil {
+		return fmt.Errorf("silicon: %s: missing voltage curves", t.Device.Name)
+	}
+	return nil
+}
+
+// CoreVNorm returns the true normalized core voltage V̄core(f) relative to
+// the device's default core clock.
+func (t *Truth) CoreVNorm(fcMHz float64) float64 {
+	return t.CoreV.NormalizedAt(fcMHz, t.Device.DefaultCore)
+}
+
+// MemVNorm returns the true normalized memory voltage V̄mem(f) relative to
+// the device's default memory clock.
+func (t *Truth) MemVNorm(fmMHz float64) float64 {
+	return t.MemV.NormalizedAt(fmMHz, t.Device.DefaultMem)
+}
+
+// PowerBreakdown is the true per-part power consumption, W.
+type PowerBreakdown struct {
+	Constant   float64                  // static + idle V-F power of both domains
+	Component  map[hw.Component]float64 // dynamic power of each modelled component
+	Unmodelled float64                  // activity power with no counters
+}
+
+// Total returns the total power of the breakdown.
+func (b *PowerBreakdown) Total() float64 {
+	s := b.Constant + b.Unmodelled
+	for _, v := range b.Component {
+		s += v
+	}
+	return s
+}
+
+// Power evaluates the true average power for an execution (kernel at a
+// configuration with its true utilizations).
+func (t *Truth) Power(e *Execution) float64 {
+	return t.PowerFromUtilization(e.Config, e.Utilization)
+}
+
+// Breakdown evaluates the true per-component power decomposition for an
+// execution.
+func (t *Truth) Breakdown(e *Execution) *PowerBreakdown {
+	return t.BreakdownFromUtilization(e.Config, e.Utilization)
+}
+
+// PowerFromUtilization evaluates the true power at configuration cfg given
+// per-component utilizations.
+func (t *Truth) PowerFromUtilization(cfg hw.Config, util map[hw.Component]float64) float64 {
+	return t.BreakdownFromUtilization(cfg, util).Total()
+}
+
+// BreakdownFromUtilization decomposes the true power at cfg for the given
+// utilizations.
+func (t *Truth) BreakdownFromUtilization(cfg hw.Config, util map[hw.Component]float64) *PowerBreakdown {
+	vc := t.CoreVNorm(cfg.CoreMHz)
+	vm := t.MemVNorm(cfg.MemMHz)
+
+	staticCore := t.StaticCore * vc * (1 + t.LeakageKappa*(vc-1))
+	staticMem := t.StaticMem * vm * (1 + t.LeakageKappa*(vm-1))
+	idle := vc*vc*cfg.CoreMHz*t.IdlePerCoreMHz + vm*vm*cfg.MemMHz*t.IdlePerMemMHz
+
+	b := &PowerBreakdown{
+		Constant:  staticCore + staticMem + idle,
+		Component: make(map[hw.Component]float64, len(hw.Components)),
+	}
+
+	var maxU float64
+	for _, c := range hw.Components {
+		u := util[c]
+		if u < 0 {
+			u = 0
+		}
+		if u > maxU {
+			maxU = u
+		}
+		switch hw.DomainOf(c) {
+		case hw.CoreDomain:
+			b.Component[c] = vc * vc * cfg.CoreMHz * t.Gamma[c] * u
+		case hw.MemoryDomain:
+			b.Component[c] = vm * vm * cfg.MemMHz * t.Gamma[c] * u
+		}
+	}
+	// Unmodelled front-end/texture activity tracks overall busyness of the
+	// core domain.
+	b.Unmodelled = vc * vc * cfg.CoreMHz * t.UnmodelledPerMHz * maxU
+	return b
+}
+
+// IdlePower returns the true power with no kernel executing at cfg.
+func (t *Truth) IdlePower(cfg hw.Config) float64 {
+	return t.PowerFromUtilization(cfg, nil)
+}

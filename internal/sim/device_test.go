@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gpupower/internal/hw"
+	"gpupower/internal/kernels"
+)
+
+func newSim(t *testing.T, name string) *Device {
+	t.Helper()
+	dev, err := hw.DeviceByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(dev, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func lightKernel() *kernels.KernelSpec {
+	return &kernels.KernelSpec{
+		Name:            "light",
+		WarpInstrs:      map[hw.Component]float64{hw.SP: 5e8, hw.Int: 1e8},
+		L2ReadBytes:     5e7,
+		DRAMReadBytes:   5e7,
+		FixedCycles:     1e5,
+		IssueEfficiency: 0.9,
+	}
+}
+
+// hotKernel exceeds TDP at the top clocks of the GTX Titan X.
+func hotKernel() *kernels.KernelSpec {
+	return &kernels.KernelSpec{
+		Name: "hot",
+		WarpInstrs: map[hw.Component]float64{
+			hw.SP: 2e10, hw.Int: 1.6e10, hw.SF: 4e9,
+		},
+		SharedLoadBytes: 5e9, SharedStoreBytes: 5e9,
+		L2ReadBytes: 8e9, L2WriteBytes: 4e9,
+		DRAMReadBytes: 8e9, DRAMWriteBytes: 4e9,
+		IssueEfficiency: 0.95,
+	}
+}
+
+func TestSetClocksValidation(t *testing.T) {
+	s := newSim(t, "GTX Titan X")
+	if err := s.SetClocks(3505, 975); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Clocks(); got.CoreMHz != 975 || got.MemMHz != 3505 {
+		t.Fatalf("Clocks = %v", got)
+	}
+	if err := s.SetClocks(1234, 975); err == nil {
+		t.Fatal("bad memory clock accepted")
+	}
+	if err := s.SetClocks(3505, 1000); err == nil {
+		t.Fatal("bad core clock accepted")
+	}
+}
+
+func TestExecuteAtRequestedClocks(t *testing.T) {
+	s := newSim(t, "GTX Titan X")
+	if err := s.SetClocks(810, 595); err != nil {
+		t.Fatal(err)
+	}
+	run, err := s.Execute(lightKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Requested != run.Effective {
+		t.Fatalf("light kernel throttled: %v -> %v", run.Requested, run.Effective)
+	}
+	if run.TruePower <= 0 || run.TruePower > s.HW().TDP {
+		t.Fatalf("power %g out of range", run.TruePower)
+	}
+}
+
+func TestTDPGovernorCapsCoreClock(t *testing.T) {
+	s := newSim(t, "GTX Titan X")
+	if err := s.SetClocks(4005, 1164); err != nil {
+		t.Fatal(err)
+	}
+	run, err := s.Execute(hotKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Effective.CoreMHz >= run.Requested.CoreMHz {
+		t.Fatalf("hot kernel not throttled (requested %v, effective %v, power %.0f W)",
+			run.Requested, run.Effective, run.TruePower)
+	}
+	if run.TruePower > s.HW().TDP {
+		t.Fatalf("post-throttle power %.0f W exceeds TDP", run.TruePower)
+	}
+	// The governor must pick the closest feasible level: one step up would
+	// violate TDP again.
+	ladder := s.HW().CoreFreqs
+	for i, f := range ladder {
+		if f == run.Effective.CoreMHz && i+1 < len(ladder) && ladder[i+1] < run.Requested.CoreMHz {
+			if err := s.SetClocks(4005, ladder[i+1]); err != nil {
+				t.Fatal(err)
+			}
+			up, err := s.Execute(hotKernel())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if up.Effective.CoreMHz > run.Effective.CoreMHz {
+				t.Fatal("governor did not pick the closest feasible level")
+			}
+		}
+	}
+}
+
+func TestSampledAveragePowerLongRun(t *testing.T) {
+	s := newSim(t, "GTX Titan X")
+	if err := s.SetClocks(3505, 975); err != nil {
+		t.Fatal(err)
+	}
+	run, err := s.Execute(lightKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := s.SampledAveragePower(lightKernel(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(p-run.TruePower) / run.TruePower; rel > 0.03 {
+		t.Fatalf("1 s sampled power %g deviates %.1f%% from true %g", p, 100*rel, run.TruePower)
+	}
+}
+
+func TestShortRunMixesIdlePower(t *testing.T) {
+	// A run shorter than the sensor refresh must bias the reading toward
+	// idle power — the pathology that forces the ≥1 s repetition rule.
+	s := newSim(t, "GTX Titan X") // 100 ms refresh
+	if err := s.SetClocks(3505, 975); err != nil {
+		t.Fatal(err)
+	}
+	k := lightKernel()
+	run, err := s.Execute(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Exec.Seconds() > 0.01 {
+		t.Skipf("test kernel too slow (%v) for the short-run scenario", run.Exec.Time)
+	}
+	idle := s.IdlePower()
+	p, _, err := s.SampledAveragePower(k, 0) // no repetition: single launch
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p >= run.TruePower {
+		t.Fatalf("short-run reading %g not biased below true %g", p, run.TruePower)
+	}
+	if p <= idle*0.8 {
+		t.Fatalf("short-run reading %g below idle %g", p, idle)
+	}
+}
+
+func TestSampledIdlePower(t *testing.T) {
+	s := newSim(t, "GTX Titan X")
+	if err := s.SetClocks(3505, 975); err != nil {
+		t.Fatal(err)
+	}
+	idle := s.IdlePower()
+	meas := s.SampledIdlePower(time.Second)
+	if math.Abs(meas-idle)/idle > 0.05 {
+		t.Fatalf("sampled idle %g vs true %g", meas, idle)
+	}
+}
+
+func TestDeterminismAcrossInstances(t *testing.T) {
+	a := newSim(t, "Tesla K40c")
+	b := newSim(t, "Tesla K40c")
+	pa, _, err := a.SampledAveragePower(lightKernel(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, _, err := b.SampledAveragePower(lightKernel(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != pb {
+		t.Fatalf("same seed, different measurements: %g vs %g", pa, pb)
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	dev := hw.GTXTitanX()
+	a, err := New(dev, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(hw.GTXTitanX(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _, _ := a.SampledAveragePower(lightKernel(), 100*time.Millisecond)
+	pb, _, _ := b.SampledAveragePower(lightKernel(), 100*time.Millisecond)
+	if pa == pb {
+		t.Fatal("different seeds produced identical noisy readings")
+	}
+}
+
+func TestThirdPartyVoltageReadout(t *testing.T) {
+	s := newSim(t, "GTX Titan X")
+	if v := s.ThirdPartyVoltageReadout(975); v != 1 {
+		t.Fatalf("V̄ at ref = %g, want 1", v)
+	}
+	if v := s.ThirdPartyVoltageReadout(595); v >= 1 {
+		t.Fatalf("V̄ at floor = %g, want < 1", v)
+	}
+	if v := s.ThirdPartyVoltageReadout(1164); v <= 1 {
+		t.Fatalf("V̄ at top = %g, want > 1", v)
+	}
+}
+
+func TestMilliwattQuantization(t *testing.T) {
+	// A single sensor reading (one refresh window) is quantized to mW,
+	// like real NVML.
+	s := newSim(t, "GTX Titan X")
+	p := s.SampledIdlePower(s.HW().SensorRefresh)
+	if p != math.Trunc(p*1000)/1000 {
+		t.Fatalf("reading %v not quantized to mW", p)
+	}
+}
+
+func TestTotalEnergyAccumulates(t *testing.T) {
+	s := newSim(t, "GTX Titan X")
+	if s.TotalEnergyJoules() != 0 {
+		t.Fatal("fresh device has non-zero energy")
+	}
+	if err := s.SetClocks(3505, 975); err != nil {
+		t.Fatal(err)
+	}
+	run, err := s.Execute(lightKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := run.TruePower * run.Exec.Seconds()
+	if got := s.TotalEnergyJoules(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("energy after one launch = %g J, want %g", got, want)
+	}
+	if _, err := s.Execute(lightKernel()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalEnergyJoules(); math.Abs(got-2*want) > 1e-9 {
+		t.Fatalf("energy after two launches = %g J, want %g", got, 2*want)
+	}
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKMeansSeparatesObviousClusters(t *testing.T) {
+	// Two tight blobs far apart: k-means must separate them exactly.
+	var points [][]float64
+	for i := 0; i < 10; i++ {
+		points = append(points, []float64{0 + 0.01*float64(i), 0})
+	}
+	for i := 0; i < 10; i++ {
+		points = append(points, []float64{100 + 0.01*float64(i), 0})
+	}
+	assign, centers := KMeans(points, 2, 7)
+	if len(centers) != 2 {
+		t.Fatalf("center count = %d", len(centers))
+	}
+	first := assign[0]
+	for i := 0; i < 10; i++ {
+		if assign[i] != first {
+			t.Fatal("first blob split across clusters")
+		}
+	}
+	second := assign[10]
+	if second == first {
+		t.Fatal("blobs merged")
+	}
+	for i := 10; i < 20; i++ {
+		if assign[i] != second {
+			t.Fatal("second blob split across clusters")
+		}
+	}
+	// Centroids land on the blob means.
+	lo := math.Min(centers[0][0], centers[1][0])
+	hi := math.Max(centers[0][0], centers[1][0])
+	if math.Abs(lo-0.045) > 0.1 || math.Abs(hi-100.045) > 0.1 {
+		t.Fatalf("centroids = %g, %g", lo, hi)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := NewRNG(3)
+	var points [][]float64
+	for i := 0; i < 40; i++ {
+		points = append(points, []float64{rng.Normal(0, 5), rng.Normal(0, 5)})
+	}
+	a1, _ := KMeans(points, 4, 11)
+	a2, _ := KMeans(points, 4, 11)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestKMeansClampsK(t *testing.T) {
+	points := [][]float64{{1}, {2}}
+	assign, centers := KMeans(points, 10, 1)
+	if len(centers) != 2 || len(assign) != 2 {
+		t.Fatalf("k not clamped: %d centers", len(centers))
+	}
+}
+
+func TestKMeansDegenerate(t *testing.T) {
+	if a, c := KMeans(nil, 3, 1); a != nil || c != nil {
+		t.Fatal("empty input should return nil")
+	}
+	if a, c := KMeans([][]float64{{1}}, 0, 1); a != nil || c != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	// Identical points: all in one effective cluster, no panic.
+	points := [][]float64{{5, 5}, {5, 5}, {5, 5}}
+	assign, _ := KMeans(points, 2, 1)
+	if len(assign) != 3 {
+		t.Fatal("assignment length wrong")
+	}
+}
+
+func TestSqDist(t *testing.T) {
+	if SqDist([]float64{0, 0}, []float64{3, 4}) != 25 {
+		t.Fatal("SqDist wrong")
+	}
+}

@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMAE(t *testing.T) {
+	v, err := MAE([]float64{1, 2, 3}, []float64{2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("MAE = %g, want 1", v)
+	}
+	if _, err := MAE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := MAE(nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	v, err := MAPE([]float64{110, 90}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(v, 10, 1e-12) {
+		t.Fatalf("MAPE = %g, want 10", v)
+	}
+	// Zero measurements are skipped.
+	v, err = MAPE([]float64{110, 5}, []float64{100, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(v, 10, 1e-12) {
+		t.Fatalf("MAPE with zero = %g, want 10", v)
+	}
+	if _, err := MAPE([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("all-zero measurements accepted")
+	}
+}
+
+func TestMeanPercentErrorSigned(t *testing.T) {
+	v, err := MeanPercentError([]float64{110, 90}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(v, 0, 1e-12) {
+		t.Fatalf("signed error = %g, want 0", v)
+	}
+	v, _ = MeanPercentError([]float64{120}, []float64{100})
+	if !eq(v, 20, 1e-12) {
+		t.Fatalf("signed error = %g, want +20", v)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	v, err := RMSE([]float64{1, 3}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(v, math.Sqrt(2), 1e-12) {
+		t.Fatalf("RMSE = %g", v)
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd Median wrong")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even Median wrong")
+	}
+	// Median must not mutate input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	v, err := Quantile([]float64{1, 2, 3, 4}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(v, 2.5, 1e-12) {
+		t.Fatalf("q0.5 = %g", v)
+	}
+	if v, _ := Quantile([]float64{1, 2, 3, 4}, 0); v != 1 {
+		t.Fatal("q0 wrong")
+	}
+	if v, _ := Quantile([]float64{1, 2, 3, 4}, 1); v != 4 {
+		t.Fatal("q1 wrong")
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Quantile([]float64{1}, 1.5); err == nil {
+		t.Fatal("out-of-range q accepted")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-sample stddev should be 0")
+	}
+	if !eq(StdDev([]float64{2, 4}), math.Sqrt(2), 1e-12) {
+		t.Fatalf("StdDev = %g", StdDev([]float64{2, 4}))
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Max([]float64{1, 9, 3}) != 9 || Min([]float64{4, 1, 6}) != 1 {
+		t.Fatal("Min/Max wrong")
+	}
+}
+
+// Property: MAE is symmetric and zero iff inputs equal.
+func TestMAEProperties(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		for i := range a {
+			if math.IsNaN(a[i]) || math.IsInf(a[i], 0) || math.IsNaN(b[i]) || math.IsInf(b[i], 0) {
+				return true
+			}
+			if math.Abs(a[i]) > 1e150 || math.Abs(b[i]) > 1e150 {
+				return true // difference would overflow float64
+			}
+		}
+		ab, err1 := MAE(a[:], b[:])
+		ba, err2 := MAE(b[:], a[:])
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if !eq(ab, ba, 1e-9*(1+math.Abs(ab))) {
+			return false
+		}
+		same, _ := MAE(a[:], a[:])
+		return same == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: median lies within [min, max] and at least half the points are
+// on each side.
+func TestMedianProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 || len(raw) > 40 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e150 {
+				return true
+			}
+		}
+		m := Median(raw)
+		if m < Min(raw) || m > Max(raw) {
+			return false
+		}
+		lo, hi := 0, 0
+		for _, v := range raw {
+			if v <= m {
+				lo++
+			}
+			if v >= m {
+				hi++
+			}
+		}
+		return lo*2 >= len(raw) && hi*2 >= len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

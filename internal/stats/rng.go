@@ -1,0 +1,65 @@
+// Package stats provides the deterministic random-number generation and
+// error/summary statistics shared by the simulator, the profiler and the
+// experiment drivers.
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator (SplitMix64).
+// Every stochastic element of the simulation (sensor noise, process
+// variation, event-counter error) draws from a seeded RNG so that each
+// experiment is exactly reproducible.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Normal returns a sample from N(mean, stddev²) via Box–Muller.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Uniform returns a uniform sample in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Fork derives an independent child generator. Children seeded with distinct
+// labels produce decorrelated streams, letting subsystems (sensor, events,
+// process variation) own private randomness while staying reproducible.
+func (r *RNG) Fork(label uint64) *RNG {
+	base := r.Uint64()
+	return NewRNG(base ^ (label * 0xA24BAED4963EE407))
+}

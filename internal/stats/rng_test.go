@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %g outside [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(2)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := NewRNG(3)
+	counts := make([]int, 5)
+	for i := 0; i < 5000; i++ {
+		counts[r.Intn(5)]++
+	}
+	for b, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("bucket %d has %d hits, want ~1000", b, c)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Intn(0) did not panic")
+			}
+		}()
+		r.Intn(0)
+	}()
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(4)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(3, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-3) > 0.02 {
+		t.Fatalf("mean = %g, want ~3", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.03 {
+		t.Fatalf("stddev = %g, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestUniform(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform = %g outside [2,5)", v)
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	// Children with different labels produce different streams; the same
+	// label from the same parent state produces the same stream.
+	p1 := NewRNG(9)
+	p2 := NewRNG(9)
+	a := p1.Fork(1)
+	b := p2.Fork(1)
+	for i := 0; i < 20; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-label forks from identical parents diverged")
+		}
+	}
+	p3 := NewRNG(9)
+	p4 := NewRNG(9)
+	c := p3.Fork(1)
+	d := p4.Fork(2)
+	diff := false
+	for i := 0; i < 20; i++ {
+		if c.Uint64() != d.Uint64() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different-label forks identical")
+	}
+}

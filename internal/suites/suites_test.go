@@ -1,0 +1,183 @@
+package suites
+
+import (
+	"testing"
+
+	"gpupower/internal/hw"
+	"gpupower/internal/silicon"
+)
+
+func TestValidationSetSize(t *testing.T) {
+	apps := ValidationSet()
+	if len(apps) != 26 {
+		t.Fatalf("validation set size = %d, want 26 (paper Table III)", len(apps))
+	}
+}
+
+func TestValidationSetValidAndUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range ValidationSet() {
+		if a.Short == "" || a.Full == "" || a.Suite == "" {
+			t.Errorf("incomplete application %+v", a)
+		}
+		if seen[a.Short] {
+			t.Errorf("duplicate short name %q", a.Short)
+		}
+		seen[a.Short] = true
+		if err := a.App.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Short, err)
+		}
+	}
+}
+
+func TestSuiteComposition(t *testing.T) {
+	// Table III: 10 Rodinia, 2 Parboil, 11 Polybench, 3 CUDA SDK (CUBLAS is
+	// the 27th application, tracked separately for Figs. 9/10).
+	counts := map[SuiteName]int{}
+	for _, a := range ValidationSet() {
+		counts[a.Suite]++
+	}
+	want := map[SuiteName]int{Rodinia: 11, Parboil: 2, Poly: 11, CUDASDK: 2}
+	for s, n := range want {
+		if counts[s] != n {
+			t.Errorf("%s: %d applications, want %d", s, counts[s], n)
+		}
+	}
+}
+
+func TestByShort(t *testing.T) {
+	for _, short := range []string{"BLCKSC", "CUTCP", "LBM", "SYRK_D", "CUBLAS"} {
+		a, err := ByShort(short)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Short != short {
+			t.Fatalf("got %q, want %q", a.Short, short)
+		}
+	}
+	if _, err := ByShort("NOPE"); err == nil {
+		t.Fatal("unknown application accepted")
+	}
+}
+
+// TestSignatureFidelity: at the reference device and configuration, the
+// synthesized kernels must achieve utilizations close to their published
+// signatures (BlackScholes from paper Fig. 2A, CUTCP from Fig. 2B).
+func TestSignatureFidelity(t *testing.T) {
+	dev := refDevice()
+	cfg := dev.DefaultConfig()
+
+	cases := []struct {
+		short string
+		comp  hw.Component
+		want  float64
+	}{
+		{"BLCKSC", hw.SP, 0.85},
+		{"BLCKSC", hw.DRAM, 0.47},
+		{"BLCKSC", hw.SF, 0.25},
+		{"CUTCP", hw.SP, 0.92},
+		{"CUTCP", hw.Shared, 0.51},
+		{"CUTCP", hw.DRAM, 0.05},
+		{"LBM", hw.DRAM, 0.90},
+		{"SYRK_D", hw.DP, 0.52},
+	}
+	for _, c := range cases {
+		a, err := ByShort(c.short)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := silicon.Simulate(dev, a.App.Kernels[0], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := e.Utilization[c.comp]
+		if got < c.want-0.06 || got > c.want+0.06 {
+			t.Errorf("%s: U(%s) = %.2f, want ~%.2f", c.short, c.comp, got, c.want)
+		}
+	}
+}
+
+// TestCUBLASSizeOrdering reproduces the Fig. 9 property: larger inputs give
+// higher SP and DRAM utilization, hence higher power.
+func TestCUBLASSizeOrdering(t *testing.T) {
+	dev := refDevice()
+	cfg := dev.DefaultConfig()
+	truth := silicon.MustTruthFor(dev)
+	var prevSP, prevPower float64
+	for _, size := range []int{64, 512, 4096} {
+		a, err := MatrixMulCUBLAS(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := silicon.Simulate(dev, a.App.Kernels[0], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := e.Utilization[hw.SP]
+		p := truth.Power(e)
+		if sp < prevSP {
+			t.Errorf("size %d: SP utilization decreased (%.2f -> %.2f)", size, prevSP, sp)
+		}
+		if p < prevPower {
+			t.Errorf("size %d: power decreased (%.1f -> %.1f)", size, prevPower, p)
+		}
+		prevSP, prevPower = sp, p
+	}
+	if _, err := MatrixMulCUBLAS(100); err == nil {
+		t.Fatal("unsupported size accepted")
+	}
+}
+
+// TestMultiKernelApps: K-Means and SRAD v1 carry two kernels, as in Rodinia.
+func TestMultiKernelApps(t *testing.T) {
+	for _, short := range []string{"K-M", "SRAD_1"} {
+		a, err := ByShort(short)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.App.Kernels) != 2 {
+			t.Errorf("%s has %d kernels, want 2", short, len(a.App.Kernels))
+		}
+	}
+}
+
+// TestTrainingValidationDisjoint: no validation kernel name collides with a
+// microbenchmark name (the paper's bias-free validation requirement).
+func TestTrainingValidationDisjoint(t *testing.T) {
+	for _, a := range ValidationSet() {
+		for _, k := range a.App.Kernels {
+			if len(k.Name) >= 3 && k.Name[:3] == "ub_" {
+				t.Errorf("validation kernel %q shadows a microbenchmark name", k.Name)
+			}
+		}
+	}
+}
+
+// TestMemoryVsComputeBoundContrast: the Fig. 2 pair must sit on opposite
+// sides of the memory-sensitivity spectrum.
+func TestMemoryVsComputeBoundContrast(t *testing.T) {
+	dev := refDevice()
+	truth := silicon.MustTruthFor(dev)
+	drop := func(short string) float64 {
+		a, err := ByShort(short)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := silicon.Simulate(dev, a.App.Kernels[0], hw.Config{CoreMHz: 975, MemMHz: 3505})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, err := silicon.Simulate(dev, a.App.Kernels[0], hw.Config{CoreMHz: 975, MemMHz: 810})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ph, pl := truth.Power(hi), truth.Power(lo)
+		return (ph - pl) / ph
+	}
+	blck := drop("BLCKSC")
+	cutcp := drop("CUTCP")
+	if blck < cutcp+0.1 {
+		t.Fatalf("BlackScholes drop %.0f%% should far exceed CUTCP drop %.0f%% (paper: 52%% vs 24%%)",
+			100*blck, 100*cutcp)
+	}
+}

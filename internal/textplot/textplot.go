@@ -1,0 +1,157 @@
+// Package textplot renders small ASCII line/scatter charts for the
+// experiment drivers, so `gpowerbench -plot` can show the paper's figures
+// directly in a terminal. It is intentionally minimal: fixed-size rune
+// grid, linear axes, one marker per series.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted data series.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker rune
+}
+
+// Chart is a renderable ASCII chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plot-area dimensions in characters
+	// (defaults: 64×16).
+	Width, Height int
+	Series        []Series
+}
+
+// defaultMarkers cycles when a series does not set one.
+var defaultMarkers = []rune{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart.
+func (c *Chart) Render() (string, error) {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 16
+	}
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("textplot: chart %q has no series", c.Title)
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("textplot: series %q has %d x values and %d y values",
+				s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) ||
+				math.IsInf(s.X[i], 0) || math.IsInf(s.Y[i], 0) {
+				return "", fmt.Errorf("textplot: series %q has a non-finite point", s.Name)
+			}
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		return "", fmt.Errorf("textplot: chart %q has no points", c.Title)
+	}
+	// Degenerate ranges expand symmetrically so a flat series still renders.
+	if xmax == xmin {
+		xmax, xmin = xmax+1, xmin-1
+	}
+	if ymax == ymin {
+		ymax, ymin = ymax+1, ymin-1
+	}
+
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = make([]rune, w)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	toCol := func(x float64) int {
+		col := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+		if col < 0 {
+			col = 0
+		}
+		if col >= w {
+			col = w - 1
+		}
+		return col
+	}
+	toRow := func(y float64) int {
+		row := int(math.Round((ymax - y) / (ymax - ymin) * float64(h-1)))
+		if row < 0 {
+			row = 0
+		}
+		if row >= h {
+			row = h - 1
+		}
+		return row
+	}
+	for si, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for i := range s.X {
+			grid[toRow(s.Y[i])][toCol(s.X[i])] = marker
+		}
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	topLabel := fmt.Sprintf("%.4g", ymax)
+	botLabel := fmt.Sprintf("%.4g", ymin)
+	pad := len(topLabel)
+	if len(botLabel) > pad {
+		pad = len(botLabel)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", pad)
+		if i == 0 {
+			label = fmt.Sprintf("%*s", pad, topLabel)
+		}
+		if i == h-1 {
+			label = fmt.Sprintf("%*s", pad, botLabel)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&sb, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", w))
+	xAxis := fmt.Sprintf("%.4g", xmin)
+	xEnd := fmt.Sprintf("%.4g", xmax)
+	gap := w - len(xAxis) - len(xEnd)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&sb, "%s  %s%s%s\n", strings.Repeat(" ", pad), xAxis, strings.Repeat(" ", gap), xEnd)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&sb, "%s  x: %s   y: %s\n", strings.Repeat(" ", pad), c.XLabel, c.YLabel)
+	}
+	// Legend.
+	if len(c.Series) > 1 || c.Series[0].Name != "" {
+		fmt.Fprintf(&sb, "%s  legend:", strings.Repeat(" ", pad))
+		for si, s := range c.Series {
+			marker := s.Marker
+			if marker == 0 {
+				marker = defaultMarkers[si%len(defaultMarkers)]
+			}
+			fmt.Fprintf(&sb, " %c=%s", marker, s.Name)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,103 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := &Chart{
+		Title:  "demo",
+		XLabel: "x",
+		YLabel: "y",
+		Width:  20,
+		Height: 5,
+		Series: []Series{
+			{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}, Marker: '*'},
+		},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"demo", "*", "legend: *=up", "x: x   y: y"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// Title + 5 grid rows + axis + x labels + xy label + legend.
+	if len(lines) < 9 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestRenderMarkerPositions(t *testing.T) {
+	c := &Chart{
+		Width:  11,
+		Height: 3,
+		Series: []Series{
+			{X: []float64{0, 10}, Y: []float64{0, 10}, Marker: '*'},
+		},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	// Max y (10) maps to the top row, x=10 to the last column.
+	top := lines[0]
+	if top[len(top)-1] != '*' {
+		t.Fatalf("top-right marker missing: %q", top)
+	}
+	bottom := lines[2]
+	if !strings.Contains(bottom, "|*") {
+		t.Fatalf("bottom-left marker missing: %q", bottom)
+	}
+}
+
+func TestRenderMultipleSeriesDefaultsMarkers(t *testing.T) {
+	c := &Chart{
+		Width:  10,
+		Height: 3,
+		Series: []Series{
+			{Name: "a", X: []float64{0}, Y: []float64{0}},
+			{Name: "b", X: []float64{1}, Y: []float64{1}},
+		},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("default markers missing:\n%s", out)
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	c := &Chart{
+		Series: []Series{{X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}}},
+	}
+	if _, err := c.Render(); err != nil {
+		t.Fatalf("flat series should render: %v", err)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := (&Chart{}).Render(); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	c := &Chart{Series: []Series{{X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := c.Render(); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+	c = &Chart{Series: []Series{{X: []float64{math.NaN()}, Y: []float64{1}}}}
+	if _, err := c.Render(); err == nil {
+		t.Fatal("NaN point accepted")
+	}
+	c = &Chart{Series: []Series{{X: nil, Y: nil, Name: "empty"}}}
+	if _, err := c.Render(); err == nil {
+		t.Fatal("pointless chart accepted")
+	}
+}

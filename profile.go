@@ -1,0 +1,105 @@
+package gpupower
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"gpupower/internal/hw"
+)
+
+// Profiles are the unit of exchange in the paper's sensor-less and
+// virtualization use cases: a guest (or a machine without the GPU) receives
+// an application's reference-configuration profile and evaluates the model
+// anywhere, with no further execution. The JSON form below persists
+// everything prediction needs.
+
+// profileJSON is the stable on-disk representation of a Profile.
+type profileJSON struct {
+	AppName  string  `json:"app"`
+	RefCore  float64 `json:"ref_core_mhz"`
+	RefMem   float64 `json:"ref_mem_mhz"`
+	RefPower float64 `json:"ref_power_w"`
+	// Utilization is keyed by component name (INT, SP, DP, SF, Shared, L2,
+	// DRAM).
+	Utilization map[string]float64 `json:"utilization"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Profile) MarshalJSON() ([]byte, error) {
+	if p.App == nil {
+		return nil, fmt.Errorf("gpupower: profile has no application")
+	}
+	j := profileJSON{
+		AppName:     p.App.Name,
+		RefCore:     p.Ref.CoreMHz,
+		RefMem:      p.Ref.MemMHz,
+		RefPower:    p.RefPower,
+		Utilization: map[string]float64{},
+	}
+	for _, c := range []Component{Int, SP, DP, SF, Shared, L2, DRAM} {
+		j.Utilization[c.String()] = p.Utilization[c]
+	}
+	return json.MarshalIndent(j, "", "  ")
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The application field carries
+// only the name — a loaded profile supports prediction, not re-measurement.
+func (p *Profile) UnmarshalJSON(data []byte) error {
+	var j profileJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.AppName == "" {
+		return fmt.Errorf("gpupower: profile JSON has no application name")
+	}
+	p.App = &App{Name: j.AppName}
+	p.Ref = Config{CoreMHz: j.RefCore, MemMHz: j.RefMem}
+	p.RefPower = j.RefPower
+	p.Utilization = Utilization{}
+	for _, c := range []Component{Int, SP, DP, SF, Shared, L2, DRAM} {
+		v, ok := j.Utilization[c.String()]
+		if !ok {
+			return fmt.Errorf("gpupower: profile JSON missing utilization for %s", c)
+		}
+		if v < 0 || v > 1 {
+			return fmt.Errorf("gpupower: profile JSON has U(%s) = %g outside [0,1]", c, v)
+		}
+		p.Utilization[c] = v
+	}
+	return nil
+}
+
+// Save writes the profile to a JSON file.
+func (p *Profile) Save(path string) error {
+	data, err := p.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadProfile reads an application profile from a JSON file. The returned
+// profile supports prediction with any model fitted at the same reference
+// configuration; it cannot be re-measured (the kernel descriptors are not
+// persisted).
+func LoadProfile(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p Profile
+	if err := p.UnmarshalJSON(data); err != nil {
+		return nil, fmt.Errorf("gpupower: loading profile %s: %w", path, err)
+	}
+	return &p, nil
+}
+
+// CompatibleWith reports whether the profile's reference configuration
+// matches the model's (a prerequisite for valid predictions).
+func (p *Profile) CompatibleWith(m *Model) error {
+	if p.Ref != (hw.Config{CoreMHz: m.Ref.CoreMHz, MemMHz: m.Ref.MemMHz}) {
+		return fmt.Errorf("gpupower: profile taken at %v but model fitted at %v", p.Ref, m.Ref)
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package gpupower_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpupower"
+)
+
+func TestProfileSaveLoadRoundTrip(t *testing.T) {
+	gpu, model := fitted(t)
+	wl, err := gpupower.WorkloadByName("HOTS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := gpu.ProfileForModel(wl.App, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "hots.json")
+	if err := prof.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := gpupower.LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.App.Name != "HOTS" || back.Ref != prof.Ref || back.RefPower != prof.RefPower {
+		t.Fatal("round trip lost identity fields")
+	}
+	for _, c := range []gpupower.Component{gpupower.Int, gpupower.SP, gpupower.DP,
+		gpupower.SF, gpupower.Shared, gpupower.L2, gpupower.DRAM} {
+		if math.Abs(back.Utilization[c]-prof.Utilization[c]) > 1e-9 {
+			t.Fatalf("U(%s) lost in round trip", c)
+		}
+	}
+	if err := back.CompatibleWith(model); err != nil {
+		t.Fatal(err)
+	}
+
+	// Predictions from the loaded profile match the live one exactly.
+	for _, cfg := range gpu.Configs() {
+		a, err := model.Predict(prof.Utilization, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := model.Predict(back.Utilization, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// JSON round-trips floats through decimal text; allow a ULP.
+		if math.Abs(a-b) > 1e-9*a {
+			t.Fatalf("prediction mismatch at %v: %g vs %g", cfg, a, b)
+		}
+	}
+}
+
+func TestLoadProfileRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"garbage.json": "not json",
+		"noname.json":  `{"utilization":{}}`,
+		"missing.json": `{"app":"x","utilization":{"SP":0.5}}`,
+		"range.json": `{"app":"x","utilization":{"INT":0,"SP":2,"DP":0,"SF":0,
+			"Shared":0,"L2":0,"DRAM":0}}`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := writeFile(t, path, content); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := gpupower.LoadProfile(path); err == nil {
+			t.Errorf("%s: corrupt profile accepted", name)
+		}
+	}
+	if _, err := gpupower.LoadProfile(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCompatibleWithMismatch(t *testing.T) {
+	_, model := fitted(t)
+	p := &gpupower.Profile{
+		App: &gpupower.App{Name: "x"},
+		Ref: gpupower.Config{CoreMHz: 1, MemMHz: 1},
+	}
+	if err := p.CompatibleWith(model); err == nil {
+		t.Fatal("mismatched reference accepted")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) error {
+	t.Helper()
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func FuzzProfileUnmarshal(f *testing.F) {
+	f.Add([]byte(`{"app":"x","ref_core_mhz":975,"ref_mem_mhz":3505,"ref_power_w":100,
+		"utilization":{"INT":0.1,"SP":0.2,"DP":0,"SF":0,"Shared":0,"L2":0.1,"DRAM":0.3}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p gpupower.Profile
+		if err := p.UnmarshalJSON(data); err != nil {
+			return
+		}
+		// Accepted profiles must be internally valid.
+		if p.App == nil || p.App.Name == "" {
+			t.Fatal("accepted profile without application name")
+		}
+		if err := p.Utilization.Validate(); err != nil {
+			t.Fatalf("accepted profile with invalid utilization: %v", err)
+		}
+	})
+}
+
+func TestConcurrentPrediction(t *testing.T) {
+	// A fitted model is read-only; concurrent predictions from many
+	// goroutines must be safe (a DVFS governor thread and an application
+	// analysis thread may share one model).
+	gpu, model := fitted(t)
+	wl, err := gpupower.WorkloadByName("GAUSS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := gpu.ProfileForModel(wl.App, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			for i := 0; i < 200; i++ {
+				for _, cfg := range gpu.Configs() {
+					if _, err := model.Predict(prof.Utilization, cfg); err != nil {
+						done <- err
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package gpupower
+
+import (
+	"gpupower/internal/microbench"
+	"gpupower/internal/suites"
+)
+
+// Workload is one validation application (paper Table III): a short figure
+// name, the spelled-out name, the suite it comes from and its kernels.
+type Workload = suites.Application
+
+// Workloads returns the paper's 26-application validation set (Rodinia,
+// Parboil, Polybench, CUDA SDK), disjoint from the training
+// microbenchmarks.
+func Workloads() []Workload { return suites.ValidationSet() }
+
+// WorkloadByName returns a validation application by its short name
+// (e.g. "BLCKSC", "CUTCP", "LBM", or "CUBLAS" for matrixMulCUBLAS).
+func WorkloadByName(short string) (Workload, error) { return suites.ByShort(short) }
+
+// MatrixMulCUBLAS returns the matrixMulCUBLAS workload for a square input
+// size of 64, 512 or 4096 (paper Fig. 9).
+func MatrixMulCUBLAS(size int) (Workload, error) { return suites.MatrixMulCUBLAS(size) }
+
+// Microbenchmark is one training-suite kernel with its collection label.
+type Microbenchmark = microbench.Benchmark
+
+// Microbenchmarks returns the 83-kernel training suite (paper Section IV).
+func Microbenchmarks() []Microbenchmark { return microbench.Suite() }
