@@ -1,0 +1,40 @@
+# gpupower build / verify targets.
+#
+# Tiers:
+#   make verify  — tier-1 gate (build + full test suite), what every PR must keep green
+#   make race    — concurrency gate: go vet + the full suite under the race
+#                  detector. The estimation engine fans out across a worker
+#                  pool (internal/parallel); this tier is what keeps the
+#                  disjoint-write invariants honest and must gate every PR
+#                  that touches a parallel loop.
+#   make bench   — regenerate the paper's tables/figures (EXPERIMENTS.md numbers)
+#   make speedup — serial vs parallel Estimate comparison per device catalog
+
+GO ?= go
+
+.PHONY: all build test verify vet race bench speedup clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+verify: build test
+
+vet:
+	$(GO) vet ./...
+
+race: vet
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./
+
+speedup:
+	$(GO) test -run NONE -bench 'BenchmarkEstimate(Serial|Parallel)' -benchtime 3x ./
+
+clean:
+	$(GO) clean ./...

@@ -335,3 +335,81 @@ func BenchmarkTimeModel(b *testing.B) {
 		}
 	}
 }
+
+// --- Parallel estimation engine benchmarks ----------------------------------
+//
+// BenchmarkEstimate{Serial,Parallel}/<device> compare the Section III-D fit
+// on the sequential oracle path vs the worker-pool path, per device catalog
+// (Titan Xp: 7×4 ladder, GTX Titan X: 19×2, Tesla K40c: 4×1). The dataset
+// is measured once outside the timer; the loop times Estimate alone.
+//
+//	go test -bench 'BenchmarkEstimate(Serial|Parallel)' -benchtime 3x
+//
+// The speedup column recorded in EXPERIMENTS.md comes from these two
+// benchmarks at matching GOMAXPROCS.
+
+func estimateDataset(b *testing.B, device string) *core.Dataset {
+	b.Helper()
+	r, err := experiments.SharedRig(device, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := r.Dataset()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func benchmarkEstimate(b *testing.B, sequential bool) {
+	for _, device := range []string{gpupower.TitanXp, gpupower.GTXTitanX, gpupower.TeslaK40c} {
+		b.Run(device, func(b *testing.B) {
+			d := estimateDataset(b, device)
+			prev := gpupower.SetSequential(sequential)
+			defer gpupower.SetSequential(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Estimate(d, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEstimateSerial fits on the sequential oracle path.
+func BenchmarkEstimateSerial(b *testing.B) { benchmarkEstimate(b, true) }
+
+// BenchmarkEstimateParallel fits with the worker pool (GOMAXPROCS-sized).
+func BenchmarkEstimateParallel(b *testing.B) { benchmarkEstimate(b, false) }
+
+// BenchmarkEvaluateOperatingPoints times the DVFS sweep that
+// FindBestConfig rides on (one model evaluation per ladder configuration).
+func BenchmarkEvaluateOperatingPoints(b *testing.B) {
+	gpu, err := gpupower.Open(gpupower.GTXTitanX, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := experiments.SharedRig("GTX Titan X", benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := r.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := gpupower.WorkloadByName("LBM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, err := gpu.ProfileForModel(wl.App, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gpupower.EvaluateOperatingPoints(m, gpu.Device(), prof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,9 +2,9 @@ package gpupower
 
 import (
 	"fmt"
-	"sort"
 
 	"gpupower/internal/core"
+	"gpupower/internal/parallel"
 )
 
 // The DVFS-management use case of the paper (Section V-B, "Use cases" #3):
@@ -65,7 +65,11 @@ func (o Objective) String() string {
 
 // EvaluateOperatingPoints evaluates the model at every configuration of the
 // device without executing the application anywhere but the reference —
-// the design-space pruning the paper highlights.
+// the design-space pruning the paper highlights. The per-configuration
+// evaluations are independent table lookups, so they fan out across the
+// worker pool; slot i of the result always belongs to configuration i, so
+// the returned slice is in deterministic ladder order regardless of
+// scheduling.
 func EvaluateOperatingPoints(m *Model, dev *Device, p *Profile) ([]OperatingPoint, error) {
 	refPower, err := m.Predict(p.Utilization, p.Ref)
 	if err != nil {
@@ -74,51 +78,82 @@ func EvaluateOperatingPoints(m *Model, dev *Device, p *Profile) ([]OperatingPoin
 	if refPower <= 0 {
 		return nil, fmt.Errorf("gpupower: non-positive reference power prediction %g", refPower)
 	}
-	var out []OperatingPoint
-	for _, cfg := range dev.AllConfigs() {
+	configs := dev.AllConfigs()
+	return parallel.Map(len(configs), func(i int) (OperatingPoint, error) {
+		cfg := configs[i]
 		pw, err := m.Predict(p.Utilization, cfg)
 		if err != nil {
-			return nil, err
+			return OperatingPoint{}, err
 		}
 		rt := EstimateRelativeTime(p.Utilization, p.Ref, cfg)
 		relEnergy := pw * rt / refPower
-		out = append(out, OperatingPoint{
+		return OperatingPoint{
 			Config:    cfg,
 			PowerW:    pw,
 			RelTime:   rt,
 			RelEnergy: relEnergy,
 			RelEDP:    relEnergy * rt,
-		})
+		}, nil
+	})
+}
+
+// objectiveValue extracts the scalar the search minimizes.
+func (o Objective) value(p OperatingPoint) float64 {
+	switch o {
+	case MinEnergy:
+		return p.RelEnergy
+	case MinEDP:
+		return p.RelEDP
+	default:
+		return p.PowerW
 	}
-	return out, nil
+}
+
+// betterPoint is the deterministic total order of the DVFS search: first the
+// objective value, then core MHz, then memory MHz (ascending — on equal
+// objective the slower, lower-voltage configuration wins). The previous
+// implementation sorted on the objective alone with the unstable sort.Slice,
+// so ties between operating points came back in a different order from run
+// to run and FindBestConfig was not reproducible.
+func betterPoint(a, b OperatingPoint, obj Objective) bool {
+	av, bv := obj.value(a), obj.value(b)
+	if av != bv {
+		return av < bv
+	}
+	if a.Config.CoreMHz != b.Config.CoreMHz {
+		return a.Config.CoreMHz < b.Config.CoreMHz
+	}
+	return a.Config.MemMHz < b.Config.MemMHz
 }
 
 // FindBestConfig returns the configuration minimizing the objective,
-// considering only TDP-feasible points.
+// considering only TDP-feasible points. Ties on the objective are broken
+// deterministically (lower core clock, then lower memory clock).
 func FindBestConfig(m *Model, dev *Device, p *Profile, obj Objective) (OperatingPoint, error) {
 	pts, err := EvaluateOperatingPoints(m, dev, p)
 	if err != nil {
 		return OperatingPoint{}, err
 	}
-	feasible := pts[:0]
-	for _, pt := range pts {
-		if pt.PowerW <= dev.TDP {
-			feasible = append(feasible, pt)
-		}
-	}
-	if len(feasible) == 0 {
+	best, found := bestFeasible(pts, dev.TDP, obj)
+	if !found {
 		return OperatingPoint{}, fmt.Errorf("gpupower: no TDP-feasible configuration for %s", p.App.Name)
 	}
-	sort.Slice(feasible, func(i, j int) bool {
-		a, b := feasible[i], feasible[j]
-		switch obj {
-		case MinEnergy:
-			return a.RelEnergy < b.RelEnergy
-		case MinEDP:
-			return a.RelEDP < b.RelEDP
-		default:
-			return a.PowerW < b.PowerW
+	return best, nil
+}
+
+// bestFeasible selects the minimum of the betterPoint total order among
+// TDP-feasible points. A single ordered scan (no sort) keeps the selection
+// O(n) and — because betterPoint is a strict total order on distinct
+// configurations — independent of the input order.
+func bestFeasible(pts []OperatingPoint, tdp float64, obj Objective) (OperatingPoint, bool) {
+	best, found := OperatingPoint{}, false
+	for _, pt := range pts {
+		if pt.PowerW > tdp {
+			continue
 		}
-	})
-	return feasible[0], nil
+		if !found || betterPoint(pt, best, obj) {
+			best, found = pt, true
+		}
+	}
+	return best, found
 }

@@ -57,6 +57,15 @@ func (d *Dataset) Validate() error {
 			return fmt.Errorf("core: benchmark %s: %w", b.Name, err)
 		}
 	}
+	// Configuration uniqueness is what makes the parallel step-2 solves'
+	// voltage-table writes disjoint (each config owns one (mi, ci) slot).
+	seen := make(map[hw.Config]struct{}, len(d.Configs))
+	for _, cfg := range d.Configs {
+		if _, dup := seen[cfg]; dup {
+			return fmt.Errorf("core: duplicate configuration %v in dataset", cfg)
+		}
+		seen[cfg] = struct{}{}
+	}
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"gpupower/internal/hw"
 	"gpupower/internal/linalg"
+	"gpupower/internal/parallel"
 )
 
 // EstimatorOptions tunes the Section III-D iterative algorithm. The zero
@@ -79,16 +80,23 @@ const nParams = 11
 //	    + Σ_i ω_i·vc²·fc·U_i + ω_mem·vm²·fm·U_dram
 func designRow(u Utilization, cfg hw.Config, vc, vm float64) []float64 {
 	row := make([]float64, nParams)
-	fc, fm := cfg.CoreMHz, cfg.MemMHz
-	row[0] = vc
-	row[1] = vc * vc * fc
-	row[2] = vm
-	row[3] = vm * vm * fm
-	for i, c := range CoreOmegaOrder {
-		row[4+i] = vc * vc * fc * u[c]
-	}
-	row[10] = vm * vm * fm * u[hw.DRAM]
+	designRowInto(row, u, cfg, vc, vm)
 	return row
+}
+
+// designRowInto is the allocation-free form of designRow: it fills dst
+// (len nParams) in place so the parallel assembly loops can reuse
+// per-worker scratch rows.
+func designRowInto(dst []float64, u Utilization, cfg hw.Config, vc, vm float64) {
+	fc, fm := cfg.CoreMHz, cfg.MemMHz
+	dst[0] = vc
+	dst[1] = vc * vc * fc
+	dst[2] = vm
+	dst[3] = vm * vm * fm
+	for i, c := range CoreOmegaOrder {
+		dst[4+i] = vc * vc * fc * u[c]
+	}
+	dst[10] = vm * vm * fm * u[hw.DRAM]
 }
 
 // paramsToModel unpacks the X vector into model fields.
@@ -115,22 +123,40 @@ func modelToParams(m *Model) []float64 {
 // solveX performs the (non-negative) least-squares estimation of X over the
 // given configuration indices, using the current voltage table (step 1 with
 // V̄ ≡ 1, step 3 with the estimated voltages).
+//
+// The design-matrix assembly is parallelized across configurations: the k-th
+// configuration owns the contiguous row block [k·nb, (k+1)·nb), so workers
+// write disjoint slices of the matrix and the assembled system is
+// bitwise-identical to the serial one. Per-worker scratch rows keep the
+// inner loop allocation-free.
 func solveX(d *Dataset, volt *VoltageTable, configIdx []int) ([]float64, error) {
-	rows := len(d.Benchmarks) * len(configIdx)
+	nb := len(d.Benchmarks)
+	rows := nb * len(configIdx)
 	a := linalg.NewMatrix(rows, nParams)
 	b := make([]float64, rows)
-	r := 0
-	for _, fi := range configIdx {
+	scratch := make([][]float64, parallel.Workers())
+	for w := range scratch {
+		scratch[w] = make([]float64, nParams)
+	}
+	err := parallel.ForEachWorker(len(configIdx), func(w, k int) error {
+		fi := configIdx[k]
 		cfg := d.Configs[fi]
 		vc, vm, err := volt.At(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		row := scratch[w]
+		r := k * nb
 		for bi, bench := range d.Benchmarks {
-			a.SetRow(r, designRow(bench.Util, cfg, vc, vm))
+			designRowInto(row, bench.Util, cfg, vc, vm)
+			a.SetRow(r, row)
 			b[r] = d.Power[bi][fi]
 			r++
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return linalg.NNLS(a, b)
 }
@@ -153,12 +179,16 @@ func solveVoltages(d *Dataset, x []float64, volt *VoltageTable, opts *EstimatorO
 	}
 	beta0, beta2 := x[0], x[2]
 
-	for fi, cfg := range d.Configs {
+	// The per-configuration solves are independent (the paper's step 2 is a
+	// separate 2-D minimization per V-F point), so they fan out across the
+	// worker pool. Each iteration writes exactly one (mi, ci) slot of the
+	// voltage table — dataset configurations are unique (Dataset.Validate) —
+	// so the writes are disjoint and the table is bitwise-identical to the
+	// serial fill.
+	err := parallel.ForEach(len(d.Configs), func(fi int) error {
+		cfg := d.Configs[fi]
 		if cfg == d.Ref {
-			if err := volt.Set(cfg, 1, 1); err != nil {
-				return err
-			}
-			continue
+			return volt.Set(cfg, 1, 1)
 		}
 		fc, fm := cfg.CoreMHz, cfg.MemMHz
 		obj := func(vc, vm float64) float64 {
@@ -175,9 +205,10 @@ func solveVoltages(d *Dataset, x []float64, volt *VoltageTable, opts *EstimatorO
 		if err != nil {
 			return err
 		}
-		if err := volt.Set(cfg, vc, vm); err != nil {
-			return err
-		}
+		return volt.Set(cfg, vc, vm)
+	})
+	if err != nil {
+		return err
 	}
 
 	if !opts.DisableMonotonic {
@@ -388,7 +419,10 @@ func Estimate(d *Dataset, opts *EstimatorOptions) (*Model, error) {
 
 		dv := voltageDelta(prevVolt, volt)
 		dx := relDelta(prevX, x)
-		sse := trainingSSE(d, volt, x)
+		sse, err := trainingSSE(d, volt, x)
+		if err != nil {
+			return nil, fmt.Errorf("core: SSE evaluation (iteration %d) failed: %w", iter, err)
+		}
 		if opts.Trace != nil {
 			opts.Trace(iter, dv, dx, sse)
 		}
@@ -436,24 +470,47 @@ func overRelax(prev, volt *VoltageTable, opts *EstimatorOptions, ref hw.Config) 
 
 // trainingSSE evaluates the sum of squared prediction errors of parameter
 // vector x with voltage table volt over the whole dataset.
-func trainingSSE(d *Dataset, volt *VoltageTable, x []float64) float64 {
-	var sse float64
-	for fi, cfg := range d.Configs {
+//
+// The (config × benchmark) error blocks are evaluated in parallel — each
+// configuration owns one partial sum — and folded in configuration order,
+// so the result is bitwise-identical run-to-run regardless of scheduling.
+// A voltage-table miss is a hard error: every dataset configuration must
+// resolve (silently skipping one used to understate the SSE and could
+// declare convergence on an objective that ignored part of the data).
+func trainingSSE(d *Dataset, volt *VoltageTable, x []float64) (float64, error) {
+	scratch := make([][]float64, parallel.Workers())
+	for w := range scratch {
+		scratch[w] = make([]float64, nParams)
+	}
+	partial := make([]float64, len(d.Configs))
+	err := parallel.ForEachWorker(len(d.Configs), func(w, fi int) error {
+		cfg := d.Configs[fi]
 		vc, vm, err := volt.At(cfg)
 		if err != nil {
-			continue
+			return fmt.Errorf("core: training SSE at %v: %w", cfg, err)
 		}
+		row := scratch[w]
+		var s float64
 		for bi, bench := range d.Benchmarks {
-			row := designRow(bench.Util, cfg, vc, vm)
+			designRowInto(row, bench.Util, cfg, vc, vm)
 			pred := 0.0
 			for j, v := range row {
 				pred += v * x[j]
 			}
 			diff := d.Power[bi][fi] - pred
-			sse += diff * diff
+			s += diff * diff
 		}
+		partial[fi] = s
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	return sse
+	var sse float64
+	for _, s := range partial {
+		sse += s
+	}
+	return sse, nil
 }
 
 // voltageDelta is the largest absolute voltage change between two tables.

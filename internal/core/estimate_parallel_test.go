@@ -1,0 +1,185 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"gpupower/internal/parallel"
+)
+
+// withGOMAXPROCS runs fn with the scheduler width pinned to n, so the
+// parallel paths exercise real goroutine fan-out even on single-core CI
+// hosts (concurrency without parallelism still shakes out races and
+// ordering bugs under -race).
+func withGOMAXPROCS(n int, fn func()) {
+	prev := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(prev)
+	fn()
+}
+
+// modelsIdentical asserts bitwise equality of everything Estimate fits.
+func modelsIdentical(t *testing.T, a, b *Model) {
+	t.Helper()
+	if a.Beta != b.Beta {
+		t.Fatalf("Beta differs: %v vs %v", a.Beta, b.Beta)
+	}
+	for c, v := range a.OmegaCore {
+		if b.OmegaCore[c] != v {
+			t.Fatalf("ω_%s differs: %v vs %v", c, v, b.OmegaCore[c])
+		}
+	}
+	if a.OmegaMem != b.OmegaMem {
+		t.Fatalf("ω_mem differs: %v vs %v", a.OmegaMem, b.OmegaMem)
+	}
+	if a.Iterations != b.Iterations || a.Converged != b.Converged {
+		t.Fatalf("trajectory differs: (%d, %v) vs (%d, %v)",
+			a.Iterations, a.Converged, b.Iterations, b.Converged)
+	}
+	for mi := range a.Voltages.VCore {
+		for ci := range a.Voltages.VCore[mi] {
+			if a.Voltages.VCore[mi][ci] != b.Voltages.VCore[mi][ci] {
+				t.Fatalf("V̄core differs at (%d,%d): %v vs %v", mi, ci,
+					a.Voltages.VCore[mi][ci], b.Voltages.VCore[mi][ci])
+			}
+			if a.Voltages.VMem[mi][ci] != b.Voltages.VMem[mi][ci] {
+				t.Fatalf("V̄mem differs at (%d,%d): %v vs %v", mi, ci,
+					a.Voltages.VMem[mi][ci], b.Voltages.VMem[mi][ci])
+			}
+		}
+	}
+}
+
+// TestEstimateSerialParallelEquivalence is the determinism guarantee of the
+// parallel engine: a fit on the sequential oracle path and a fit with the
+// worker pool fanned out must produce bitwise-identical parameters, voltage
+// tables and convergence trajectories (the disjoint-write / ordered-
+// reduction invariants of internal/parallel make this exact, not
+// approximate).
+func TestEstimateSerialParallelEquivalence(t *testing.T) {
+	truth := defaultSyntheticTruth()
+	d := syntheticDataset(truth, 40, 0.5, 7)
+
+	var serial, parallelFit *Model
+	var err error
+
+	prev := parallel.SetSequential(true)
+	serial, err = Estimate(d, nil)
+	parallel.SetSequential(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withGOMAXPROCS(4, func() {
+		parallelFit, err = Estimate(d, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	modelsIdentical(t, serial, parallelFit)
+}
+
+// TestEstimateConcurrentOnSharedDataset runs several fits against the SAME
+// dataset from concurrent goroutines. Estimate must treat the dataset as
+// read-only — under `go test -race` this test proves it — and every fit
+// must land on the identical model.
+func TestEstimateConcurrentOnSharedDataset(t *testing.T) {
+	truth := defaultSyntheticTruth()
+	d := syntheticDataset(truth, 30, 0.5, 11)
+
+	withGOMAXPROCS(4, func() {
+		const fits = 4
+		models := make([]*Model, fits)
+		errs := make([]error, fits)
+		var wg sync.WaitGroup
+		wg.Add(fits)
+		for i := 0; i < fits; i++ {
+			go func(i int) {
+				defer wg.Done()
+				models[i], errs[i] = Estimate(d, nil)
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < fits; i++ {
+			if errs[i] != nil {
+				t.Fatalf("concurrent fit %d: %v", i, errs[i])
+			}
+		}
+		for i := 1; i < fits; i++ {
+			modelsIdentical(t, models[0], models[i])
+		}
+	})
+}
+
+// TestTrainingSSEPropagatesVoltageError is the regression test for the
+// silent-continue bug: a voltage table that cannot resolve one of the
+// dataset's configurations used to be skipped, understating the SSE (and
+// potentially declaring convergence on a partial objective). It must now
+// surface as a hard error.
+func TestTrainingSSEPropagatesVoltageError(t *testing.T) {
+	truth := defaultSyntheticTruth()
+	d := syntheticDataset(truth, 5, 0, 3)
+
+	// A table built over a truncated core ladder cannot resolve most of the
+	// dataset's configurations.
+	truncated := NewVoltageTable(d.Device.CoreFreqs[:1], d.Device.MemFreqs)
+	x := make([]float64, nParams)
+	if _, err := trainingSSE(d, truncated, x); err == nil {
+		t.Fatal("trainingSSE swallowed the voltage-table miss")
+	}
+
+	// Happy path: the full table yields exactly the measured power's SSE
+	// for the all-zero parameter vector (prediction ≡ 0).
+	full := NewVoltageTable(d.Device.CoreFreqs, d.Device.MemFreqs)
+	got, err := trainingSSE(d, full, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for fi := range d.Configs {
+		var s float64
+		for bi := range d.Benchmarks {
+			p := d.Power[bi][fi]
+			s += p * p
+		}
+		want += s
+	}
+	if got != want {
+		t.Fatalf("SSE(x=0) = %g, want the measured power SSE %g", got, want)
+	}
+}
+
+// TestSolveXParallelMatchesSequential pins the step-1/step-3 design
+// assembly: the row blocks written by the worker pool must assemble the
+// same system (hence the same NNLS solution) as the sequential path.
+func TestSolveXParallelMatchesSequential(t *testing.T) {
+	truth := defaultSyntheticTruth()
+	d := syntheticDataset(truth, 25, 0.25, 5)
+	volt := NewVoltageTable(d.Device.CoreFreqs, d.Device.MemFreqs)
+	all := make([]int, len(d.Configs))
+	for i := range all {
+		all[i] = i
+	}
+
+	prev := parallel.SetSequential(true)
+	xSeq, errSeq := solveX(d, volt, all)
+	parallel.SetSequential(prev)
+	if errSeq != nil {
+		t.Fatal(errSeq)
+	}
+
+	var xPar []float64
+	var errPar error
+	withGOMAXPROCS(4, func() {
+		xPar, errPar = solveX(d, volt, all)
+	})
+	if errPar != nil {
+		t.Fatal(errPar)
+	}
+	for j := range xSeq {
+		if xSeq[j] != xPar[j] {
+			t.Fatalf("x[%d]: sequential %v != parallel %v", j, xSeq[j], xPar[j])
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"gpupower/internal/core"
 	"gpupower/internal/hw"
+	"gpupower/internal/parallel"
 	"gpupower/internal/stats"
 	"gpupower/internal/suites"
 )
@@ -96,14 +97,19 @@ func RunFig7Device(deviceName string, seed uint64) (*Fig7DeviceResult, error) {
 }
 
 // RunFig7 runs the full Fig. 7 experiment on the paper's three devices.
+// The per-device pipelines (fit + validate) are independent, so they run
+// concurrently; the result keeps the canonical device order.
 func RunFig7(seed uint64) (*Fig7Result, error) {
-	out := &Fig7Result{}
-	for _, dev := range hw.AllDevices() {
-		r, err := RunFig7Device(dev.Name, seed)
-		if err != nil {
-			return nil, err
-		}
-		out.Devices = append(out.Devices, *r)
+	devs := hw.AllDevices()
+	panels, err := parallel.Map(len(devs), func(i int) (*Fig7DeviceResult, error) {
+		return RunFig7Device(devs[i].Name, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig7Result{Devices: make([]Fig7DeviceResult, len(panels))}
+	for i, p := range panels {
+		out.Devices[i] = *p
 	}
 	return out, nil
 }

@@ -11,6 +11,7 @@ import (
 	"gpupower/internal/core"
 	"gpupower/internal/hw"
 	"gpupower/internal/microbench"
+	"gpupower/internal/parallel"
 	"gpupower/internal/profiler"
 	"gpupower/internal/sim"
 )
@@ -21,6 +22,12 @@ const DefaultSeed uint64 = 42
 
 // Rig bundles everything an experiment needs on one device: the simulated
 // GPU, its profiler, and (lazily) a fitted model with its training dataset.
+//
+// Concurrency invariant: Dataset and Model are safe for concurrent use
+// (mutex-guarded, and fitting only reads the dataset), but the profiler
+// drives the simulated device's clock state, so *measurements* on one rig
+// must not be issued from two goroutines at once. Experiments therefore
+// fan out across rigs — per device and per seed — never within one.
 type Rig struct {
 	Device   *hw.Device
 	Sim      *sim.Device
@@ -113,4 +120,32 @@ func ResetSharedRigs() {
 	rigCacheMu.Lock()
 	defer rigCacheMu.Unlock()
 	rigCache = map[string]*Rig{}
+}
+
+// SharedRigs resolves (and warms) one shared rig per device name, fitting
+// the models in parallel. Each rig owns its simulator, profiler, dataset
+// and model, so the per-device pipelines are independent; result slot i
+// always belongs to deviceNames[i]. This is the fan-out every multi-device
+// experiment (fig5–fig10, robustness) rides on.
+func SharedRigs(deviceNames []string, seed uint64) ([]*Rig, error) {
+	return parallel.Map(len(deviceNames), func(i int) (*Rig, error) {
+		r, err := SharedRig(deviceNames[i], seed)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := r.Model(); err != nil {
+			return nil, err
+		}
+		return r, nil
+	})
+}
+
+// AllDeviceNames lists the catalog devices in their canonical order.
+func AllDeviceNames() []string {
+	devs := hw.AllDevices()
+	names := make([]string, len(devs))
+	for i, d := range devs {
+		names[i] = d.Name
+	}
+	return names
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"gpupower/internal/parallel"
 	"gpupower/internal/stats"
 )
 
@@ -19,21 +20,31 @@ type RobustnessResult struct {
 }
 
 // RunRobustness evaluates the Fig. 7 accuracy across the given seeds.
-// Each seed gets its own rigs (not the shared cache) so the runs are fully
-// independent.
+// Every (seed, device) cell is an independent pipeline on its own rig
+// (distinct (device, seed) cache keys), so the full grid fans out across
+// the worker pool at once; cell (si, di) writes only MAE[device][si], so
+// the result layout is identical to the serial nested loops.
 func RunRobustness(seeds []uint64) (*RobustnessResult, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("experiments: robustness needs at least one seed")
 	}
+	devices := []string{"Titan Xp", "GTX Titan X", "Tesla K40c"}
 	out := &RobustnessResult{Seeds: append([]uint64(nil), seeds...), MAE: map[string][]float64{}}
-	for _, seed := range seeds {
-		for _, name := range []string{"Titan Xp", "GTX Titan X", "Tesla K40c"} {
-			res, err := RunFig7Device(name, seed)
-			if err != nil {
-				return nil, fmt.Errorf("robustness: seed %d on %s: %w", seed, name, err)
-			}
-			out.MAE[name] = append(out.MAE[name], res.MAE)
+	for _, name := range devices {
+		out.MAE[name] = make([]float64, len(seeds))
+	}
+	err := parallel.ForEach(len(seeds)*len(devices), func(i int) error {
+		si, di := i/len(devices), i%len(devices)
+		seed, name := seeds[si], devices[di]
+		res, err := RunFig7Device(name, seed)
+		if err != nil {
+			return fmt.Errorf("robustness: seed %d on %s: %w", seed, name, err)
 		}
+		out.MAE[name][si] = res.MAE
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -12,7 +12,16 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"gpupower/internal/parallel"
 )
+
+// parallelMinWork is the scalar-op threshold below which the parallel
+// matrix kernels stay on the inline serial path: the estimator's 11-column
+// systems are far too small for goroutine fan-out to pay for itself, but
+// the same kernels are reused by batched workloads where rows × cols grows
+// into the millions.
+const parallelMinWork = 1 << 16
 
 // Matrix is a dense, row-major matrix of float64.
 type Matrix struct {
@@ -118,13 +127,16 @@ func (m *Matrix) T() *Matrix {
 	return t
 }
 
-// Mul returns the matrix product m·b.
+// Mul returns the matrix product m·b. Output rows are independent, so for
+// large products the row loop fans out across the worker pool (each
+// goroutine writes a disjoint row of out with the same per-row arithmetic
+// as the serial loop — the result is bitwise-identical).
 func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 	if m.cols != b.rows {
 		return nil, fmt.Errorf("linalg: dimension mismatch %dx%d · %dx%d", m.rows, m.cols, b.rows, b.cols)
 	}
 	out := NewMatrix(m.rows, b.cols)
-	for i := 0; i < m.rows; i++ {
+	mulRow := func(i int) {
 		for k := 0; k < m.cols; k++ {
 			a := m.data[i*m.cols+k]
 			if a == 0 {
@@ -136,6 +148,18 @@ func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 				orow[j] += a * bv
 			}
 		}
+	}
+	if m.rows*m.cols*b.cols < parallelMinWork {
+		for i := 0; i < m.rows; i++ {
+			mulRow(i)
+		}
+		return out, nil
+	}
+	if err := parallel.ForEach(m.rows, func(i int) error {
+		mulRow(i)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -155,6 +179,80 @@ func (m *Matrix) MulVec(x []float64) ([]float64, error) {
 		out[i] = s
 	}
 	return out, nil
+}
+
+// CopyColumns gathers the given columns (in order) into a new matrix —
+// the sub-matrix assembly used by the NNLS passive-set solves. Rows are
+// copied independently; large gathers fan the row loop out across the
+// worker pool (disjoint destination rows, bitwise-identical result).
+func (m *Matrix) CopyColumns(cols []int) *Matrix {
+	for _, j := range cols {
+		if j < 0 || j >= m.cols {
+			panic(fmt.Sprintf("linalg: CopyColumns index %d out of bounds for %dx%d matrix", j, m.rows, m.cols))
+		}
+	}
+	out := NewMatrix(m.rows, len(cols))
+	copyRow := func(i int) {
+		src := m.data[i*m.cols : (i+1)*m.cols]
+		dst := out.data[i*out.cols : (i+1)*out.cols]
+		for k, j := range cols {
+			dst[k] = src[j]
+		}
+	}
+	if m.rows*len(cols) < parallelMinWork {
+		for i := 0; i < m.rows; i++ {
+			copyRow(i)
+		}
+		return out
+	}
+	// Gather errors are impossible (bounds pre-checked), so the error
+	// return is structurally nil.
+	_ = parallel.ForEach(m.rows, func(i int) error {
+		copyRow(i)
+		return nil
+	})
+	return out
+}
+
+// TMulVec returns the transpose product Aᵀ·y without materializing Aᵀ.
+// This is the gradient kernel of the NNLS active-set loop (w = Aᵀ·resid).
+// Columns are independent, so large systems fan the column loop out across
+// the worker pool; each goroutine writes one disjoint out[j] with the same
+// ascending-row accumulation as the serial loop (bitwise-identical).
+func (m *Matrix) TMulVec(y []float64) ([]float64, error) {
+	out := make([]float64, m.cols)
+	if err := m.TMulVecInto(out, y); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TMulVecInto computes Aᵀ·y into dst (len Cols), reusing the caller's
+// buffer so iterative solvers allocate nothing per iteration.
+func (m *Matrix) TMulVecInto(dst, y []float64) error {
+	if len(y) != m.rows {
+		return fmt.Errorf("linalg: TMulVec dimension mismatch %dx%d · %d", m.rows, m.cols, len(y))
+	}
+	if len(dst) != m.cols {
+		return fmt.Errorf("linalg: TMulVec dst length %d, want %d", len(dst), m.cols)
+	}
+	col := func(j int) {
+		var s float64
+		for i := 0; i < m.rows; i++ {
+			s += m.data[i*m.cols+j] * y[i]
+		}
+		dst[j] = s
+	}
+	if m.rows*m.cols < parallelMinWork {
+		for j := 0; j < m.cols; j++ {
+			col(j)
+		}
+		return nil
+	}
+	return parallel.ForEach(m.cols, func(j int) error {
+		col(j)
+		return nil
+	})
 }
 
 // String renders the matrix for debugging.

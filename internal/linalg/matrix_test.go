@@ -196,3 +196,115 @@ func TestMaxAbs(t *testing.T) {
 		t.Fatalf("MaxAbs = %g, want 7", m.MaxAbs())
 	}
 }
+
+func TestTMulVecMatchesExplicitTranspose(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{
+		{1, 2, 3},
+		{4, 5, 6},
+	})
+	y := []float64{10, 100}
+	got, err := m.TMulVec(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.T().MulVec(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("TMulVec = %v, Aᵀ·y = %v", got, want)
+		}
+	}
+	if _, err := m.TMulVec([]float64{1}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if err := m.TMulVecInto(make([]float64, 2), y); err == nil {
+		t.Fatal("bad dst length accepted")
+	}
+}
+
+func TestTMulVecLargeParallelPath(t *testing.T) {
+	// Large enough to cross parallelMinWork: the parallel column fan-out
+	// must agree bitwise with the serial transpose product.
+	const rows, cols = 700, 120
+	m := NewMatrix(rows, cols)
+	y := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		y[i] = math.Sin(float64(i))
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, math.Cos(float64(i*cols+j)))
+		}
+	}
+	got, err := m.TMulVec(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < cols; j++ {
+		var s float64
+		for i := 0; i < rows; i++ {
+			s += m.At(i, j) * y[i]
+		}
+		if got[j] != s {
+			t.Fatalf("col %d: parallel %v != serial %v", j, got[j], s)
+		}
+	}
+}
+
+func TestCopyColumns(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{
+		{1, 2, 3},
+		{4, 5, 6},
+	})
+	sub := m.CopyColumns([]int{2, 0})
+	if sub.Rows() != 2 || sub.Cols() != 2 {
+		t.Fatalf("shape %dx%d", sub.Rows(), sub.Cols())
+	}
+	want := [][]float64{{3, 1}, {6, 4}}
+	for i := range want {
+		for j := range want[i] {
+			if sub.At(i, j) != want[i][j] {
+				t.Fatalf("CopyColumns = %v", sub)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range column accepted")
+		}
+	}()
+	m.CopyColumns([]int{3})
+}
+
+func TestMulLargeParallelMatchesSerial(t *testing.T) {
+	// Cross the parallelMinWork threshold and compare against a straight
+	// triple loop; the row-parallel product must be bitwise-identical.
+	const n = 48
+	a := NewMatrix(n, n)
+	b := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, 1/float64(i+j+1))
+			b.Set(i, j, float64((i*j)%7)-3)
+		}
+	}
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				av := a.At(i, k)
+				if av == 0 {
+					continue
+				}
+				s += av * b.At(k, j)
+			}
+			if got.At(i, j) != s {
+				t.Fatalf("(%d,%d): parallel %g != serial %g", i, j, got.At(i, j), s)
+			}
+		}
+	}
+}

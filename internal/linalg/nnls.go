@@ -5,6 +5,11 @@ import (
 	"math"
 )
 
+// passiveSolver solves the least-squares problem restricted to the passive
+// columns. NNLS uses solvePassive; tests inject failing solvers to exercise
+// the transient-singularity (blocked-set) recovery path.
+type passiveSolver func(a *Matrix, b []float64, passive []bool) ([]float64, error)
+
 // NNLS solves the non-negative least-squares problem
 //
 //	min_x ‖A·x − b‖₂  subject to  x ≥ 0
@@ -13,6 +18,11 @@ import (
 // estimator relies on it because every hardware coefficient (β, ω) is a
 // physical capacitance/leakage quantity and must be non-negative.
 func NNLS(a *Matrix, b []float64) ([]float64, error) {
+	return nnls(a, b, solvePassive)
+}
+
+// nnls is the active-set iteration with an injectable passive solver.
+func nnls(a *Matrix, b []float64, solve passiveSolver) ([]float64, error) {
 	m, n := a.Rows(), a.Cols()
 	if len(b) != m {
 		return nil, fmt.Errorf("linalg: NNLS rhs length %d, want %d", len(b), m)
@@ -44,13 +54,9 @@ func NNLS(a *Matrix, b []float64) ([]float64, error) {
 			// Defensive bound; in practice the loop terminates long before.
 			break
 		}
-		// w = Aᵀ·resid.
-		for j := 0; j < n; j++ {
-			col := 0.0
-			for i := 0; i < m; i++ {
-				col += a.At(i, j) * resid[i]
-			}
-			w[j] = col
+		// w = Aᵀ·resid (the KKT gradient of the clamped variables).
+		if err := a.TMulVecInto(w, resid); err != nil {
+			return nil, err
 		}
 		// Pick the most promising clamped variable.
 		best, bestW := -1, gradTol
@@ -65,15 +71,22 @@ func NNLS(a *Matrix, b []float64) ([]float64, error) {
 		passive[best] = true
 
 		// Inner loop: solve the unconstrained problem on the passive set and
-		// clip any variables that went negative.
+		// clip any variables that went negative. removed tracks whether any
+		// variable left the passive set this outer iteration — if so, the
+		// passive geometry changed and stale singularity verdicts (blocked
+		// flags) must be re-examined.
+		removed := false
+		blockedBest := false
 		for {
-			z, err := solvePassive(a, b, passive)
+			z, err := solve(a, b, passive)
 			if err != nil {
 				// The passive submatrix became singular (e.g. collinear
 				// columns when every voltage is pinned to 1); clamp the
-				// variable we just freed and exclude it from future picks.
+				// variable we just freed and exclude it from the picks until
+				// the passive set changes again.
 				passive[best] = false
 				blocked[best] = true
+				blockedBest = true
 				break
 			}
 			// Feasible?
@@ -104,7 +117,24 @@ func NNLS(a *Matrix, b []float64) ([]float64, error) {
 				if passive[j] && x[j] <= tol {
 					x[j] = 0
 					passive[j] = false
+					removed = true
 				}
+			}
+		}
+
+		// Blocked-set recovery: a blocked variable was only unusable against
+		// the passive set that existed when it was blocked. Once any variable
+		// has left the passive set, the offending collinearity may be gone,
+		// so every blocked variable becomes eligible again (except one
+		// blocked in this very iteration, which reflects the current set).
+		// Without this, a transiently collinear column stayed excluded
+		// forever and NNLS could return a suboptimal, KKT-violating point.
+		if removed {
+			for j := range blocked {
+				blocked[j] = false
+			}
+			if blockedBest {
+				blocked[best] = true
 			}
 		}
 
@@ -128,8 +158,10 @@ func NNLS(a *Matrix, b []float64) ([]float64, error) {
 
 // solvePassive solves the least-squares problem restricted to the passive
 // columns, returning a full-length vector with zeros on the active set.
+// The sub-matrix assembly copies disjoint rows and is parallelized through
+// Matrix.Mul-style row fan-out for large systems via CopyColumns.
 func solvePassive(a *Matrix, b []float64, passive []bool) ([]float64, error) {
-	m, n := a.Rows(), a.Cols()
+	n := a.Cols()
 	var idx []int
 	for j := 0; j < n; j++ {
 		if passive[j] {
@@ -139,12 +171,7 @@ func solvePassive(a *Matrix, b []float64, passive []bool) ([]float64, error) {
 	if len(idx) == 0 {
 		return make([]float64, n), nil
 	}
-	sub := NewMatrix(m, len(idx))
-	for i := 0; i < m; i++ {
-		for k, j := range idx {
-			sub.Set(i, k, a.At(i, j))
-		}
-	}
+	sub := a.CopyColumns(idx)
 	zs, err := LeastSquares(sub, b)
 	if err != nil {
 		return nil, err
@@ -184,37 +211,20 @@ func BoundedNNLS(a *Matrix, b []float64, upper []float64) ([]float64, error) {
 	m := a.Rows()
 	rhs := make([]float64, m)
 	copy(rhs, b)
-	free := make([]bool, n)
+	var cols []int
 	for j := 0; j < n; j++ {
 		if x[j] >= upper[j] && !math.IsInf(upper[j], 1) {
 			for i := 0; i < m; i++ {
 				rhs[i] -= a.At(i, j) * upper[j]
 			}
 		} else {
-			free[j] = true
-		}
-	}
-	sub := 0
-	for _, f := range free {
-		if f {
-			sub++
-		}
-	}
-	if sub == 0 {
-		return x, nil
-	}
-	am := NewMatrix(m, sub)
-	cols := make([]int, 0, sub)
-	for j := 0; j < n; j++ {
-		if free[j] {
 			cols = append(cols, j)
 		}
 	}
-	for i := 0; i < m; i++ {
-		for k, j := range cols {
-			am.Set(i, k, a.At(i, j))
-		}
+	if len(cols) == 0 {
+		return x, nil
 	}
+	am := a.CopyColumns(cols)
 	xs, err := NNLS(am, rhs)
 	if err != nil {
 		return nil, err

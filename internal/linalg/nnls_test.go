@@ -7,6 +7,106 @@ import (
 	"gpupower/internal/stats"
 )
 
+// TestNNLSBlockedSetRecovery is the regression test for the permanent-block
+// bug: a variable whose inclusion transiently made the passive set singular
+// used to be excluded from the candidate picks forever, even after the
+// passive set changed and the collinearity disappeared. The transient
+// singularity is simulated with an injected passive solver that fails
+// exactly once (the way a QR rank check fails on a momentarily collinear
+// submatrix, e.g. the all-V̄≡1 step-1 design), because at working precision
+// a genuinely singular pick also has a sub-tolerance gradient.
+func TestNNLSBlockedSetRecovery(t *testing.T) {
+	// Columns: c0 = e1, c1 = e2, c2 = (3, 0.1, 1); b = (1, 2, −0.5).
+	// Initial gradients (Aᵀb): w0 = 1, w1 = 2, w2 = 2.7 → c2 enters first.
+	// The next pick is c1, whose solve we fail once → c1 is blocked.
+	// Then c0 enters and the {c0, c2} fit drives x2 negative → c2 is
+	// clipped out, the passive set shrinks, and the fixed algorithm
+	// re-enables c1, reaching the true optimum x* = (1, 2, 0). The pre-fix
+	// algorithm terminated at x = (1, 0, 0) with the KKT conditions
+	// violated (w1 = 2 > 0 on a clamped variable).
+	a, err := NewMatrixFromRows([][]float64{
+		{1, 0, 3},
+		{0, 1, 0.1},
+		{0, 0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, 2, -0.5}
+
+	failed := false
+	flaky := func(a *Matrix, rhs []float64, passive []bool) ([]float64, error) {
+		if !failed && passive[1] {
+			failed = true
+			return nil, ErrRankDeficient
+		}
+		return solvePassive(a, rhs, passive)
+	}
+
+	x, err := nnls(a, b, flaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatal("injected singularity never triggered; the test no longer exercises the blocked path")
+	}
+	want := []float64{1, 2, 0}
+	for j := range want {
+		if math.Abs(x[j]-want[j]) > 1e-9 {
+			t.Fatalf("x = %v, want %v (blocked variable 1 not recovered)", x, want)
+		}
+	}
+	// KKT check: the recovered point must leave no clamped variable with a
+	// positive gradient.
+	resid, err := Residual(a, x, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := a.TMulVec(resid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range w {
+		if x[j] == 0 && w[j] > 1e-8 {
+			t.Fatalf("KKT violated at clamped variable %d: gradient %g", j, w[j])
+		}
+	}
+}
+
+// TestNNLSPersistentSingularityStaysBlocked pins the other side of the
+// recovery rule: when the singularity is not transient (every solve
+// including the variable fails), NNLS must still terminate and return the
+// best point available without it, not loop or error out.
+func TestNNLSPersistentSingularityStaysBlocked(t *testing.T) {
+	a, err := NewMatrixFromRows([][]float64{
+		{1, 0, 3},
+		{0, 1, 0.1},
+		{0, 0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, 2, -0.5}
+	alwaysFail := func(a *Matrix, rhs []float64, passive []bool) ([]float64, error) {
+		if passive[1] {
+			return nil, ErrRankDeficient
+		}
+		return solvePassive(a, rhs, passive)
+	}
+	x, err := nnls(a, b, alwaysFail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[1] != 0 {
+		t.Fatalf("x1 = %g, want 0 when its solves always fail", x[1])
+	}
+	for j, v := range x {
+		if v < 0 {
+			t.Fatalf("x[%d] = %g < 0", j, v)
+		}
+	}
+}
+
 func TestNNLSMatchesOLSWhenInterior(t *testing.T) {
 	// When the unconstrained optimum is strictly positive, NNLS must agree
 	// with ordinary least squares.

@@ -1,0 +1,247 @@
+// Package parallel is the concurrency substrate of the estimation engine:
+// a bounded, GOMAXPROCS-aware worker pool with deterministic semantics.
+//
+// Design rules (see DESIGN.md §"Concurrency architecture"):
+//
+//   - Disjoint writes. Every parallel loop in this repository writes result
+//     i (and only result i) to slot i of a pre-sized output; no two
+//     goroutines ever write the same memory. Combined with per-item
+//     arithmetic that is identical to the serial loop body, parallel
+//     execution is bitwise-identical to serial execution.
+//   - Ordered reductions. When a loop reduces to a scalar (e.g. a training
+//     SSE), workers fill per-item partials and the caller folds them in
+//     index order, so the floating-point association is fixed and
+//     independent of scheduling.
+//   - Deterministic errors. Per-item errors land in slot i and are joined
+//     in index order, so the reported error does not depend on which
+//     goroutine lost the race.
+//   - Sequential mode. SetSequential(true) (or GPUPOWER_SEQUENTIAL=1)
+//     forces every loop through the inline serial path — the
+//     reproducibility oracle the equivalence tests compare against.
+//
+// Loops fall back to the inline path automatically when the pool would
+// have a single worker or the trip count is 1, so single-core machines
+// (GOMAXPROCS=1) pay zero goroutine overhead.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// sequential forces the inline serial path when non-zero. It is a process
+// global (not per-pool) so reproducibility tests can pin the whole engine.
+var sequential atomic.Bool
+
+// maxWorkers, when > 0, caps pool sizing below GOMAXPROCS.
+var maxWorkers atomic.Int64
+
+func init() {
+	if v := os.Getenv("GPUPOWER_SEQUENTIAL"); v == "1" || v == "true" {
+		sequential.Store(true)
+	}
+}
+
+// SetSequential toggles process-wide sequential mode and returns the
+// previous setting. Tests use it to obtain a serial oracle:
+//
+//	prev := parallel.SetSequential(true)
+//	defer parallel.SetSequential(prev)
+func SetSequential(on bool) (previous bool) {
+	return sequential.Swap(on)
+}
+
+// Sequential reports whether sequential mode is active.
+func Sequential() bool { return sequential.Load() }
+
+// SetMaxWorkers caps the default pool size (0 removes the cap, restoring
+// GOMAXPROCS sizing). It returns the previous cap. The cap never raises
+// the pool above GOMAXPROCS: this is a throttle, not an oversubscription
+// knob.
+func SetMaxWorkers(n int) (previous int) {
+	if n < 0 {
+		n = 0
+	}
+	return int(maxWorkers.Swap(int64(n)))
+}
+
+// Workers returns the effective default pool size: GOMAXPROCS, clipped by
+// SetMaxWorkers, and 1 in sequential mode.
+func Workers() int {
+	if sequential.Load() {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if cap := int(maxWorkers.Load()); cap > 0 && cap < w {
+		w = cap
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Pool is a bounded worker pool. The zero value and a nil *Pool both use
+// the default (GOMAXPROCS-aware) sizing; NewPool pins an explicit size.
+// Pools carry no goroutines between calls — workers are spawned per loop
+// and joined before the loop returns, so a Pool is safe for concurrent use.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool with the given worker bound. workers <= 0 selects
+// the default GOMAXPROCS-aware sizing.
+func NewPool(workers int) *Pool { return &Pool{workers: workers} }
+
+// size resolves the worker count for a loop of n items.
+func (p *Pool) size(n int) int {
+	w := 0
+	if p != nil {
+		w = p.workers
+	}
+	if w <= 0 {
+		w = Workers()
+	} else if sequential.Load() {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(i) for every i in [0, n), using up to the pool's worker
+// bound. Errors are collected per index and joined in index order; a
+// non-nil error stops the distribution of further indices (in-flight items
+// finish). fn must confine its writes to data owned by item i.
+func (p *Pool) ForEach(n int, fn func(i int) error) error {
+	return p.ForEachWorker(n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with the worker id (0 ≤ w < workers) passed to
+// fn, so callers can maintain per-worker scratch buffers and keep the
+// inner loop allocation-free:
+//
+//	scratch := make([][]float64, workers)
+//	pool.ForEachWorker(n, func(w, i int) error { use scratch[w] ... })
+//
+// Worker 0 is always the caller's goroutine when the loop degenerates to
+// the inline path.
+func (p *Pool) ForEachWorker(n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := p.size(n)
+	if workers == 1 {
+		// Inline serial path: same iteration order as a plain for loop.
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return fmt.Errorf("parallel: item %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		errs   = make([]error, n)
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(worker, i); err != nil {
+					errs[i] = fmt.Errorf("parallel: item %d: %w", i, err)
+					failed.Store(true)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failed.Load() {
+		// Join in index order so the aggregate error is deterministic for
+		// a deterministic set of failing items.
+		var nonNil []error
+		for _, e := range errs {
+			if e != nil {
+				nonNil = append(nonNil, e)
+			}
+		}
+		return errors.Join(nonNil...)
+	}
+	return nil
+}
+
+// Map runs fn for every index and returns the results in index order.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapPool[T](nil, n, fn)
+}
+
+// MapPool is Map on an explicit pool.
+func MapPool[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	err := p.ForEach(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach runs fn over [0, n) on the default pool.
+func ForEach(n int, fn func(i int) error) error {
+	return (*Pool)(nil).ForEach(n, fn)
+}
+
+// ForEachWorker runs fn over [0, n) on the default pool, passing the
+// worker id for per-worker scratch.
+func ForEachWorker(n int, fn func(worker, i int) error) error {
+	return (*Pool)(nil).ForEachWorker(n, fn)
+}
+
+// SumOrdered folds per-item partial sums in index order: workers compute
+// partial[i] = fn(i) concurrently (disjoint writes), then the fold runs
+// serially from 0 to n-1. The floating-point association therefore matches
+// the serial loop "for i { s += fn(i) }" exactly whenever each fn(i) is
+// itself computed with serial-identical arithmetic.
+func SumOrdered(n int, fn func(i int) (float64, error)) (float64, error) {
+	partial := make([]float64, n)
+	if err := ForEach(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		partial[i] = v
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, v := range partial {
+		s += v
+	}
+	return s, nil
+}
