@@ -7,12 +7,14 @@
 #                  pool (internal/parallel); this tier is what keeps the
 #                  disjoint-write invariants honest and must gate every PR
 #                  that touches a parallel loop.
+#   make cover   — full suite with coverage; prints the total and writes
+#                  cover.out (the baseline figure lives in EXPERIMENTS.md)
 #   make bench   — regenerate the paper's tables/figures (EXPERIMENTS.md numbers)
 #   make speedup — serial vs parallel Estimate comparison per device catalog
 
 GO ?= go
 
-.PHONY: all build test verify vet race bench speedup clean
+.PHONY: all build test verify vet race cover bench speedup clean
 
 all: verify
 
@@ -29,6 +31,10 @@ vet:
 
 race: vet
 	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...
+	$(GO) tool cover -func=cover.out | tail -1
 
 bench:
 	$(GO) test -bench . -benchmem ./

@@ -11,6 +11,7 @@ package gpupower_test
 // once, evaluate everywhere).
 
 import (
+	"context"
 	"testing"
 
 	"gpupower"
@@ -51,7 +52,7 @@ func BenchmarkTable3(b *testing.B) {
 // BenchmarkFig2 regenerates Fig. 2 (DVFS impact on BlackScholes and CUTCP).
 func BenchmarkFig2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunFig2(benchSeed); err != nil {
+		if _, err := experiments.RunFig2(context.Background(), benchSeed); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -61,7 +62,7 @@ func BenchmarkFig2(b *testing.B) {
 // breakdown).
 func BenchmarkFig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunFig5(benchSeed); err != nil {
+		if _, err := experiments.RunFig5(context.Background(), benchSeed); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -70,7 +71,7 @@ func BenchmarkFig5(b *testing.B) {
 // BenchmarkFig6 regenerates Fig. 6 (measured vs predicted core voltage).
 func BenchmarkFig6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunFig6(benchSeed); err != nil {
+		if _, err := experiments.RunFig6(context.Background(), benchSeed); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -80,7 +81,7 @@ func BenchmarkFig6(b *testing.B) {
 // configurations on the three devices). This is the headline experiment.
 func BenchmarkFig7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig7(benchSeed)
+		r, err := experiments.RunFig7(context.Background(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func shortDevice(name string) string {
 // BenchmarkFig8 regenerates Fig. 8 (per-memory-frequency prediction error).
 func BenchmarkFig8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunFig8(benchSeed); err != nil {
+		if _, err := experiments.RunFig8(context.Background(), benchSeed); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -115,7 +116,7 @@ func BenchmarkFig8(b *testing.B) {
 // BenchmarkFig9 regenerates Fig. 9 (matrixMulCUBLAS input-size sweep).
 func BenchmarkFig9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunFig9(benchSeed); err != nil {
+		if _, err := experiments.RunFig9(context.Background(), benchSeed); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -124,7 +125,7 @@ func BenchmarkFig9(b *testing.B) {
 // BenchmarkFig10 regenerates Fig. 10 (validation-set power breakdown).
 func BenchmarkFig10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunFig10(benchSeed); err != nil {
+		if _, err := experiments.RunFig10(context.Background(), benchSeed); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -133,7 +134,7 @@ func BenchmarkFig10(b *testing.B) {
 // BenchmarkConvergence regenerates the Section V-A convergence report.
 func BenchmarkConvergence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunConvergence(benchSeed); err != nil {
+		if _, err := experiments.RunConvergence(context.Background(), benchSeed); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -142,7 +143,7 @@ func BenchmarkConvergence(b *testing.B) {
 // BenchmarkBaselines regenerates the Section VI baseline comparison.
 func BenchmarkBaselines(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunBaselines(benchSeed); err != nil {
+		if _, err := experiments.RunBaselines(context.Background(), benchSeed); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -151,7 +152,7 @@ func BenchmarkBaselines(b *testing.B) {
 // BenchmarkAblation regenerates the design-choice ablations.
 func BenchmarkAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunAblation(benchSeed); err != nil {
+		if _, err := experiments.RunAblation(context.Background(), benchSeed); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -180,7 +181,7 @@ func BenchmarkPredict(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m, err := r.Model()
+	m, err := r.Model(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func BenchmarkMeasureAppPower(b *testing.B) {
 	cfg := hw.Config{CoreMHz: 975, MemMHz: 3505}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.Profiler.MeasureAppPower(wl.App, cfg); err != nil {
+		if _, err := r.Profiler.MeasureAppPower(context.Background(), wl.App, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -274,7 +275,7 @@ func BenchmarkDVFSSearch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m, err := r.Model()
+	m, err := r.Model(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -298,7 +299,7 @@ func BenchmarkDVFSSearch(b *testing.B) {
 // independent die instances (seed sweep).
 func BenchmarkRobustness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunRobustness([]uint64{benchSeed, benchSeed + 1, benchSeed + 2}); err != nil {
+		if _, err := experiments.RunRobustness(context.Background(), []uint64{benchSeed, benchSeed + 1, benchSeed + 2}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -309,7 +310,7 @@ func BenchmarkRobustness(b *testing.B) {
 func BenchmarkBreakdownTruth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, dev := range []string{"Titan Xp", "GTX Titan X", "Tesla K40c"} {
-			if _, err := experiments.RunBreakdownTruth(dev, benchSeed); err != nil {
+			if _, err := experiments.RunBreakdownTruth(context.Background(), dev, benchSeed); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -320,7 +321,7 @@ func BenchmarkBreakdownTruth(b *testing.B) {
 // Section VII future-work scenario).
 func BenchmarkGovernor(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunGovernorStudy(benchSeed); err != nil {
+		if _, err := experiments.RunGovernorStudy(context.Background(), benchSeed); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -330,7 +331,7 @@ func BenchmarkGovernor(b *testing.B) {
 // companion performance model, ref. [9]).
 func BenchmarkTimeModel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunTimeModel(benchSeed); err != nil {
+		if _, err := experiments.RunTimeModel(context.Background(), benchSeed); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -354,7 +355,7 @@ func estimateDataset(b *testing.B, device string) *core.Dataset {
 	if err != nil {
 		b.Fatal(err)
 	}
-	d, err := r.Dataset()
+	d, err := r.Dataset(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -369,7 +370,7 @@ func benchmarkEstimate(b *testing.B, sequential bool) {
 			defer gpupower.SetSequential(prev)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Estimate(d, nil); err != nil {
+				if _, err := core.Estimate(context.Background(), d, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -394,7 +395,7 @@ func BenchmarkEvaluateOperatingPoints(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m, err := r.Model()
+	m, err := r.Model(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,70 @@
+package gpupower_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gpupower"
+)
+
+// Cancellation regression tests for the public API: every long-running
+// entry point must return promptly with an error wrapping context.Canceled.
+// make race runs these under the race detector, which is what would catch a
+// cancellation path racing the worker pool.
+
+func canceledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func TestEvaluateOperatingPointsCanceled(t *testing.T) {
+	gpu, model := fitted(t)
+	wl, err := gpupower.WorkloadByName("HOTS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := gpu.ProfileForModel(wl.App, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = gpupower.EvaluateOperatingPointsContext(canceledCtx(), model, gpu.Device(), prof)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+
+	_, err = gpupower.FindBestConfigContext(canceledCtx(), model, gpu.Device(), prof, gpupower.MinEnergy)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("FindBestConfig: err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestFitPowerModelCanceled(t *testing.T) {
+	gpu, err := gpupower.Open(gpupower.TeslaK40c, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gpu.FitPowerModelContext(canceledCtx(), nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestProfileAndMeasureCanceled(t *testing.T) {
+	gpu, model := fitted(t)
+	wl, err := gpupower.WorkloadByName("GAUSS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gpu.ProfileForModelContext(canceledCtx(), wl.App, model); !errors.Is(err, context.Canceled) {
+		t.Fatalf("profile: err = %v, want wrapped context.Canceled", err)
+	}
+	if _, err := gpu.MeasurePowerContext(canceledCtx(), wl.App, gpu.DefaultConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("measure: err = %v, want wrapped context.Canceled", err)
+	}
+}

@@ -9,13 +9,20 @@
 //
 // Experiments: table1 table2 table3 fig2 fig5 fig6 fig7 fig8 fig9 fig10
 // convergence baselines ablation breakdown governor robustness sources all.
+//
+// Ctrl-C (SIGINT/SIGTERM) cancels the in-flight experiment at its next
+// measurement or fitting checkpoint and exits with an error.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"gpupower/internal/experiments"
 )
@@ -28,6 +35,9 @@ func main() {
 	report := flag.String("report", "", "when set, write a self-contained markdown evaluation report to this file and exit")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *report != "" {
 		f, err := os.Create(*report)
 		if err != nil {
@@ -35,19 +45,17 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := experiments.WriteReport(f, *seed); err != nil {
-			fmt.Fprintf(os.Stderr, "gpowerbench: report: %v\n", err)
-			os.Exit(1)
+		if err := experiments.WriteReport(ctx, f, *seed); err != nil {
+			fail("report", err)
 		}
 		fmt.Println("report written to", *report)
 		return
 	}
 
 	if *csvDir != "" {
-		paths, err := experiments.ExportAllCSVs(*csvDir, *seed)
+		paths, err := experiments.ExportAllCSVs(ctx, *csvDir, *seed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gpowerbench: csv export: %v\n", err)
-			os.Exit(1)
+			fail("csv export", err)
 		}
 		for _, p := range paths {
 			fmt.Println(p)
@@ -61,10 +69,19 @@ func main() {
 	}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
-		if err := experiments.RunByName(name, os.Stdout, *seed, *plot); err != nil {
-			fmt.Fprintf(os.Stderr, "gpowerbench: %s: %v\n", name, err)
-			os.Exit(1)
+		if err := experiments.RunByName(ctx, name, os.Stdout, *seed, *plot); err != nil {
+			fail(name, err)
 		}
 		fmt.Println()
 	}
+}
+
+// fail reports an error, distinguishing user-requested cancellation.
+func fail(what string, err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "gpowerbench: %s: interrupted\n", what)
+	} else {
+		fmt.Fprintf(os.Stderr, "gpowerbench: %s: %v\n", what, err)
+	}
+	os.Exit(1)
 }

@@ -18,7 +18,6 @@ import (
 	"log"
 
 	"gpupower"
-	"gpupower/internal/hw"
 )
 
 func main() {
@@ -67,13 +66,7 @@ func main() {
 		}
 		fmt.Printf("%s (%s, %s) profiled at %v\n", wl.Short, wl.Full, wl.Suite, prof.Ref)
 	}
-	fmt.Printf("Utilization:")
-	for _, c := range []gpupower.Component{hw.Int, hw.SP, hw.DP, hw.SF, hw.Shared, hw.L2, hw.DRAM} {
-		if prof.Utilization[c] >= 0.005 {
-			fmt.Printf(" %s=%.2f", c, prof.Utilization[c])
-		}
-	}
-	fmt.Println()
+	fmt.Printf("Utilization: %s\n", prof.FormatUtilization())
 
 	var configs []gpupower.Config
 	if *fcore > 0 && *fmem > 0 {
@@ -101,7 +94,7 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("    constant %.1f W", bd.Constant)
-			for _, c := range []gpupower.Component{hw.Int, hw.SP, hw.DP, hw.SF, hw.Shared, hw.L2, hw.DRAM} {
+			for _, c := range []gpupower.Component{gpupower.Int, gpupower.SP, gpupower.DP, gpupower.SF, gpupower.Shared, gpupower.L2, gpupower.DRAM} {
 				if bd.Component[c] >= 0.5 {
 					fmt.Printf("  %s %.1f W", c, bd.Component[c])
 				}

@@ -15,7 +15,6 @@ import (
 	"log"
 
 	"gpupower"
-	"gpupower/internal/hw"
 )
 
 func main() {
@@ -48,11 +47,6 @@ func main() {
 	}
 	fmt.Printf("%s profiled at %v on %s\n", wl.Short, prof.Ref, gpu.Name())
 	fmt.Printf("  reference power: %.1f W\n", prof.RefPower)
-	fmt.Printf("  utilization:")
-	for _, c := range []gpupower.Component{hw.Int, hw.SP, hw.DP, hw.SF, hw.Shared, hw.L2, hw.DRAM} {
-		if prof.Utilization[c] >= 0.005 {
-			fmt.Printf(" %s=%.2f", c, prof.Utilization[c])
-		}
-	}
-	fmt.Printf("\nProfile written to %s\n", *out)
+	fmt.Printf("  utilization: %s\n", prof.FormatUtilization())
+	fmt.Printf("Profile written to %s\n", *out)
 }

@@ -1,8 +1,10 @@
 package gpupower
 
 import (
+	"context"
 	"fmt"
 
+	"gpupower/internal/backend"
 	"gpupower/internal/core"
 	"gpupower/internal/parallel"
 )
@@ -59,7 +61,9 @@ func (o Objective) String() string {
 	case MinPowerUnderTDP:
 		return "min-power"
 	default:
-		return fmt.Sprintf("Objective(%d)", int(o))
+		// Exhaustive default: an out-of-range value still prints something
+		// diagnosable rather than an empty string.
+		return fmt.Sprintf("unknown(%d)", int(o))
 	}
 }
 
@@ -71,6 +75,13 @@ func (o Objective) String() string {
 // the returned slice is in deterministic ladder order regardless of
 // scheduling.
 func EvaluateOperatingPoints(m *Model, dev *Device, p *Profile) ([]OperatingPoint, error) {
+	return EvaluateOperatingPointsContext(context.Background(), m, dev, p)
+}
+
+// EvaluateOperatingPointsContext is EvaluateOperatingPoints under a
+// context: cancellation is checked at configuration granularity and
+// surfaces as an error wrapping ctx.Err().
+func EvaluateOperatingPointsContext(ctx context.Context, m *Model, dev *Device, p *Profile) ([]OperatingPoint, error) {
 	refPower, err := m.Predict(p.Utilization, p.Ref)
 	if err != nil {
 		return nil, err
@@ -80,6 +91,9 @@ func EvaluateOperatingPoints(m *Model, dev *Device, p *Profile) ([]OperatingPoin
 	}
 	configs := dev.AllConfigs()
 	return parallel.Map(len(configs), func(i int) (OperatingPoint, error) {
+		if err := backend.CheckContext(ctx, "gpupower: evaluating operating points"); err != nil {
+			return OperatingPoint{}, err
+		}
 		cfg := configs[i]
 		pw, err := m.Predict(p.Utilization, cfg)
 		if err != nil {
@@ -130,7 +144,12 @@ func betterPoint(a, b OperatingPoint, obj Objective) bool {
 // considering only TDP-feasible points. Ties on the objective are broken
 // deterministically (lower core clock, then lower memory clock).
 func FindBestConfig(m *Model, dev *Device, p *Profile, obj Objective) (OperatingPoint, error) {
-	pts, err := EvaluateOperatingPoints(m, dev, p)
+	return FindBestConfigContext(context.Background(), m, dev, p, obj)
+}
+
+// FindBestConfigContext is FindBestConfig under a context.
+func FindBestConfigContext(ctx context.Context, m *Model, dev *Device, p *Profile, obj Objective) (OperatingPoint, error) {
+	pts, err := EvaluateOperatingPointsContext(ctx, m, dev, p)
 	if err != nil {
 		return OperatingPoint{}, err
 	}

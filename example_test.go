@@ -6,6 +6,7 @@ package gpupower_test
 // as living documentation.
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -110,7 +111,7 @@ func ExampleGPU_NewGovernor() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := gov.RunApp(wl.App, 20)
+	rep, err := gov.RunApp(context.Background(), wl.App, 20)
 	if err != nil {
 		log.Fatal(err)
 	}

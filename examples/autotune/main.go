@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,7 +50,7 @@ func main() {
 
 	fmt.Printf("\nAuto-tuning %s (%d kernels) under runtime budgets:\n", app.Name, len(app.Kernels))
 	for _, slack := range []float64{0.0, 0.10, 0.25} {
-		plan, err := tuner.Tune(app, slack)
+		plan, err := tuner.Tune(context.Background(), app, slack)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,7 +50,7 @@ func main() {
 			if pol == gpupower.GovMaxPerfUnderCap {
 				gov.PowerCap = 150 // W
 			}
-			rep, err := gov.RunApp(wl.App, 50)
+			rep, err := gov.RunApp(context.Background(), wl.App, 50)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package gpupower_test
 
 import (
+	"context"
 	"testing"
 
 	"gpupower"
@@ -20,7 +21,7 @@ func TestFacadeGovernor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := gov.RunApp(wl.App, 5)
+	rep, err := gov.RunApp(context.Background(), wl.App, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestFacadeTuner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := tuner.Tune(wl.App, 0.2)
+	plan, err := tuner.Tune(context.Background(), wl.App, 0.2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,8 +11,10 @@
 // (Titan Xp, GTX Titan X, Tesla K40c) with a hidden electrical ground truth;
 // the model-fitting pipeline observes the simulated dies only through
 // NVML/CUPTI-like measurement façades, exactly as the paper observes real
-// silicon. See DESIGN.md for the substitution argument and the per-
-// experiment index.
+// silicon. The pipeline itself is backend-agnostic (see Backend): it runs
+// equally over the simulator or a recorded measurement trace (Record /
+// OpenTrace), because the model is fitted from measurements only. See
+// DESIGN.md for the substitution argument and the per-experiment index.
 //
 // Typical use:
 //
@@ -23,8 +25,10 @@
 package gpupower
 
 import (
+	"context"
 	"fmt"
 
+	"gpupower/internal/backend/simbk"
 	"gpupower/internal/core"
 	"gpupower/internal/hw"
 	"gpupower/internal/kernels"
@@ -82,18 +86,21 @@ const (
 // DeviceNames lists the catalog devices in the paper's order.
 func DeviceNames() []string { return []string{TitanXp, GTXTitanX, TeslaK40c} }
 
-// GPU is an open handle to one (simulated) GPU: kernel execution, NVML-style
-// management, CUPTI-style event collection and the paper's measurement
-// methodology.
+// GPU is an open handle to one GPU behind a measurement backend: kernel
+// execution, NVML-style management, CUPTI-style event collection and the
+// paper's measurement methodology. Open backs it with the simulator;
+// OpenBackend/OpenTrace accept any Backend.
 type GPU struct {
 	dev  *hw.Device
-	sim  *sim.Device
+	b    Backend
 	prof *profiler.Profiler
-	nv   *nvml.Device
+	// nv is the NVML façade; populated only for simulator-backed handles.
+	nv *nvml.Device
 }
 
-// Open creates a GPU handle for a catalog device. All stochastic behaviour
-// (sensor noise, per-die event error) derives deterministically from seed.
+// Open creates a simulator-backed GPU handle for a catalog device. All
+// stochastic behaviour (sensor noise, per-die event error) derives
+// deterministically from seed.
 func Open(deviceName string, seed uint64) (*GPU, error) {
 	dev, err := hw.DeviceByName(deviceName)
 	if err != nil {
@@ -103,11 +110,15 @@ func Open(deviceName string, seed uint64) (*GPU, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := profiler.New(s)
+	b, err := simbk.New(s)
 	if err != nil {
 		return nil, err
 	}
-	return &GPU{dev: dev, sim: s, prof: p, nv: nvml.Wrap(s)}, nil
+	p, err := profiler.New(b)
+	if err != nil {
+		return nil, err
+	}
+	return &GPU{dev: dev, b: b, prof: p, nv: nvml.Wrap(s)}, nil
 }
 
 // Device returns the static hardware description.
@@ -115,6 +126,9 @@ func (g *GPU) Device() *Device { return g.dev }
 
 // Name returns the product name.
 func (g *GPU) Name() string { return g.dev.Name }
+
+// Backend returns the measurement backend behind this handle.
+func (g *GPU) Backend() Backend { return g.b }
 
 // DefaultConfig returns the reference (default) clocks.
 func (g *GPU) DefaultConfig() Config { return g.dev.DefaultConfig() }
@@ -130,16 +144,23 @@ func (g *GPU) TDP() float64 { return g.dev.TDP }
 // every configuration) and estimate the DVFS-aware model with the
 // Section III-D iterative algorithm.
 func (g *GPU) FitPowerModel() (*Model, error) {
-	return g.FitPowerModelWithOptions(nil)
+	return g.FitPowerModelContext(context.Background(), nil)
 }
 
 // FitPowerModelWithOptions is FitPowerModel with custom estimator options.
 func (g *GPU) FitPowerModelWithOptions(opts *EstimatorOptions) (*Model, error) {
-	d, err := core.BuildDataset(g.prof, microbench.Suite(), g.dev.DefaultConfig(), g.dev.AllConfigs())
+	return g.FitPowerModelContext(context.Background(), opts)
+}
+
+// FitPowerModelContext is FitPowerModel under a context: cancellation is
+// honored at benchmark granularity while measuring and at iteration
+// granularity while estimating, and surfaces as an error wrapping ctx.Err().
+func (g *GPU) FitPowerModelContext(ctx context.Context, opts *EstimatorOptions) (*Model, error) {
+	d, err := core.BuildDataset(ctx, g.prof, microbench.Suite(), g.dev.DefaultConfig(), g.dev.AllConfigs())
 	if err != nil {
 		return nil, fmt.Errorf("gpupower: building training dataset: %w", err)
 	}
-	return core.Estimate(d, opts)
+	return core.Estimate(ctx, d, opts)
 }
 
 // Profile is an application's reference-configuration characterization:
@@ -157,28 +178,42 @@ type Profile struct {
 // default (reference) configuration — the only measurement the model needs
 // to predict the application's power at every other configuration.
 func (g *GPU) Profile(app *App) (*Profile, error) {
-	return g.ProfileAt(app, g.dev.DefaultConfig())
+	return g.ProfileContext(context.Background(), app)
+}
+
+// ProfileContext is Profile under a context.
+func (g *GPU) ProfileContext(ctx context.Context, app *App) (*Profile, error) {
+	return g.profileAt(ctx, app, g.dev.DefaultConfig())
 }
 
 // ProfileAt is Profile at an explicit reference configuration. The model
 // used for prediction must have been fitted with the same reference.
 func (g *GPU) ProfileAt(app *App, ref Config) (*Profile, error) {
-	l2bpc, err := core.CalibrateL2BytesPerCycle(g.prof, ref)
+	return g.profileAt(context.Background(), app, ref)
+}
+
+func (g *GPU) profileAt(ctx context.Context, app *App, ref Config) (*Profile, error) {
+	l2bpc, err := core.CalibrateL2BytesPerCycle(ctx, g.prof, ref)
 	if err != nil {
 		return nil, err
 	}
-	return g.profileWith(app, ref, l2bpc)
+	return g.profileWith(ctx, app, ref, l2bpc)
 }
 
 // ProfileForModel profiles an application using the model's calibrated L2
 // peak and reference configuration (the normal prediction path: calibration
 // happened once, at fit time).
 func (g *GPU) ProfileForModel(app *App, m *Model) (*Profile, error) {
-	return g.profileWith(app, m.Ref, m.L2BytesPerCycle)
+	return g.ProfileForModelContext(context.Background(), app, m)
 }
 
-func (g *GPU) profileWith(app *App, ref Config, l2bpc float64) (*Profile, error) {
-	prof, err := g.prof.ProfileApp(app, ref)
+// ProfileForModelContext is ProfileForModel under a context.
+func (g *GPU) ProfileForModelContext(ctx context.Context, app *App, m *Model) (*Profile, error) {
+	return g.profileWith(ctx, app, m.Ref, m.L2BytesPerCycle)
+}
+
+func (g *GPU) profileWith(ctx context.Context, app *App, ref Config, l2bpc float64) (*Profile, error) {
+	prof, err := g.prof.ProfileApp(ctx, app, ref)
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +221,7 @@ func (g *GPU) profileWith(app *App, ref Config, l2bpc float64) (*Profile, error)
 	if err != nil {
 		return nil, err
 	}
-	refPower, err := g.prof.MeasureAppPower(app, ref)
+	refPower, err := g.prof.MeasureAppPower(ctx, app, ref)
 	if err != nil {
 		return nil, err
 	}
@@ -198,16 +233,23 @@ func (g *GPU) profileWith(app *App, ref Config, l2bpc float64) (*Profile, error)
 // weighting). Use it to validate predictions; the model itself never needs
 // more than the single reference-configuration profile.
 func (g *GPU) MeasurePower(app *App, cfg Config) (float64, error) {
-	return g.prof.MeasureAppPower(app, cfg)
+	return g.prof.MeasureAppPower(context.Background(), app, cfg)
+}
+
+// MeasurePowerContext is MeasurePower under a context.
+func (g *GPU) MeasurePowerContext(ctx context.Context, app *App, cfg Config) (float64, error) {
+	return g.prof.MeasureAppPower(ctx, app, cfg)
 }
 
 // MeasureIdlePower measures the awake-but-idle power at a configuration.
 func (g *GPU) MeasureIdlePower(cfg Config) (float64, error) {
-	return g.prof.MeasureIdlePower(cfg)
+	return g.prof.MeasureIdlePower(context.Background(), cfg)
 }
 
 // NVML exposes the management-library façade (clock control, supported
-// clocks, power limit).
+// clocks, power limit). It is only available on simulator-backed handles
+// (Open); for other backends it returns nil — use Backend for the portable
+// clock/power surface.
 func (g *GPU) NVML() *nvml.Device { return g.nv }
 
 // LoadModel reads a fitted model from a JSON file.

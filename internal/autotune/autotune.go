@@ -15,10 +15,12 @@
 package autotune
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"gpupower/internal/backend"
 	"gpupower/internal/core"
 	"gpupower/internal/hw"
 	"gpupower/internal/kernels"
@@ -57,9 +59,9 @@ func New(p *profiler.Profiler, m *core.Model) (*Tuner, error) {
 	if p == nil || m == nil {
 		return nil, fmt.Errorf("autotune: nil profiler or model")
 	}
-	if m.DeviceName != p.Device().HW().Name {
+	if m.DeviceName != p.HW().Name {
 		return nil, fmt.Errorf("autotune: model fitted on %q, device is %q",
-			m.DeviceName, p.Device().HW().Name)
+			m.DeviceName, p.HW().Name)
 	}
 	return &Tuner{prof: p, model: m}, nil
 }
@@ -67,10 +69,10 @@ func New(p *profiler.Profiler, m *core.Model) (*Tuner, error) {
 // kernelFrontier profiles one kernel and returns its Pareto frontier
 // (ascending RelTime, strictly descending RelEnergy) plus the kernel's
 // reference execution time and power.
-func (t *Tuner) kernelFrontier(k *kernels.KernelSpec) (frontier []Candidate, refSeconds, refPower float64, err error) {
-	dev := t.prof.Device().HW()
+func (t *Tuner) kernelFrontier(ctx context.Context, k *kernels.KernelSpec) (frontier []Candidate, refSeconds, refPower float64, err error) {
+	dev := t.prof.HW()
 	ref := t.model.Ref
-	prof, err := t.prof.ProfileApp(kernels.SingleKernelApp(k), ref)
+	prof, err := t.prof.ProfileApp(ctx, kernels.SingleKernelApp(k), ref)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -128,8 +130,9 @@ const exhaustiveLimit = 200000
 // Tune plans per-kernel configurations minimizing total predicted energy
 // subject to TotalTime ≤ (1 + slack) × TotalTime(ref). slack = 0.1 allows a
 // 10% slowdown; negative slack demands a speedup (feasible only when a
-// faster-than-reference configuration exists).
-func (t *Tuner) Tune(app *kernels.App, slack float64) (*Plan, error) {
+// faster-than-reference configuration exists). Cancellation is checked at
+// kernel granularity while profiling.
+func (t *Tuner) Tune(ctx context.Context, app *kernels.App, slack float64) (*Plan, error) {
 	if err := app.Validate(); err != nil {
 		return nil, err
 	}
@@ -139,7 +142,10 @@ func (t *Tuner) Tune(app *kernels.App, slack float64) (*Plan, error) {
 	refPowers := make([]float64, n)
 	var totalRefT float64
 	for i, k := range app.Kernels {
-		f, rt, rp, err := t.kernelFrontier(k)
+		if err := backend.CheckContext(ctx, "autotune: planning "+app.Name); err != nil {
+			return nil, err
+		}
+		f, rt, rp, err := t.kernelFrontier(ctx, k)
 		if err != nil {
 			return nil, err
 		}

@@ -1,15 +1,15 @@
 package autotune
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
 
+	"gpupower/internal/backend/simbk"
 	"gpupower/internal/core"
-	"gpupower/internal/hw"
 	"gpupower/internal/microbench"
 	"gpupower/internal/profiler"
-	"gpupower/internal/sim"
 	"gpupower/internal/suites"
 )
 
@@ -23,22 +23,23 @@ var (
 func tuner(t *testing.T) *Tuner {
 	t.Helper()
 	rigOnce.Do(func() {
-		dev := hw.GTXTitanX()
-		s, err := sim.New(dev, 42)
+		ctx := context.Background()
+		b, err := simbk.Open("GTX Titan X", 42)
 		if err != nil {
 			rigErr = err
 			return
 		}
-		rigProf, rigErr = profiler.New(s)
+		dev := b.Device()
+		rigProf, rigErr = profiler.New(b)
 		if rigErr != nil {
 			return
 		}
 		var d *core.Dataset
-		d, rigErr = core.BuildDataset(rigProf, microbench.Suite(), dev.DefaultConfig(), dev.AllConfigs())
+		d, rigErr = core.BuildDataset(ctx, rigProf, microbench.Suite(), dev.DefaultConfig(), dev.AllConfigs())
 		if rigErr != nil {
 			return
 		}
-		rigMod, rigErr = core.Estimate(d, nil)
+		rigMod, rigErr = core.Estimate(ctx, d, nil)
 	})
 	if rigErr != nil {
 		t.Fatal(rigErr)
@@ -79,7 +80,7 @@ func TestTuneRespectsBudgetAndSavesEnergy(t *testing.T) {
 	tn := tuner(t)
 	km := app(t, "K-M") // two kernels
 	for _, slack := range []float64{0.05, 0.15, 0.30} {
-		plan, err := tn.Tune(km.App, slack)
+		plan, err := tn.Tune(context.Background(), km.App, slack)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,11 +99,11 @@ func TestTuneRespectsBudgetAndSavesEnergy(t *testing.T) {
 func TestMoreSlackNeverHurts(t *testing.T) {
 	tn := tuner(t)
 	a := app(t, "SRAD_1")
-	tight, err := tn.Tune(a.App, 0.05)
+	tight, err := tn.Tune(context.Background(), a.App, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
-	loose, err := tn.Tune(a.App, 0.50)
+	loose, err := tn.Tune(context.Background(), a.App, 0.50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestMoreSlackNeverHurts(t *testing.T) {
 func TestTuneMemoryBoundPrefersLowCore(t *testing.T) {
 	tn := tuner(t)
 	a := app(t, "LBM")
-	plan, err := tn.Tune(a.App, 0.10)
+	plan, err := tn.Tune(context.Background(), a.App, 0.10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestTuneValidation(t *testing.T) {
 	tn := tuner(t)
 	bad := &struct{}{}
 	_ = bad
-	if _, err := tn.Tune(nil, 0.1); err == nil {
+	if _, err := tn.Tune(context.Background(), nil, 0.1); err == nil {
 		t.Fatal("nil app accepted")
 	}
 }

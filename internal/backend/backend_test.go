@@ -1,0 +1,35 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckContextLive(t *testing.T) {
+	if err := CheckContext(context.Background(), "fit"); err != nil {
+		t.Fatalf("live context reported %v", err)
+	}
+}
+
+func TestCheckContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := CheckContext(ctx, "estimate iteration 3")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "estimate iteration 3") {
+		t.Fatalf("err %q lost the operation label", err)
+	}
+}
+
+func TestCheckContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if err := CheckContext(ctx, "sweep"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+}

@@ -1,0 +1,32 @@
+package backend
+
+import "errors"
+
+// The shared error taxonomy of the measurement boundary. Backends wrap these
+// sentinels (errors.Is-matchable) instead of inventing ad-hoc strings, so
+// callers can distinguish a clock-ladder violation from a trace that ran dry
+// without parsing messages.
+var (
+	// ErrUnsupportedClock reports a requested frequency that is not a
+	// supported ladder level for the device.
+	ErrUnsupportedClock = errors.New("unsupported clock level")
+
+	// ErrThrottled reports a reference-configuration run that was
+	// TDP-capped. A throttled reference corrupts the event-to-cycle
+	// relation the model assumes, so the profiler surfaces it loudly.
+	ErrThrottled = errors.New("reference run throttled")
+
+	// ErrTraceMismatch reports a replayed interaction that the recorded
+	// trace has no answer for: the consumer asked for a (kernel,
+	// configuration, operation) tuple the recording never performed.
+	ErrTraceMismatch = errors.New("trace mismatch")
+
+	// ErrTraceExhausted reports a replayed interaction whose recorded
+	// answers were all consumed already — the replay run asked for more
+	// measurements than the recording captured.
+	ErrTraceExhausted = errors.New("trace exhausted")
+
+	// ErrTraceVersion reports a trace file whose format version this
+	// build does not understand.
+	ErrTraceVersion = errors.New("unsupported trace version")
+)

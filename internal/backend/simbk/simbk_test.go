@@ -1,0 +1,115 @@
+package simbk
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gpupower/internal/backend"
+	"gpupower/internal/cupti"
+	"gpupower/internal/hw"
+	"gpupower/internal/kernels"
+)
+
+func open(t *testing.T) *Backend {
+	t.Helper()
+	b, err := Open("GTX Titan X", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func testKernel() *kernels.KernelSpec {
+	return &kernels.KernelSpec{
+		Name:            "k",
+		WarpInstrs:      map[hw.Component]float64{hw.SP: 2e9, hw.Int: 5e8},
+		L2ReadBytes:     5e7,
+		DRAMReadBytes:   5e7,
+		FixedCycles:     1e5,
+		IssueEfficiency: 0.9,
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open("GTX 480", 1); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil device accepted")
+	}
+}
+
+func TestDeviceAndEscapeHatches(t *testing.T) {
+	b := open(t)
+	if b.Device().Name != "GTX Titan X" {
+		t.Fatalf("device = %q", b.Device().Name)
+	}
+	if b.Sim() == nil || b.Collector() == nil {
+		t.Fatal("validation-only escape hatches missing")
+	}
+}
+
+func TestClockControl(t *testing.T) {
+	b := open(t)
+	cfg := hw.Config{CoreMHz: 595, MemMHz: 810}
+	if err := b.SetClocks(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Clocks(); got != cfg {
+		t.Fatalf("Clocks() = %v, want %v", got, cfg)
+	}
+	err := b.SetClocks(hw.Config{CoreMHz: 123, MemMHz: 810})
+	if !errors.Is(err, backend.ErrUnsupportedClock) {
+		t.Fatalf("off-ladder: err = %v, want wrapped ErrUnsupportedClock", err)
+	}
+}
+
+func TestMeasurementSurface(t *testing.T) {
+	b := open(t)
+	k := testKernel()
+	dflt := b.Device().DefaultConfig()
+	if err := b.SetClocks(dflt); err != nil {
+		t.Fatal(err)
+	}
+
+	w, info, err := b.SampledKernelPower(k, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w <= 0 || w > b.Device().TDP {
+		t.Fatalf("power %g W outside (0, TDP]", w)
+	}
+	if info.Requested != dflt || info.Seconds <= 0 {
+		t.Fatalf("run summary %+v implausible", info)
+	}
+
+	idle, err := b.SampledIdlePower(50 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idle <= 0 || idle >= w {
+		t.Fatalf("idle %g W vs loaded %g W", idle, w)
+	}
+
+	metrics, _, err := b.CollectMetrics(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range cupti.AllMetrics {
+		if _, ok := metrics[string(m)]; !ok {
+			t.Fatalf("metric %s missing from the string-keyed view", m)
+		}
+	}
+
+	e, info, err := b.RunKernel(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e <= 0 || info.Seconds <= 0 {
+		t.Fatalf("energy %g J over %g s", e, info.Seconds)
+	}
+	if p := e / info.Seconds; p <= 0 || p > b.Device().TDP {
+		t.Fatalf("implied power %g W outside (0, TDP]", p)
+	}
+}

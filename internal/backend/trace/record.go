@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gpupower/internal/backend"
+	"gpupower/internal/hw"
+	"gpupower/internal/kernels"
+)
+
+// Recorder wraps an inner backend and captures every measurement
+// interaction into a Trace. It is safe for concurrent use, but note that
+// meaningful recordings are serial anyway: measurements mutate the device's
+// clock state, so the profiler never issues them concurrently on one
+// backend.
+type Recorder struct {
+	inner backend.Backend
+
+	mu     sync.Mutex
+	events []Event
+	note   string
+}
+
+var _ backend.Backend = (*Recorder)(nil)
+
+// NewRecorder wraps inner so every interaction is recorded.
+func NewRecorder(inner backend.Backend) *Recorder {
+	return &Recorder{inner: inner}
+}
+
+// SetNote attaches free-form provenance to the recorded trace.
+func (r *Recorder) SetNote(note string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.note = note
+}
+
+// Snapshot returns a copy of everything recorded so far as a Trace.
+func (r *Recorder) Snapshot() *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &Trace{
+		Version: Version,
+		Device:  r.inner.Device().Name,
+		Note:    r.note,
+		Events:  append([]Event(nil), r.events...),
+	}
+}
+
+// Save writes the recorded trace to path (".gz" for gzip).
+func (r *Recorder) Save(path string) error {
+	return r.Snapshot().Save(path)
+}
+
+// Len reports how many interactions have been recorded.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+func (r *Recorder) append(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+func runJSON(info backend.RunInfo) *Run {
+	return &Run{
+		ReqCoreMHz: info.Requested.CoreMHz,
+		ReqMemMHz:  info.Requested.MemMHz,
+		EffCoreMHz: info.Effective.CoreMHz,
+		EffMemMHz:  info.Effective.MemMHz,
+		Seconds:    info.Seconds,
+	}
+}
+
+// Device returns the inner backend's hardware description.
+func (r *Recorder) Device() *hw.Device { return r.inner.Device() }
+
+// SetClocks forwards to the inner backend and records successful changes.
+func (r *Recorder) SetClocks(cfg hw.Config) error {
+	if err := r.inner.SetClocks(cfg); err != nil {
+		return err
+	}
+	r.append(Event{Op: OpSetClocks, CoreMHz: cfg.CoreMHz, MemMHz: cfg.MemMHz})
+	return nil
+}
+
+// Clocks returns the inner backend's current clocks.
+func (r *Recorder) Clocks() hw.Config { return r.inner.Clocks() }
+
+// SampledKernelPower measures through the inner backend and records the
+// result under the clocks in force at the call.
+func (r *Recorder) SampledKernelPower(k *kernels.KernelSpec, minWall time.Duration) (float64, backend.RunInfo, error) {
+	cfg := r.inner.Clocks()
+	w, info, err := r.inner.SampledKernelPower(k, minWall)
+	if err != nil {
+		return 0, backend.RunInfo{}, err
+	}
+	r.append(Event{
+		Op: OpKernelPower, Kernel: k.Name,
+		CoreMHz: cfg.CoreMHz, MemMHz: cfg.MemMHz,
+		Watts: w, Run: runJSON(info),
+	})
+	return w, info, nil
+}
+
+// SampledIdlePower measures through the inner backend and records the
+// reading.
+func (r *Recorder) SampledIdlePower(minWall time.Duration) (float64, error) {
+	cfg := r.inner.Clocks()
+	w, err := r.inner.SampledIdlePower(minWall)
+	if err != nil {
+		return 0, err
+	}
+	r.append(Event{Op: OpIdlePower, CoreMHz: cfg.CoreMHz, MemMHz: cfg.MemMHz, Watts: w})
+	return w, nil
+}
+
+// CollectMetrics collects through the inner backend and records the full
+// metric map.
+func (r *Recorder) CollectMetrics(k *kernels.KernelSpec) (backend.Metrics, backend.RunInfo, error) {
+	cfg := r.inner.Clocks()
+	metrics, info, err := r.inner.CollectMetrics(k)
+	if err != nil {
+		return nil, backend.RunInfo{}, err
+	}
+	cp := make(map[string]float64, len(metrics))
+	for m, v := range metrics {
+		cp[m] = v
+	}
+	r.append(Event{
+		Op: OpCollect, Kernel: k.Name,
+		CoreMHz: cfg.CoreMHz, MemMHz: cfg.MemMHz,
+		Metrics: cp, Run: runJSON(info),
+	})
+	return metrics, info, nil
+}
+
+// RunKernel executes through the inner backend and records the measured
+// energy and timing.
+func (r *Recorder) RunKernel(k *kernels.KernelSpec) (float64, backend.RunInfo, error) {
+	cfg := r.inner.Clocks()
+	e, info, err := r.inner.RunKernel(k)
+	if err != nil {
+		return 0, backend.RunInfo{}, err
+	}
+	r.append(Event{
+		Op: OpRunKernel, Kernel: k.Name,
+		CoreMHz: cfg.CoreMHz, MemMHz: cfg.MemMHz,
+		EnergyJ: e, Run: runJSON(info),
+	})
+	return e, info, nil
+}
+
+// String summarizes the recorder for diagnostics.
+func (r *Recorder) String() string {
+	return fmt.Sprintf("trace.Recorder{%s, %d events}", r.inner.Device().Name, r.Len())
+}

@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gpupower/internal/backend"
+	"gpupower/internal/hw"
+	"gpupower/internal/kernels"
+)
+
+// Replayer serves a recorded trace back through the backend.Backend
+// interface, with no device in the process.
+//
+// Matching is keyed, not positional: every recorded measurement is indexed
+// by (operation, kernel, clocks-at-call) and served FIFO within its key.
+// A replayed consumer that performs the same measurements therefore gets
+// the same answers even if harmless reordering (e.g. a different benchmark
+// iteration order) occurred — while repeated measurements of the same tuple
+// (the paper's median-of-10 loop) replay in recorded order, which is what
+// makes a replayed fit bitwise-identical to the live one.
+//
+// Failure modes are typed: asking for a tuple the recording never performed
+// fails with backend.ErrTraceMismatch; asking for more repetitions of a
+// tuple than were recorded fails with backend.ErrTraceExhausted; requesting
+// an off-ladder clock fails with backend.ErrUnsupportedClock.
+type Replayer struct {
+	dev *hw.Device
+
+	mu     sync.Mutex
+	cfg    hw.Config
+	queues map[string][]*Event
+	served int
+	total  int
+}
+
+var _ backend.Backend = (*Replayer)(nil)
+
+// NewReplayer builds a replaying backend from a trace.
+func NewReplayer(t *Trace) (*Replayer, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	dev, err := hw.DeviceByName(t.Device)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replayer{
+		dev:    dev,
+		cfg:    dev.DefaultConfig(),
+		queues: make(map[string][]*Event),
+	}
+	for i := range t.Events {
+		e := &t.Events[i]
+		if e.Op == OpSetClocks {
+			// Clock state is re-derived from the replayed consumer's own
+			// SetClocks calls; recorded transitions are provenance only.
+			continue
+		}
+		k := key(e.Op, e.Kernel, hw.Config{CoreMHz: e.CoreMHz, MemMHz: e.MemMHz})
+		r.queues[k] = append(r.queues[k], e)
+		r.total++
+	}
+	return r, nil
+}
+
+// Open loads a trace file and returns a replaying backend for it.
+func Open(path string) (*Replayer, error) {
+	t, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewReplayer(t)
+}
+
+func key(op Op, kernel string, cfg hw.Config) string {
+	return fmt.Sprintf("%s|%s|%g|%g", op, kernel, cfg.CoreMHz, cfg.MemMHz)
+}
+
+// next pops the oldest unserved event for the key, distinguishing
+// never-recorded from exhausted.
+func (r *Replayer) next(op Op, kernel string) (*Event, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := key(op, kernel, r.cfg)
+	q, ok := r.queues[k]
+	if !ok {
+		return nil, fmt.Errorf("trace: %s %q at %v never recorded: %w", op, kernel, r.cfg, backend.ErrTraceMismatch)
+	}
+	if len(q) == 0 {
+		return nil, fmt.Errorf("trace: %s %q at %v: all recorded repetitions consumed: %w",
+			op, kernel, r.cfg, backend.ErrTraceExhausted)
+	}
+	e := q[0]
+	r.queues[k] = q[1:]
+	r.served++
+	return e, nil
+}
+
+// Device returns the catalog hardware description the trace was recorded on.
+func (r *Replayer) Device() *hw.Device { return r.dev }
+
+// SetClocks validates against the device ladder and tracks the requested
+// state (replay needs no hardware to change clocks).
+func (r *Replayer) SetClocks(cfg hw.Config) error {
+	if !r.dev.SupportsMemFreq(cfg.MemMHz) {
+		return fmt.Errorf("trace: %s: memory clock %g MHz: %w", r.dev.Name, cfg.MemMHz, backend.ErrUnsupportedClock)
+	}
+	if !r.dev.SupportsCoreFreq(cfg.CoreMHz) {
+		return fmt.Errorf("trace: %s: core clock %g MHz: %w", r.dev.Name, cfg.CoreMHz, backend.ErrUnsupportedClock)
+	}
+	r.mu.Lock()
+	r.cfg = cfg
+	r.mu.Unlock()
+	return nil
+}
+
+// Clocks returns the currently requested clocks.
+func (r *Replayer) Clocks() hw.Config {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cfg
+}
+
+func (e *Event) runInfo() backend.RunInfo {
+	if e.Run == nil {
+		return backend.RunInfo{}
+	}
+	return backend.RunInfo{
+		Requested: hw.Config{CoreMHz: e.Run.ReqCoreMHz, MemMHz: e.Run.ReqMemMHz},
+		Effective: hw.Config{CoreMHz: e.Run.EffCoreMHz, MemMHz: e.Run.EffMemMHz},
+		Seconds:   e.Run.Seconds,
+	}
+}
+
+// SampledKernelPower replays a recorded power measurement. minWall is
+// ignored: the measurement methodology (≥1 s sampling) was applied at
+// record time.
+func (r *Replayer) SampledKernelPower(k *kernels.KernelSpec, _ time.Duration) (float64, backend.RunInfo, error) {
+	e, err := r.next(OpKernelPower, k.Name)
+	if err != nil {
+		return 0, backend.RunInfo{}, err
+	}
+	return e.Watts, e.runInfo(), nil
+}
+
+// SampledIdlePower replays a recorded idle measurement.
+func (r *Replayer) SampledIdlePower(_ time.Duration) (float64, error) {
+	e, err := r.next(OpIdlePower, "")
+	if err != nil {
+		return 0, err
+	}
+	return e.Watts, nil
+}
+
+// CollectMetrics replays a recorded event collection.
+func (r *Replayer) CollectMetrics(k *kernels.KernelSpec) (backend.Metrics, backend.RunInfo, error) {
+	e, err := r.next(OpCollect, k.Name)
+	if err != nil {
+		return nil, backend.RunInfo{}, err
+	}
+	out := make(backend.Metrics, len(e.Metrics))
+	for m, v := range e.Metrics {
+		out[m] = v
+	}
+	return out, e.runInfo(), nil
+}
+
+// RunKernel replays a recorded kernel execution.
+func (r *Replayer) RunKernel(k *kernels.KernelSpec) (float64, backend.RunInfo, error) {
+	e, err := r.next(OpRunKernel, k.Name)
+	if err != nil {
+		return 0, backend.RunInfo{}, err
+	}
+	return e.EnergyJ, e.runInfo(), nil
+}
+
+// Remaining reports how many recorded measurements have not been served yet
+// (tests use it to assert a replay consumed what it should).
+func (r *Replayer) Remaining() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - r.served
+}

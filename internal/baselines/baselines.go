@@ -17,6 +17,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 
 	"gpupower/internal/core"
@@ -163,10 +164,10 @@ func (m *LinearFreqModel) Predict(in Input, cfg hw.Config) (float64, error) {
 }
 
 // FitLinearFreq fits the linear-frequency comparator on the full dataset.
-func FitLinearFreq(d *core.Dataset) (*LinearFreqModel, error) {
+func FitLinearFreq(ctx context.Context, d *core.Dataset) (*LinearFreqModel, error) {
 	opts := core.DefaultEstimatorOptions()
 	opts.DisableVoltage = true
-	inner, err := core.Estimate(d, opts)
+	inner, err := core.Estimate(ctx, d, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -87,7 +88,7 @@ func TestAbeTrainsOn3x3Grid(t *testing.T) {
 
 func TestFitLinearFreqPinsVoltage(t *testing.T) {
 	d := linearDataset(3)
-	m, err := FitLinearFreq(d)
+	m, err := FitLinearFreq(context.Background(), d)
 	if err != nil {
 		t.Fatal(err)
 	}

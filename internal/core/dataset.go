@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"gpupower/internal/backend"
 	"gpupower/internal/cupti"
 	"gpupower/internal/hw"
 	"gpupower/internal/kernels"
@@ -83,14 +85,14 @@ func (d *Dataset) configIndex(cfg hw.Config) (int, error) {
 // bandwidth by running the dedicated L2 microbenchmarks at the reference
 // configuration and taking the best achieved bytes-per-core-cycle
 // (Section III-C / Section IV).
-func CalibrateL2BytesPerCycle(p *profiler.Profiler, ref hw.Config) (float64, error) {
+func CalibrateL2BytesPerCycle(ctx context.Context, p *profiler.Profiler, ref hw.Config) (float64, error) {
 	suite := microbench.Suite()
 	var best float64
 	for _, b := range suite {
 		if b.Collection != microbench.CollL2 {
 			continue
 		}
-		prof, err := p.ProfileApp(kernels.SingleKernelApp(b.Kernel), ref)
+		prof, err := p.ProfileApp(ctx, kernels.SingleKernelApp(b.Kernel), ref)
 		if err != nil {
 			return 0, err
 		}
@@ -112,23 +114,27 @@ func CalibrateL2BytesPerCycle(p *profiler.Profiler, ref hw.Config) (float64, err
 
 // BuildDataset measures the full training dataset on a device: events for
 // every microbenchmark at the reference configuration, power for every
-// microbenchmark at every configuration in configs.
-func BuildDataset(p *profiler.Profiler, suite []microbench.Benchmark, ref hw.Config, configs []hw.Config) (*Dataset, error) {
+// microbenchmark at every configuration in configs. Cancellation is checked
+// at benchmark and configuration granularity.
+func BuildDataset(ctx context.Context, p *profiler.Profiler, suite []microbench.Benchmark, ref hw.Config, configs []hw.Config) (*Dataset, error) {
 	if len(suite) == 0 {
 		return nil, fmt.Errorf("core: empty microbenchmark suite")
 	}
-	l2bpc, err := CalibrateL2BytesPerCycle(p, ref)
+	l2bpc, err := CalibrateL2BytesPerCycle(ctx, p, ref)
 	if err != nil {
 		return nil, err
 	}
 	d := &Dataset{
-		Device:          p.Device().HW(),
+		Device:          p.HW(),
 		Ref:             ref,
 		Configs:         append([]hw.Config(nil), configs...),
 		L2BytesPerCycle: l2bpc,
 	}
 	for _, b := range suite {
-		prof, err := p.ProfileApp(kernels.SingleKernelApp(b.Kernel), ref)
+		if err := backend.CheckContext(ctx, "core: building dataset"); err != nil {
+			return nil, err
+		}
+		prof, err := p.ProfileApp(ctx, kernels.SingleKernelApp(b.Kernel), ref)
 		if err != nil {
 			return nil, fmt.Errorf("core: profiling %s: %w", b.Kernel.Name, err)
 		}
@@ -138,7 +144,7 @@ func BuildDataset(p *profiler.Profiler, suite []microbench.Benchmark, ref hw.Con
 		}
 		row := make([]float64, len(configs))
 		for fi, cfg := range configs {
-			pw, _, err := p.MeasureKernelPower(b.Kernel, cfg)
+			pw, _, err := p.MeasureKernelPower(ctx, b.Kernel, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("core: measuring %s at %v: %w", b.Kernel.Name, cfg, err)
 			}

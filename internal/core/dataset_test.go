@@ -1,24 +1,25 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
+	"gpupower/internal/backend/simbk"
 	"gpupower/internal/hw"
 	"gpupower/internal/kernels"
 	"gpupower/internal/microbench"
 	"gpupower/internal/profiler"
-	"gpupower/internal/sim"
 )
 
 func k40Profiler(t *testing.T) *profiler.Profiler {
 	t.Helper()
-	dev := hw.TeslaK40c() // smallest configuration space: fast tests
-	s, err := sim.New(dev, 42)
+	// Tesla K40c: smallest configuration space, fast tests.
+	b, err := simbk.Open("Tesla K40c", 42)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := profiler.New(s)
+	p, err := profiler.New(b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,15 +28,15 @@ func k40Profiler(t *testing.T) *profiler.Profiler {
 
 func TestCalibrateL2BytesPerCycle(t *testing.T) {
 	p := k40Profiler(t)
-	ref := p.Device().HW().DefaultConfig()
-	got, err := CalibrateL2BytesPerCycle(p, ref)
+	ref := p.HW().DefaultConfig()
+	got, err := CalibrateL2BytesPerCycle(context.Background(), p, ref)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The device's true figure is 512 B/cycle; the calibration benches reach
 	// ~88% of peak and carry Kepler event error, so accept a generous band —
 	// systematic calibration bias is absorbed by ω_L2 during fitting.
-	true512 := p.Device().HW().L2BytesPerCycle
+	true512 := p.HW().L2BytesPerCycle
 	if got < 0.5*true512 || got > 1.3*true512 {
 		t.Fatalf("calibrated L2 = %.0f B/cycle, true %.0f", got, true512)
 	}
@@ -43,8 +44,8 @@ func TestCalibrateL2BytesPerCycle(t *testing.T) {
 
 func TestBuildDatasetShape(t *testing.T) {
 	p := k40Profiler(t)
-	dev := p.Device().HW()
-	d, err := BuildDataset(p, microbench.Suite(), dev.DefaultConfig(), dev.AllConfigs())
+	dev := p.HW()
+	d, err := BuildDataset(context.Background(), p, microbench.Suite(), dev.DefaultConfig(), dev.AllConfigs())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,17 +89,17 @@ func TestBuildDatasetShape(t *testing.T) {
 
 func TestBuildDatasetEmptySuite(t *testing.T) {
 	p := k40Profiler(t)
-	dev := p.Device().HW()
-	if _, err := BuildDataset(p, nil, dev.DefaultConfig(), dev.AllConfigs()); err == nil {
+	dev := p.HW()
+	if _, err := BuildDataset(context.Background(), p, nil, dev.DefaultConfig(), dev.AllConfigs()); err == nil {
 		t.Fatal("empty suite accepted")
 	}
 }
 
 func TestAppUtilizationWeighting(t *testing.T) {
 	p := k40Profiler(t)
-	dev := p.Device().HW()
+	dev := p.HW()
 	ref := dev.DefaultConfig()
-	l2bpc, err := CalibrateL2BytesPerCycle(p, ref)
+	l2bpc, err := CalibrateL2BytesPerCycle(context.Background(), p, ref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestAppUtilizationWeighting(t *testing.T) {
 	fast := mk("fast", 1e9)
 	slow := mk("slow", 4e10) // dominates the runtime
 
-	prof, err := p.ProfileApp(&kernels.App{Name: "mix", Kernels: []*kernels.KernelSpec{fast, slow}}, ref)
+	prof, err := p.ProfileApp(context.Background(), &kernels.App{Name: "mix", Kernels: []*kernels.KernelSpec{fast, slow}}, ref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestAppUtilizationWeighting(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The app utilization must be dominated by the slow kernel's profile.
-	slowProf, err := p.ProfileApp(kernels.SingleKernelApp(slow), ref)
+	slowProf, err := p.ProfileApp(context.Background(), kernels.SingleKernelApp(slow), ref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,12 +153,12 @@ func TestAppUtilizationEmptyProfile(t *testing.T) {
 // held-out application within the paper's Kepler error band.
 func TestEndToEndFitOnSimulatedK40c(t *testing.T) {
 	p := k40Profiler(t)
-	dev := p.Device().HW()
-	d, err := BuildDataset(p, microbench.Suite(), dev.DefaultConfig(), dev.AllConfigs())
+	dev := p.HW()
+	d, err := BuildDataset(context.Background(), p, microbench.Suite(), dev.DefaultConfig(), dev.AllConfigs())
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := Estimate(d, nil)
+	m, err := Estimate(context.Background(), d, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestEndToEndFitOnSimulatedK40c(t *testing.T) {
 		FixedCycles:     1e5,
 		IssueEfficiency: 0.9,
 	}
-	prof, err := p.ProfileApp(kernels.SingleKernelApp(app), dev.DefaultConfig())
+	prof, err := p.ProfileApp(context.Background(), kernels.SingleKernelApp(app), dev.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestEndToEndFitOnSimulatedK40c(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		meas, _, err := p.MeasureKernelPower(app, cfg)
+		meas, _, err := p.MeasureKernelPower(context.Background(), app, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

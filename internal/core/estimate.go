@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"gpupower/internal/backend"
 	"gpupower/internal/hw"
 	"gpupower/internal/linalg"
 	"gpupower/internal/parallel"
@@ -323,8 +325,10 @@ func applyFixedVoltages(d *Dataset, volt *VoltageTable, opts *EstimatorOptions) 
 }
 
 // Estimate runs the Section III-D algorithm on a training dataset and
-// returns the fitted DVFS-aware power model.
-func Estimate(d *Dataset, opts *EstimatorOptions) (*Model, error) {
+// returns the fitted DVFS-aware power model. Cancellation is checked at
+// iteration granularity: a canceled context aborts the alternation promptly
+// with an error wrapping ctx.Err().
+func Estimate(ctx context.Context, d *Dataset, opts *EstimatorOptions) (*Model, error) {
 	if opts == nil {
 		opts = DefaultEstimatorOptions()
 	}
@@ -333,6 +337,9 @@ func Estimate(d *Dataset, opts *EstimatorOptions) (*Model, error) {
 	}
 	if opts.MaxIterations < 1 {
 		return nil, fmt.Errorf("core: MaxIterations must be >= 1")
+	}
+	if err := backend.CheckContext(ctx, "core: estimate"); err != nil {
+		return nil, err
 	}
 
 	volt := NewVoltageTable(d.Device.CoreFreqs, d.Device.MemFreqs)
@@ -403,6 +410,9 @@ func Estimate(d *Dataset, opts *EstimatorOptions) (*Model, error) {
 	prevVolt := volt.Clone()
 	prevSSE := math.Inf(1)
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		if err := backend.CheckContext(ctx, fmt.Sprintf("core: estimate (iteration %d)", iter)); err != nil {
+			return nil, err
+		}
 		m.Iterations = iter
 		if err := solveVoltages(d, x, volt, opts); err != nil {
 			return nil, fmt.Errorf("core: step 2 (iteration %d) failed: %w", iter, err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -64,14 +65,14 @@ func TestEstimateSerialParallelEquivalence(t *testing.T) {
 	var err error
 
 	prev := parallel.SetSequential(true)
-	serial, err = Estimate(d, nil)
+	serial, err = Estimate(context.Background(), d, nil)
 	parallel.SetSequential(prev)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	withGOMAXPROCS(4, func() {
-		parallelFit, err = Estimate(d, nil)
+		parallelFit, err = Estimate(context.Background(), d, nil)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +98,7 @@ func TestEstimateConcurrentOnSharedDataset(t *testing.T) {
 		for i := 0; i < fits; i++ {
 			go func(i int) {
 				defer wg.Done()
-				models[i], errs[i] = Estimate(d, nil)
+				models[i], errs[i] = Estimate(context.Background(), d, nil)
 			}(i)
 		}
 		wg.Wait()

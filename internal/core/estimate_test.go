@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -104,7 +105,7 @@ func syntheticDataset(s *syntheticTruth, nBench int, noise float64, seed uint64)
 func TestEstimateRecoversSyntheticTruth(t *testing.T) {
 	truth := defaultSyntheticTruth()
 	d := syntheticDataset(truth, 60, 0, 1)
-	m, err := Estimate(d, nil)
+	m, err := Estimate(context.Background(), d, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestEstimateRecoversSyntheticTruth(t *testing.T) {
 func TestEstimateVoltageMonotone(t *testing.T) {
 	truth := defaultSyntheticTruth()
 	d := syntheticDataset(truth, 40, 1.0, 2) // noisy: projection must still hold
-	m, err := Estimate(d, nil)
+	m, err := Estimate(context.Background(), d, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestEstimateVoltageMonotone(t *testing.T) {
 func TestEstimateReferencePinned(t *testing.T) {
 	truth := defaultSyntheticTruth()
 	d := syntheticDataset(truth, 30, 0.5, 3)
-	m, err := Estimate(d, nil)
+	m, err := Estimate(context.Background(), d, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestEstimateReferencePinned(t *testing.T) {
 func TestEstimateNonNegativeCoefficients(t *testing.T) {
 	truth := defaultSyntheticTruth()
 	d := syntheticDataset(truth, 40, 2.0, 4)
-	m, err := Estimate(d, nil)
+	m, err := Estimate(context.Background(), d, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,14 +204,14 @@ func TestEstimateAblationModes(t *testing.T) {
 	truth := defaultSyntheticTruth()
 	d := syntheticDataset(truth, 50, 0, 5)
 
-	full, err := Estimate(d, nil)
+	full, err := Estimate(context.Background(), d, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	noVolt := DefaultEstimatorOptions()
 	noVolt.DisableVoltage = true
-	mv, err := Estimate(d, noVolt)
+	mv, err := Estimate(context.Background(), d, noVolt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestEstimateAblationModes(t *testing.T) {
 
 	lin := DefaultEstimatorOptions()
 	lin.LinearVoltage = true
-	ml, err := Estimate(d, lin)
+	ml, err := Estimate(context.Background(), d, lin)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,13 +268,13 @@ func TestEstimateInputValidation(t *testing.T) {
 
 	opts := DefaultEstimatorOptions()
 	opts.MaxIterations = 0
-	if _, err := Estimate(d, opts); err == nil {
+	if _, err := Estimate(context.Background(), d, opts); err == nil {
 		t.Fatal("MaxIterations=0 accepted")
 	}
 
 	bad := *d
 	bad.Power = bad.Power[:1]
-	if _, err := Estimate(&bad, nil); err == nil {
+	if _, err := Estimate(context.Background(), &bad, nil); err == nil {
 		t.Fatal("inconsistent dataset accepted")
 	}
 }
@@ -349,7 +350,7 @@ func TestTraceCallback(t *testing.T) {
 			t.Fatal("negative SSE")
 		}
 	}
-	m, err := Estimate(d, opts)
+	m, err := Estimate(context.Background(), d, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,7 +373,7 @@ func TestEstimateWithKnownVoltages(t *testing.T) {
 	}
 	opts := DefaultEstimatorOptions()
 	opts.KnownVoltages = known
-	m, err := Estimate(d, opts)
+	m, err := Estimate(context.Background(), d, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,7 +393,7 @@ func TestEstimateWithKnownVoltages(t *testing.T) {
 		t.Errorf("ω_mem = %g, want %g", m.OmegaMem, truth.omega[hw.DRAM])
 	}
 	// Held-out prediction must be at least as good as the full algorithm's.
-	full, err := Estimate(d, nil)
+	full, err := Estimate(context.Background(), d, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -429,7 +430,7 @@ func TestKnownVoltagesIncompatibleWithAblations(t *testing.T) {
 	opts := DefaultEstimatorOptions()
 	opts.KnownVoltages = NewVoltageTable(truth.dev.CoreFreqs, truth.dev.MemFreqs)
 	opts.DisableVoltage = true
-	if _, err := Estimate(d, opts); err == nil {
+	if _, err := Estimate(context.Background(), d, opts); err == nil {
 		t.Fatal("KnownVoltages + DisableVoltage accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -26,12 +27,12 @@ type AblationResult struct {
 }
 
 // fitVariant fits the model with modified estimator options.
-func fitVariant(d *core.Dataset, mod func(o *core.EstimatorOptions)) (*core.Model, error) {
+func fitVariant(ctx context.Context, d *core.Dataset, mod func(o *core.EstimatorOptions)) (*core.Model, error) {
 	opts := core.DefaultEstimatorOptions()
 	if mod != nil {
 		mod(opts)
 	}
-	return core.Estimate(d, opts)
+	return core.Estimate(ctx, d, opts)
 }
 
 // reducedDataset keeps only every stride-th benchmark of each collection
@@ -55,20 +56,20 @@ func reducedDataset(d *core.Dataset, stride int) *core.Dataset {
 }
 
 // RunAblation runs the ablation study.
-func RunAblation(seed uint64) (*AblationResult, error) {
+func RunAblation(ctx context.Context, seed uint64) (*AblationResult, error) {
 	const deviceName = "GTX Titan X"
 	r, err := SharedRig(deviceName, seed)
 	if err != nil {
 		return nil, err
 	}
-	d, err := r.Dataset()
+	d, err := r.Dataset(ctx)
 	if err != nil {
 		return nil, err
 	}
 	res := &AblationResult{Device: deviceName}
 
 	eval := func(variant string, m *core.Model) error {
-		mae, err := evaluateOnValidation(r, d.Ref, d.L2BytesPerCycle,
+		mae, err := evaluateOnValidation(ctx, r, d.Ref, d.L2BytesPerCycle,
 			func(in baselines.Input, cfg hw.Config) (float64, error) {
 				return m.Predict(in.Util, cfg)
 			})
@@ -79,7 +80,7 @@ func RunAblation(seed uint64) (*AblationResult, error) {
 		return nil
 	}
 
-	full, err := r.Model()
+	full, err := r.Model(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +88,7 @@ func RunAblation(seed uint64) (*AblationResult, error) {
 		return nil, err
 	}
 
-	noVolt, err := fitVariant(d, func(o *core.EstimatorOptions) { o.DisableVoltage = true })
+	noVolt, err := fitVariant(ctx, d, func(o *core.EstimatorOptions) { o.DisableVoltage = true })
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +96,7 @@ func RunAblation(seed uint64) (*AblationResult, error) {
 		return nil, err
 	}
 
-	linV, err := fitVariant(d, func(o *core.EstimatorOptions) { o.LinearVoltage = true })
+	linV, err := fitVariant(ctx, d, func(o *core.EstimatorOptions) { o.LinearVoltage = true })
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +104,7 @@ func RunAblation(seed uint64) (*AblationResult, error) {
 		return nil, err
 	}
 
-	noMono, err := fitVariant(d, func(o *core.EstimatorOptions) { o.DisableMonotonic = true })
+	noMono, err := fitVariant(ctx, d, func(o *core.EstimatorOptions) { o.DisableMonotonic = true })
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +113,7 @@ func RunAblation(seed uint64) (*AblationResult, error) {
 	}
 
 	small := reducedDataset(d, 6)
-	smallModel, err := fitVariant(small, nil)
+	smallModel, err := fitVariant(ctx, small, nil)
 	if err != nil {
 		return nil, err
 	}

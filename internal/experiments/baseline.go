@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -16,10 +17,10 @@ type predictFn func(in baselines.Input, cfg hw.Config) (float64, error)
 
 // evaluateOnValidation computes the MAPE of a predictor over the full
 // validation set × configuration space of a rig.
-func evaluateOnValidation(r *Rig, ref hw.Config, l2bpc float64, f predictFn) (float64, error) {
+func evaluateOnValidation(ctx context.Context, r *Rig, ref hw.Config, l2bpc float64, f predictFn) (float64, error) {
 	var pred, meas []float64
 	for _, app := range suites.ValidationSet() {
-		prof, err := r.Profiler.ProfileApp(app.App, ref)
+		prof, err := r.Profiler.ProfileApp(ctx, app.App, ref)
 		if err != nil {
 			return 0, err
 		}
@@ -27,7 +28,7 @@ func evaluateOnValidation(r *Rig, ref hw.Config, l2bpc float64, f predictFn) (fl
 		if err != nil {
 			return 0, err
 		}
-		refPower, err := r.Profiler.MeasureAppPower(app.App, ref)
+		refPower, err := r.Profiler.MeasureAppPower(ctx, app.App, ref)
 		if err != nil {
 			return 0, err
 		}
@@ -37,7 +38,7 @@ func evaluateOnValidation(r *Rig, ref hw.Config, l2bpc float64, f predictFn) (fl
 			if err != nil {
 				return 0, err
 			}
-			q, err := r.Profiler.MeasureAppPower(app.App, cfg)
+			q, err := r.Profiler.MeasureAppPower(ctx, app.App, cfg)
 			if err != nil {
 				return 0, err
 			}
@@ -67,23 +68,23 @@ type BaselineResult struct {
 }
 
 // RunBaselinesDevice fits and evaluates every comparator on one device.
-func RunBaselinesDevice(deviceName string, seed uint64) (*BaselineDeviceResult, error) {
+func RunBaselinesDevice(ctx context.Context, deviceName string, seed uint64) (*BaselineDeviceResult, error) {
 	r, err := SharedRig(deviceName, seed)
 	if err != nil {
 		return nil, err
 	}
-	d, err := r.Dataset()
+	d, err := r.Dataset(ctx)
 	if err != nil {
 		return nil, err
 	}
-	proposed, err := r.Model()
+	proposed, err := r.Model(ctx)
 	if err != nil {
 		return nil, err
 	}
 
 	res := &BaselineDeviceResult{Device: deviceName}
 	add := func(name string, f predictFn) error {
-		mae, err := evaluateOnValidation(r, d.Ref, d.L2BytesPerCycle, f)
+		mae, err := evaluateOnValidation(ctx, r, d.Ref, d.L2BytesPerCycle, f)
 		if err != nil {
 			return fmt.Errorf("baselines: %s on %s: %w", name, deviceName, err)
 		}
@@ -105,7 +106,7 @@ func RunBaselinesDevice(deviceName string, seed uint64) (*BaselineDeviceResult, 
 		return nil, err
 	}
 
-	lf, err := baselines.FitLinearFreq(d)
+	lf, err := baselines.FitLinearFreq(ctx, d)
 	if err != nil {
 		return nil, err
 	}
@@ -132,10 +133,10 @@ func RunBaselinesDevice(deviceName string, seed uint64) (*BaselineDeviceResult, 
 }
 
 // RunBaselines runs the baseline comparison on all three devices.
-func RunBaselines(seed uint64) (*BaselineResult, error) {
+func RunBaselines(ctx context.Context, seed uint64) (*BaselineResult, error) {
 	out := &BaselineResult{}
 	for _, name := range []string{"Titan Xp", "GTX Titan X", "Tesla K40c"} {
-		r, err := RunBaselinesDevice(name, seed)
+		r, err := RunBaselinesDevice(ctx, name, seed)
 		if err != nil {
 			return nil, err
 		}

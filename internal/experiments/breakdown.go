@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -35,12 +36,12 @@ type BreakdownTruthResult struct {
 // RunBreakdownTruth compares the model's decomposition against the hidden
 // truth for all validation applications at the device's default
 // configuration.
-func RunBreakdownTruth(deviceName string, seed uint64) (*BreakdownTruthResult, error) {
+func RunBreakdownTruth(ctx context.Context, deviceName string, seed uint64) (*BreakdownTruthResult, error) {
 	r, err := SharedRig(deviceName, seed)
 	if err != nil {
 		return nil, err
 	}
-	m, err := r.Model()
+	m, err := r.Model(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -52,7 +53,7 @@ func RunBreakdownTruth(deviceName string, seed uint64) (*BreakdownTruthResult, e
 		MeanTruthW:  map[hw.Component]float64{},
 	}
 	for _, app := range suites.ValidationSet() {
-		prof, err := r.Profiler.ProfileApp(app.App, m.Ref)
+		prof, err := r.Profiler.ProfileApp(ctx, app.App, m.Ref)
 		if err != nil {
 			return nil, err
 		}

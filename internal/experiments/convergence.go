@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -30,12 +31,12 @@ type ConvergenceResult struct {
 // RunConvergenceDevice refits the model on a device with tracing enabled
 // and times the fit (dataset collection excluded, as in the paper, which
 // times only the estimation algorithm).
-func RunConvergenceDevice(deviceName string, seed uint64) (*ConvergenceResult, error) {
+func RunConvergenceDevice(ctx context.Context, deviceName string, seed uint64) (*ConvergenceResult, error) {
 	r, err := SharedRig(deviceName, seed)
 	if err != nil {
 		return nil, err
 	}
-	d, err := r.Dataset()
+	d, err := r.Dataset(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -45,7 +46,7 @@ func RunConvergenceDevice(deviceName string, seed uint64) (*ConvergenceResult, e
 		res.Steps = append(res.Steps, ConvergenceStep{Iteration: iter, VoltDelta: dv, ParamDelta: dx, SSE: sse})
 	}
 	start := time.Now()
-	m, err := core.Estimate(d, opts)
+	m, err := core.Estimate(ctx, d, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -61,10 +62,10 @@ type ConvergenceAllResult struct {
 }
 
 // RunConvergence runs the convergence experiment on all three devices.
-func RunConvergence(seed uint64) (*ConvergenceAllResult, error) {
+func RunConvergence(ctx context.Context, seed uint64) (*ConvergenceAllResult, error) {
 	out := &ConvergenceAllResult{}
 	for _, name := range []string{"Titan Xp", "GTX Titan X", "Tesla K40c"} {
-		r, err := RunConvergenceDevice(name, seed)
+		r, err := RunConvergenceDevice(ctx, name, seed)
 		if err != nil {
 			return nil, err
 		}

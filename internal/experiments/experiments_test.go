@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 // test binary.
 
 func TestFig2Shape(t *testing.T) {
-	r, err := RunFig2(DefaultSeed)
+	r, err := RunFig2(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestFig2Shape(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
-	r, err := RunFig5(DefaultSeed)
+	r, err := RunFig5(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
-	r, err := RunFig6(DefaultSeed)
+	r, err := RunFig6(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	r, err := RunFig7(DefaultSeed)
+	r, err := RunFig7(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	r, err := RunFig8(DefaultSeed)
+	r, err := RunFig8(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
-	r, err := RunFig9(DefaultSeed)
+	r, err := RunFig9(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
-	r, err := RunFig10(DefaultSeed)
+	r, err := RunFig10(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestConvergenceShape(t *testing.T) {
-	r, err := RunConvergence(DefaultSeed)
+	r, err := RunConvergence(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +309,7 @@ func TestConvergenceShape(t *testing.T) {
 }
 
 func TestBaselinesShape(t *testing.T) {
-	r, err := RunBaselines(DefaultSeed)
+	r, err := RunBaselines(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,7 +358,7 @@ func TestBaselinesShape(t *testing.T) {
 }
 
 func TestAblationShape(t *testing.T) {
-	r, err := RunAblation(DefaultSeed)
+	r, err := RunAblation(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}

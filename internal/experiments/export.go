@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -179,7 +180,7 @@ func (r *AblationResult) WriteCSV(w io.Writer) error {
 
 // ExportAllCSVs runs every experiment and writes one CSV per artifact into
 // dir (created if needed). Returns the file paths written.
-func ExportAllCSVs(dir string, seed uint64) ([]string, error) {
+func ExportAllCSVs(ctx context.Context, dir string, seed uint64) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -198,70 +199,70 @@ func ExportAllCSVs(dir string, seed uint64) ([]string, error) {
 		return nil
 	}
 
-	fig2, err := RunFig2(seed)
+	fig2, err := RunFig2(ctx, seed)
 	if err != nil {
 		return nil, err
 	}
 	if err := write("fig2.csv", fig2.WriteCSV); err != nil {
 		return nil, err
 	}
-	fig5, err := RunFig5(seed)
+	fig5, err := RunFig5(ctx, seed)
 	if err != nil {
 		return nil, err
 	}
 	if err := write("fig5.csv", fig5.WriteCSV); err != nil {
 		return nil, err
 	}
-	fig6, err := RunFig6(seed)
+	fig6, err := RunFig6(ctx, seed)
 	if err != nil {
 		return nil, err
 	}
 	if err := write("fig6.csv", fig6.WriteCSV); err != nil {
 		return nil, err
 	}
-	fig7, err := RunFig7(seed)
+	fig7, err := RunFig7(ctx, seed)
 	if err != nil {
 		return nil, err
 	}
 	if err := write("fig7.csv", fig7.WriteCSV); err != nil {
 		return nil, err
 	}
-	fig8, err := RunFig8(seed)
+	fig8, err := RunFig8(ctx, seed)
 	if err != nil {
 		return nil, err
 	}
 	if err := write("fig8.csv", fig8.WriteCSV); err != nil {
 		return nil, err
 	}
-	fig9, err := RunFig9(seed)
+	fig9, err := RunFig9(ctx, seed)
 	if err != nil {
 		return nil, err
 	}
 	if err := write("fig9.csv", fig9.WriteCSV); err != nil {
 		return nil, err
 	}
-	fig10, err := RunFig10(seed)
+	fig10, err := RunFig10(ctx, seed)
 	if err != nil {
 		return nil, err
 	}
 	if err := write("fig10.csv", fig10.WriteCSV); err != nil {
 		return nil, err
 	}
-	conv, err := RunConvergence(seed)
+	conv, err := RunConvergence(ctx, seed)
 	if err != nil {
 		return nil, err
 	}
 	if err := write("convergence.csv", conv.WriteCSV); err != nil {
 		return nil, err
 	}
-	base, err := RunBaselines(seed)
+	base, err := RunBaselines(ctx, seed)
 	if err != nil {
 		return nil, err
 	}
 	if err := write("baselines.csv", base.WriteCSV); err != nil {
 		return nil, err
 	}
-	abl, err := RunAblation(seed)
+	abl, err := RunAblation(ctx, seed)
 	if err != nil {
 		return nil, err
 	}

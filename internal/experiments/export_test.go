@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"os"
 	"path/filepath"
@@ -29,7 +30,7 @@ func parseCSV(t *testing.T, data []byte) [][]string {
 }
 
 func TestFig7CSV(t *testing.T) {
-	r, err := RunFig7(DefaultSeed)
+	r, err := RunFig7(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestFig7CSV(t *testing.T) {
 }
 
 func TestFig6CSV(t *testing.T) {
-	r, err := RunFig6(DefaultSeed)
+	r, err := RunFig6(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestFig6CSV(t *testing.T) {
 }
 
 func TestFig9CSV(t *testing.T) {
-	r, err := RunFig9(DefaultSeed)
+	r, err := RunFig9(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestFig9CSV(t *testing.T) {
 
 func TestExportAllCSVs(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "csv")
-	paths, err := ExportAllCSVs(dir, DefaultSeed)
+	paths, err := ExportAllCSVs(context.Background(), dir, DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,20 +120,20 @@ func TestRegistry(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	if err := RunByName("table2", &buf, DefaultSeed, false); err != nil {
+	if err := RunByName(context.Background(), "table2", &buf, DefaultSeed, false); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Contains(buf.Bytes(), []byte("Maxwell")) {
 		t.Fatal("table2 output missing content")
 	}
-	if err := RunByName("nope", &buf, DefaultSeed, false); err == nil {
+	if err := RunByName(context.Background(), "nope", &buf, DefaultSeed, false); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunByNameWithPlot(t *testing.T) {
 	var buf bytes.Buffer
-	if err := RunByName("fig6", &buf, DefaultSeed, true); err != nil {
+	if err := RunByName(context.Background(), "fig6", &buf, DefaultSeed, true); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -143,7 +144,7 @@ func TestRunByNameWithPlot(t *testing.T) {
 
 func TestWriteReport(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteReport(&buf, DefaultSeed); err != nil {
+	if err := WriteReport(context.Background(), &buf, DefaultSeed); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -163,7 +164,7 @@ func TestWriteReport(t *testing.T) {
 }
 
 func TestPlots(t *testing.T) {
-	fig2, err := RunFig2(DefaultSeed)
+	fig2, err := RunFig2(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestPlots(t *testing.T) {
 	if !strings.Contains(s, "fmem=3505") || !strings.Contains(s, "fmem=810") {
 		t.Error("fig2 plot missing series legend")
 	}
-	fig7, err := RunFig7(DefaultSeed)
+	fig7, err := RunFig7(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestPlots(t *testing.T) {
 	if !strings.Contains(s, "MAE") || !strings.Contains(s, "ideal") {
 		t.Error("fig7 plot missing annotations")
 	}
-	fig9, err := RunFig9(DefaultSeed)
+	fig9, err := RunFig9(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -38,13 +39,13 @@ type Fig10Result struct {
 }
 
 // RunFig10 reproduces Fig. 10.
-func RunFig10(seed uint64) (*Fig10Result, error) {
+func RunFig10(ctx context.Context, seed uint64) (*Fig10Result, error) {
 	const deviceName = "GTX Titan X"
 	r, err := SharedRig(deviceName, seed)
 	if err != nil {
 		return nil, err
 	}
-	m, err := r.Model()
+	m, err := r.Model(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -60,7 +61,7 @@ func RunFig10(seed uint64) (*Fig10Result, error) {
 		var pred, meas []float64
 		var constSum float64
 		for _, app := range apps {
-			prof, err := r.Profiler.ProfileApp(app.App, m.Ref)
+			prof, err := r.Profiler.ProfileApp(ctx, app.App, m.Ref)
 			if err != nil {
 				return nil, err
 			}
@@ -72,7 +73,7 @@ func RunFig10(seed uint64) (*Fig10Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			p, err := r.Profiler.MeasureAppPower(app.App, cfg)
+			p, err := r.Profiler.MeasureAppPower(ctx, app.App, cfg)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -38,7 +39,7 @@ type Fig2Result struct {
 }
 
 // RunFig2 reproduces Fig. 2 (BlackScholes and CUTCP on the GTX Titan X).
-func RunFig2(seed uint64) (*Fig2Result, error) {
+func RunFig2(ctx context.Context, seed uint64) (*Fig2Result, error) {
 	const deviceName = "GTX Titan X"
 	r, err := SharedRig(deviceName, seed)
 	if err != nil {
@@ -57,7 +58,7 @@ func RunFig2(seed uint64) (*Fig2Result, error) {
 		for _, fm := range memLevels {
 			curve := Fig2Curve{MemMHz: fm}
 			for _, fc := range r.Device.CoreFreqs {
-				p, err := r.Profiler.MeasureAppPower(app.App, hw.Config{CoreMHz: fc, MemMHz: fm})
+				p, err := r.Profiler.MeasureAppPower(ctx, app.App, hw.Config{CoreMHz: fc, MemMHz: fm})
 				if err != nil {
 					return nil, err
 				}
@@ -77,11 +78,11 @@ func RunFig2(seed uint64) (*Fig2Result, error) {
 		}
 		res.Utilization = run.Exec.Utilization
 
-		hi, err := r.Profiler.MeasureAppPower(app.App, ref)
+		hi, err := r.Profiler.MeasureAppPower(ctx, app.App, ref)
 		if err != nil {
 			return nil, err
 		}
-		lo, err := r.Profiler.MeasureAppPower(app.App, hw.Config{CoreMHz: ref.CoreMHz, MemMHz: r.Device.MemFreqs[0]})
+		lo, err := r.Profiler.MeasureAppPower(ctx, app.App, hw.Config{CoreMHz: ref.CoreMHz, MemMHz: r.Device.MemFreqs[0]})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -39,13 +40,13 @@ type Fig5Result struct {
 }
 
 // RunFig5 reproduces Fig. 5 on the GTX Titan X.
-func RunFig5(seed uint64) (*Fig5Result, error) {
+func RunFig5(ctx context.Context, seed uint64) (*Fig5Result, error) {
 	const deviceName = "GTX Titan X"
 	r, err := SharedRig(deviceName, seed)
 	if err != nil {
 		return nil, err
 	}
-	m, err := r.Model()
+	m, err := r.Model(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +55,7 @@ func RunFig5(seed uint64) (*Fig5Result, error) {
 
 	var preds, meas []float64
 	for _, b := range microbench.Suite() {
-		prof, err := r.Profiler.ProfileApp(kernels.SingleKernelApp(b.Kernel), ref)
+		prof, err := r.Profiler.ProfileApp(ctx, kernels.SingleKernelApp(b.Kernel), ref)
 		if err != nil {
 			return nil, err
 		}
@@ -66,7 +67,7 @@ func RunFig5(seed uint64) (*Fig5Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		p, _, err := r.Profiler.MeasureKernelPower(b.Kernel, ref)
+		p, _, err := r.Profiler.MeasureKernelPower(ctx, b.Kernel, ref)
 		if err != nil {
 			return nil, err
 		}

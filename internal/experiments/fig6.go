@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -48,12 +49,12 @@ func breakpoint(freqs, v []float64) float64 {
 }
 
 // RunFig6Device runs the voltage-prediction validation for one device.
-func RunFig6Device(deviceName string, seed uint64) (*Fig6DeviceResult, error) {
+func RunFig6Device(ctx context.Context, deviceName string, seed uint64) (*Fig6DeviceResult, error) {
 	r, err := SharedRig(deviceName, seed)
 	if err != nil {
 		return nil, err
 	}
-	m, err := r.Model()
+	m, err := r.Model(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -77,10 +78,10 @@ func RunFig6Device(deviceName string, seed uint64) (*Fig6DeviceResult, error) {
 
 // RunFig6 reproduces Fig. 6 on the two devices whose voltages the paper
 // could measure (GTX Titan X and Titan Xp).
-func RunFig6(seed uint64) (*Fig6Result, error) {
+func RunFig6(ctx context.Context, seed uint64) (*Fig6Result, error) {
 	out := &Fig6Result{}
 	for _, name := range []string{"GTX Titan X", "Titan Xp"} {
-		r, err := RunFig6Device(name, seed)
+		r, err := RunFig6Device(ctx, name, seed)
 		if err != nil {
 			return nil, err
 		}

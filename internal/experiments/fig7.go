@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -37,8 +38,8 @@ type Fig7Result struct {
 
 // predictAppEverywhere profiles an application once at the reference
 // configuration and predicts + measures its power at every configuration.
-func predictAppEverywhere(r *Rig, m *core.Model, app suites.Application, configs []hw.Config) ([]Fig7Point, error) {
-	prof, err := r.Profiler.ProfileApp(app.App, m.Ref)
+func predictAppEverywhere(ctx context.Context, r *Rig, m *core.Model, app suites.Application, configs []hw.Config) ([]Fig7Point, error) {
+	prof, err := r.Profiler.ProfileApp(ctx, app.App, m.Ref)
 	if err != nil {
 		return nil, err
 	}
@@ -52,7 +53,7 @@ func predictAppEverywhere(r *Rig, m *core.Model, app suites.Application, configs
 		if err != nil {
 			return nil, err
 		}
-		meas, err := r.Profiler.MeasureAppPower(app.App, cfg)
+		meas, err := r.Profiler.MeasureAppPower(ctx, app.App, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -62,12 +63,12 @@ func predictAppEverywhere(r *Rig, m *core.Model, app suites.Application, configs
 }
 
 // RunFig7Device runs the Fig. 7 validation for one device.
-func RunFig7Device(deviceName string, seed uint64) (*Fig7DeviceResult, error) {
+func RunFig7Device(ctx context.Context, deviceName string, seed uint64) (*Fig7DeviceResult, error) {
 	r, err := SharedRig(deviceName, seed)
 	if err != nil {
 		return nil, err
 	}
-	m, err := r.Model()
+	m, err := r.Model(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +79,7 @@ func RunFig7Device(deviceName string, seed uint64) (*Fig7DeviceResult, error) {
 	}
 	configs := r.Device.AllConfigs()
 	for _, app := range suites.ValidationSet() {
-		pts, err := predictAppEverywhere(r, m, app, configs)
+		pts, err := predictAppEverywhere(ctx, r, m, app, configs)
 		if err != nil {
 			return nil, fmt.Errorf("fig7: %s on %s: %w", app.Short, deviceName, err)
 		}
@@ -99,10 +100,10 @@ func RunFig7Device(deviceName string, seed uint64) (*Fig7DeviceResult, error) {
 // RunFig7 runs the full Fig. 7 experiment on the paper's three devices.
 // The per-device pipelines (fit + validate) are independent, so they run
 // concurrently; the result keeps the canonical device order.
-func RunFig7(seed uint64) (*Fig7Result, error) {
+func RunFig7(ctx context.Context, seed uint64) (*Fig7Result, error) {
 	devs := hw.AllDevices()
 	panels, err := parallel.Map(len(devs), func(i int) (*Fig7DeviceResult, error) {
-		return RunFig7Device(devs[i].Name, seed)
+		return RunFig7Device(ctx, devs[i].Name, seed)
 	})
 	if err != nil {
 		return nil, err

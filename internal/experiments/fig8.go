@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -34,13 +35,13 @@ type Fig8Result struct {
 }
 
 // RunFig8 reproduces Fig. 8.
-func RunFig8(seed uint64) (*Fig8Result, error) {
+func RunFig8(ctx context.Context, seed uint64) (*Fig8Result, error) {
 	const deviceName = "GTX Titan X"
 	r, err := SharedRig(deviceName, seed)
 	if err != nil {
 		return nil, err
 	}
-	m, err := r.Model()
+	m, err := r.Model(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -52,7 +53,7 @@ func RunFig8(seed uint64) (*Fig8Result, error) {
 	}
 	data := make(map[string]appData, len(apps))
 	for _, app := range apps {
-		prof, err := r.Profiler.ProfileApp(app.App, m.Ref)
+		prof, err := r.Profiler.ProfileApp(ctx, app.App, m.Ref)
 		if err != nil {
 			return nil, err
 		}
@@ -77,7 +78,7 @@ func RunFig8(seed uint64) (*Fig8Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				q, err := r.Profiler.MeasureAppPower(app.App, cfg)
+				q, err := r.Profiler.MeasureAppPower(ctx, app.App, cfg)
 				if err != nil {
 					return nil, err
 				}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -35,13 +36,13 @@ type Fig9Result struct {
 }
 
 // RunFig9 reproduces Fig. 9.
-func RunFig9(seed uint64) (*Fig9Result, error) {
+func RunFig9(ctx context.Context, seed uint64) (*Fig9Result, error) {
 	const deviceName = "GTX Titan X"
 	r, err := SharedRig(deviceName, seed)
 	if err != nil {
 		return nil, err
 	}
-	m, err := r.Model()
+	m, err := r.Model(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +55,7 @@ func RunFig9(seed uint64) (*Fig9Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		prof, err := r.Profiler.ProfileApp(app.App, m.Ref)
+		prof, err := r.Profiler.ProfileApp(ctx, app.App, m.Ref)
 		if err != nil {
 			return nil, err
 		}
@@ -85,7 +86,7 @@ func RunFig9(seed uint64) (*Fig9Result, error) {
 					return nil, err
 				}
 			}
-			meas, err := r.Profiler.MeasureAppPower(app.App, hw.Config{CoreMHz: fc, MemMHz: fm})
+			meas, err := r.Profiler.MeasureAppPower(ctx, app.App, hw.Config{CoreMHz: fc, MemMHz: fm})
 			if err != nil {
 				return nil, err
 			}

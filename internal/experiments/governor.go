@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,13 +28,13 @@ type GovernorResult struct {
 
 // RunGovernorStudy runs three representative applications under the three
 // policies on the GTX Titan X.
-func RunGovernorStudy(seed uint64) (*GovernorResult, error) {
+func RunGovernorStudy(ctx context.Context, seed uint64) (*GovernorResult, error) {
 	const deviceName = "GTX Titan X"
 	r, err := SharedRig(deviceName, seed)
 	if err != nil {
 		return nil, err
 	}
-	m, err := r.Model()
+	m, err := r.Model(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -52,7 +53,7 @@ func RunGovernorStudy(seed uint64) (*GovernorResult, error) {
 			if pol == governor.MaxPerfUnderCap {
 				g.PowerCap = 150
 			}
-			rep, err := g.RunApp(app.App, iterations)
+			rep, err := g.RunApp(ctx, app.App, iterations)
 			if err != nil {
 				return nil, err
 			}

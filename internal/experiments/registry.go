@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -15,12 +16,13 @@ type Plotter interface {
 
 // Runner executes one named experiment and writes its textual result.
 // When plot is true and the result supports charts, the chart follows the
-// text.
-type Runner func(w io.Writer, seed uint64, plot bool) error
+// text. Cancellation of ctx aborts the experiment at its next measurement
+// or fitting checkpoint with an error wrapping ctx.Err().
+type Runner func(ctx context.Context, w io.Writer, seed uint64, plot bool) error
 
 // registry maps experiment names to runners; the CLI and tests share it.
 var registry = map[string]Runner{
-	"table1": func(w io.Writer, _ uint64, _ bool) error {
+	"table1": func(_ context.Context, w io.Writer, _ uint64, _ bool) error {
 		s, err := RenderTable1()
 		if err != nil {
 			return err
@@ -28,98 +30,98 @@ var registry = map[string]Runner{
 		_, err = io.WriteString(w, s)
 		return err
 	},
-	"table2": func(w io.Writer, _ uint64, _ bool) error {
+	"table2": func(_ context.Context, w io.Writer, _ uint64, _ bool) error {
 		_, err := io.WriteString(w, RenderTable2())
 		return err
 	},
-	"table3": func(w io.Writer, _ uint64, _ bool) error {
+	"table3": func(_ context.Context, w io.Writer, _ uint64, _ bool) error {
 		_, err := io.WriteString(w, RenderTable3())
 		return err
 	},
-	"sources": func(w io.Writer, _ uint64, _ bool) error {
+	"sources": func(_ context.Context, w io.Writer, _ uint64, _ bool) error {
 		_, err := io.WriteString(w, microbench.RenderSources())
 		return err
 	},
-	"fig2": func(w io.Writer, seed uint64, plot bool) error {
-		r, err := RunFig2(seed)
+	"fig2": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
+		r, err := RunFig2(ctx, seed)
 		if err != nil {
 			return err
 		}
 		return emit(w, r, plot)
 	},
-	"fig5": func(w io.Writer, seed uint64, plot bool) error {
-		r, err := RunFig5(seed)
+	"fig5": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
+		r, err := RunFig5(ctx, seed)
 		if err != nil {
 			return err
 		}
 		return emit(w, r, plot)
 	},
-	"fig6": func(w io.Writer, seed uint64, plot bool) error {
-		r, err := RunFig6(seed)
+	"fig6": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
+		r, err := RunFig6(ctx, seed)
 		if err != nil {
 			return err
 		}
 		return emit(w, r, plot)
 	},
-	"fig7": func(w io.Writer, seed uint64, plot bool) error {
-		r, err := RunFig7(seed)
+	"fig7": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
+		r, err := RunFig7(ctx, seed)
 		if err != nil {
 			return err
 		}
 		return emit(w, r, plot)
 	},
-	"fig8": func(w io.Writer, seed uint64, plot bool) error {
-		r, err := RunFig8(seed)
+	"fig8": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
+		r, err := RunFig8(ctx, seed)
 		if err != nil {
 			return err
 		}
 		return emit(w, r, plot)
 	},
-	"fig9": func(w io.Writer, seed uint64, plot bool) error {
-		r, err := RunFig9(seed)
+	"fig9": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
+		r, err := RunFig9(ctx, seed)
 		if err != nil {
 			return err
 		}
 		return emit(w, r, plot)
 	},
-	"fig10": func(w io.Writer, seed uint64, plot bool) error {
-		r, err := RunFig10(seed)
+	"fig10": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
+		r, err := RunFig10(ctx, seed)
 		if err != nil {
 			return err
 		}
 		return emit(w, r, plot)
 	},
-	"convergence": func(w io.Writer, seed uint64, plot bool) error {
-		r, err := RunConvergence(seed)
+	"convergence": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
+		r, err := RunConvergence(ctx, seed)
 		if err != nil {
 			return err
 		}
 		return emit(w, r, plot)
 	},
-	"baselines": func(w io.Writer, seed uint64, plot bool) error {
-		r, err := RunBaselines(seed)
+	"baselines": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
+		r, err := RunBaselines(ctx, seed)
 		if err != nil {
 			return err
 		}
 		return emit(w, r, plot)
 	},
-	"ablation": func(w io.Writer, seed uint64, plot bool) error {
-		r, err := RunAblation(seed)
+	"ablation": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
+		r, err := RunAblation(ctx, seed)
 		if err != nil {
 			return err
 		}
 		return emit(w, r, plot)
 	},
-	"governor": func(w io.Writer, seed uint64, plot bool) error {
-		r, err := RunGovernorStudy(seed)
+	"governor": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
+		r, err := RunGovernorStudy(ctx, seed)
 		if err != nil {
 			return err
 		}
 		return emit(w, r, plot)
 	},
-	"breakdown": func(w io.Writer, seed uint64, plot bool) error {
+	"breakdown": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
 		for _, dev := range []string{"Titan Xp", "GTX Titan X", "Tesla K40c"} {
-			r, err := RunBreakdownTruth(dev, seed)
+			r, err := RunBreakdownTruth(ctx, dev, seed)
 			if err != nil {
 				return err
 			}
@@ -129,15 +131,15 @@ var registry = map[string]Runner{
 		}
 		return nil
 	},
-	"timemodel": func(w io.Writer, seed uint64, plot bool) error {
-		r, err := RunTimeModel(seed)
+	"timemodel": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
+		r, err := RunTimeModel(ctx, seed)
 		if err != nil {
 			return err
 		}
 		return emit(w, r, plot)
 	},
-	"robustness": func(w io.Writer, seed uint64, plot bool) error {
-		r, err := RunRobustness([]uint64{seed, seed + 1, seed + 2, seed + 3, seed + 4})
+	"robustness": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
+		r, err := RunRobustness(ctx, []uint64{seed, seed + 1, seed + 2, seed + 3, seed + 4})
 		if err != nil {
 			return err
 		}
@@ -200,10 +202,10 @@ func AllNames() []string {
 }
 
 // RunByName executes one named experiment, writing its result to w.
-func RunByName(name string, w io.Writer, seed uint64, plot bool) error {
+func RunByName(ctx context.Context, name string, w io.Writer, seed uint64, plot bool) error {
 	runner, ok := registry[name]
 	if !ok {
 		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
-	return runner(w, seed, plot)
+	return runner(ctx, w, seed, plot)
 }

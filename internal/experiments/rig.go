@@ -5,9 +5,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"gpupower/internal/backend"
+	"gpupower/internal/backend/simbk"
 	"gpupower/internal/core"
 	"gpupower/internal/hw"
 	"gpupower/internal/microbench"
@@ -21,7 +24,12 @@ import (
 const DefaultSeed uint64 = 42
 
 // Rig bundles everything an experiment needs on one device: the simulated
-// GPU, its profiler, and (lazily) a fitted model with its training dataset.
+// GPU (ground truth for validation-only paths), its measurement backend and
+// profiler, and (lazily) a fitted model with its training dataset.
+//
+// The measurement pipeline runs entirely through Backend — the rig keeps
+// Sim only for ground-truth comparisons (true breakdowns, third-party
+// voltage readouts) that a real device would not expose either.
 //
 // Concurrency invariant: Dataset and Model are safe for concurrent use
 // (mutex-guarded, and fitting only reads the dataset), but the profiler
@@ -31,6 +39,7 @@ const DefaultSeed uint64 = 42
 type Rig struct {
 	Device   *hw.Device
 	Sim      *sim.Device
+	Backend  backend.Backend
 	Profiler *profiler.Profiler
 
 	mu      sync.Mutex
@@ -48,23 +57,27 @@ func NewRig(deviceName string, seed uint64) (*Rig, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := profiler.New(s)
+	b, err := simbk.New(s)
 	if err != nil {
 		return nil, err
 	}
-	return &Rig{Device: dev, Sim: s, Profiler: p}, nil
+	p, err := profiler.New(b)
+	if err != nil {
+		return nil, err
+	}
+	return &Rig{Device: dev, Sim: s, Backend: b, Profiler: p}, nil
 }
 
 // Dataset measures (or returns the cached) full training dataset: the 83
 // microbenchmarks profiled at the reference configuration and measured at
 // every V-F configuration.
-func (r *Rig) Dataset() (*core.Dataset, error) {
+func (r *Rig) Dataset(ctx context.Context) (*core.Dataset, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.dataset != nil {
 		return r.dataset, nil
 	}
-	d, err := core.BuildDataset(r.Profiler, microbench.Suite(), r.Device.DefaultConfig(), r.Device.AllConfigs())
+	d, err := core.BuildDataset(ctx, r.Profiler, microbench.Suite(), r.Device.DefaultConfig(), r.Device.AllConfigs())
 	if err != nil {
 		return nil, fmt.Errorf("experiments: building dataset on %s: %w", r.Device.Name, err)
 	}
@@ -73,8 +86,8 @@ func (r *Rig) Dataset() (*core.Dataset, error) {
 }
 
 // Model fits (or returns the cached) DVFS-aware power model.
-func (r *Rig) Model() (*core.Model, error) {
-	d, err := r.Dataset()
+func (r *Rig) Model(ctx context.Context) (*core.Model, error) {
+	d, err := r.Dataset(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +96,7 @@ func (r *Rig) Model() (*core.Model, error) {
 	if r.model != nil {
 		return r.model, nil
 	}
-	m, err := core.Estimate(d, nil)
+	m, err := core.Estimate(ctx, d, nil)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fitting model on %s: %w", r.Device.Name, err)
 	}
@@ -127,13 +140,13 @@ func ResetSharedRigs() {
 // and model, so the per-device pipelines are independent; result slot i
 // always belongs to deviceNames[i]. This is the fan-out every multi-device
 // experiment (fig5–fig10, robustness) rides on.
-func SharedRigs(deviceNames []string, seed uint64) ([]*Rig, error) {
+func SharedRigs(ctx context.Context, deviceNames []string, seed uint64) ([]*Rig, error) {
 	return parallel.Map(len(deviceNames), func(i int) (*Rig, error) {
 		r, err := SharedRig(deviceNames[i], seed)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := r.Model(); err != nil {
+		if _, err := r.Model(ctx); err != nil {
 			return nil, err
 		}
 		return r, nil

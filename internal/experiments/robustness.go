@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -24,7 +25,7 @@ type RobustnessResult struct {
 // (distinct (device, seed) cache keys), so the full grid fans out across
 // the worker pool at once; cell (si, di) writes only MAE[device][si], so
 // the result layout is identical to the serial nested loops.
-func RunRobustness(seeds []uint64) (*RobustnessResult, error) {
+func RunRobustness(ctx context.Context, seeds []uint64) (*RobustnessResult, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("experiments: robustness needs at least one seed")
 	}
@@ -36,7 +37,7 @@ func RunRobustness(seeds []uint64) (*RobustnessResult, error) {
 	err := parallel.ForEach(len(seeds)*len(devices), func(i int) error {
 		si, di := i/len(devices), i%len(devices)
 		seed, name := seeds[si], devices[di]
-		res, err := RunFig7Device(name, seed)
+		res, err := RunFig7Device(ctx, name, seed)
 		if err != nil {
 			return fmt.Errorf("robustness: seed %d on %s: %w", seed, name, err)
 		}

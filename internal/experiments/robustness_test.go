@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -11,7 +12,7 @@ func TestRobustnessTwoSeeds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("robustness fits multiple dies; skipped in -short mode")
 	}
-	r, err := RunRobustness([]uint64{DefaultSeed, DefaultSeed + 1})
+	r, err := RunRobustness(context.Background(), []uint64{DefaultSeed, DefaultSeed + 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestRobustnessTwoSeeds(t *testing.T) {
 }
 
 func TestRobustnessValidation(t *testing.T) {
-	if _, err := RunRobustness(nil); err == nil {
+	if _, err := RunRobustness(context.Background(), nil); err == nil {
 		t.Fatal("empty seed list accepted")
 	}
 	if _, _, _, _, err := (&RobustnessResult{MAE: map[string][]float64{}}).Stats("nope"); err == nil {
@@ -51,7 +52,7 @@ func TestBreakdownTruth(t *testing.T) {
 	// The simulator-only component-level validation: on the accurate-counter
 	// devices the model's decomposition must track the hidden truth closely;
 	// on Kepler the attribution degrades (the counter-quality story).
-	tx, err := RunBreakdownTruth("GTX Titan X", DefaultSeed)
+	tx, err := RunBreakdownTruth(context.Background(), "GTX Titan X", DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestBreakdownTruth(t *testing.T) {
 				tx.MeanAbsErrW[hw.DRAM], dram)
 		}
 	}
-	k40, err := RunBreakdownTruth("Tesla K40c", DefaultSeed)
+	k40, err := RunBreakdownTruth(context.Background(), "Tesla K40c", DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,13 +86,13 @@ func TestBreakdownTruth(t *testing.T) {
 }
 
 func TestBreakdownTruthUnknownDevice(t *testing.T) {
-	if _, err := RunBreakdownTruth("GTX 480", DefaultSeed); err == nil {
+	if _, err := RunBreakdownTruth(context.Background(), "GTX 480", DefaultSeed); err == nil {
 		t.Fatal("unknown device accepted")
 	}
 }
 
 func TestGovernorStudy(t *testing.T) {
-	r, err := RunGovernorStudy(DefaultSeed)
+	r, err := RunGovernorStudy(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}

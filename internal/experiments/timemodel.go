@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -30,19 +31,19 @@ type TimeModelResult struct {
 
 // RunTimeModel trains the [9]-style classifier on the microbenchmarks and
 // evaluates both time predictors on the validation set (GTX Titan X).
-func RunTimeModel(seed uint64) (*TimeModelResult, error) {
+func RunTimeModel(ctx context.Context, seed uint64) (*TimeModelResult, error) {
 	const deviceName = "GTX Titan X"
 	r, err := SharedRig(deviceName, seed)
 	if err != nil {
 		return nil, err
 	}
-	cls, err := scaling.Train(r.Profiler, microbench.Suite(), 6, seed)
+	cls, err := scaling.Train(ctx, r.Profiler, microbench.Suite(), 6, seed)
 	if err != nil {
 		return nil, err
 	}
 	dev := r.Device
 	ref := dev.DefaultConfig()
-	l2bpc, err := core.CalibrateL2BytesPerCycle(r.Profiler, ref)
+	l2bpc, err := core.CalibrateL2BytesPerCycle(ctx, r.Profiler, ref)
 	if err != nil {
 		return nil, err
 	}
@@ -66,7 +67,7 @@ func RunTimeModel(seed uint64) (*TimeModelResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		prof, err := r.Profiler.ProfileApp(kernels.SingleKernelApp(k), ref)
+		prof, err := r.Profiler.ProfileApp(ctx, kernels.SingleKernelApp(k), ref)
 		if err != nil {
 			return nil, err
 		}

@@ -14,8 +14,10 @@
 package governor
 
 import (
+	"context"
 	"fmt"
 
+	"gpupower/internal/backend"
 	"gpupower/internal/core"
 	"gpupower/internal/hw"
 	"gpupower/internal/kernels"
@@ -44,7 +46,9 @@ func (p Policy) String() string {
 	case MaxPerfUnderCap:
 		return "max-perf-under-cap"
 	default:
-		return fmt.Sprintf("Policy(%d)", int(p))
+		// Exhaustive default: an out-of-range value still prints something
+		// diagnosable rather than an empty string.
+		return fmt.Sprintf("unknown(%d)", int(p))
 	}
 }
 
@@ -68,9 +72,9 @@ func New(p *profiler.Profiler, m *core.Model, policy Policy) (*Governor, error) 
 	if p == nil || m == nil {
 		return nil, fmt.Errorf("governor: nil profiler or model")
 	}
-	if m.DeviceName != p.Device().HW().Name {
+	if m.DeviceName != p.HW().Name {
 		return nil, fmt.Errorf("governor: model fitted on %q, device is %q",
-			m.DeviceName, p.Device().HW().Name)
+			m.DeviceName, p.HW().Name)
 	}
 	return &Governor{
 		prof:      p,
@@ -84,7 +88,7 @@ func New(p *profiler.Profiler, m *core.Model, policy Policy) (*Governor, error) 
 // Decide returns the governor's configuration for a kernel with known
 // utilization, per the active policy.
 func (g *Governor) Decide(u core.Utilization) (hw.Config, error) {
-	dev := g.prof.Device().HW()
+	dev := g.prof.HW()
 	ref := g.model.Ref
 	cap := g.PowerCap
 	if cap <= 0 {
@@ -165,24 +169,18 @@ func (r *Report) SlowdownPercent() float64 {
 	return 100 * (r.Seconds - r.BaselineSeconds) / r.BaselineSeconds
 }
 
-// runKernelAt executes one kernel launch at cfg and returns its true energy
-// and duration (the simulator's ground truth — what a wattmeter integrates).
+// runKernelAt executes one kernel launch at cfg through the measurement
+// backend and returns its measured energy and duration (what a wattmeter
+// integrates).
 func (g *Governor) runKernelAt(k *kernels.KernelSpec, cfg hw.Config) (energyJ, seconds float64, err error) {
-	dev := g.prof.Device()
-	if err := dev.SetClocks(cfg.MemMHz, cfg.CoreMHz); err != nil {
-		return 0, 0, err
-	}
-	run, err := dev.Execute(k)
-	if err != nil {
-		return 0, 0, err
-	}
-	return run.TruePower * run.Exec.Seconds(), run.Exec.Seconds(), nil
+	return g.prof.RunKernelAt(k, cfg)
 }
 
 // RunApp executes an iterative application for the given iteration count
 // under governor control, and the same workload at the reference
-// configuration as the baseline.
-func (g *Governor) RunApp(app *kernels.App, iterations int) (*Report, error) {
+// configuration as the baseline. Cancellation is checked at iteration
+// granularity.
+func (g *Governor) RunApp(ctx context.Context, app *kernels.App, iterations int) (*Report, error) {
 	if err := app.Validate(); err != nil {
 		return nil, err
 	}
@@ -192,8 +190,11 @@ func (g *Governor) RunApp(app *kernels.App, iterations int) (*Report, error) {
 	rep := &Report{App: app.Name, Policy: g.policy, Iterations: iterations}
 
 	for iter := 1; iter <= iterations; iter++ {
+		if err := backend.CheckContext(ctx, fmt.Sprintf("governor: iteration %d of %s", iter, app.Name)); err != nil {
+			return nil, err
+		}
 		for _, k := range app.Kernels {
-			cfg, profiling, err := g.configFor(k)
+			cfg, profiling, err := g.configFor(ctx, k)
 			if err != nil {
 				return nil, err
 			}
@@ -220,16 +221,16 @@ func (g *Governor) RunApp(app *kernels.App, iterations int) (*Report, error) {
 
 // configFor returns the configuration for one kernel launch, profiling it
 // at the reference configuration on first sight.
-func (g *Governor) configFor(k *kernels.KernelSpec) (hw.Config, bool, error) {
+func (g *Governor) configFor(ctx context.Context, k *kernels.KernelSpec) (hw.Config, bool, error) {
 	if cfg, ok := g.decisions[k.Name]; ok {
 		return cfg, false, nil
 	}
 	// First call: run at the reference configuration and collect events.
-	prof, err := g.prof.ProfileApp(kernels.SingleKernelApp(k), g.model.Ref)
+	prof, err := g.prof.ProfileApp(ctx, kernels.SingleKernelApp(k), g.model.Ref)
 	if err != nil {
 		return hw.Config{}, false, err
 	}
-	u, err := core.AppUtilization(g.prof.Device().HW(), prof, g.model.L2BytesPerCycle)
+	u, err := core.AppUtilization(g.prof.HW(), prof, g.model.L2BytesPerCycle)
 	if err != nil {
 		return hw.Config{}, false, err
 	}

@@ -1,15 +1,16 @@
 package governor
 
 import (
+	"context"
 	"sync"
 	"testing"
 
+	"gpupower/internal/backend/simbk"
 	"gpupower/internal/core"
 	"gpupower/internal/hw"
 	"gpupower/internal/kernels"
 	"gpupower/internal/microbench"
 	"gpupower/internal/profiler"
-	"gpupower/internal/sim"
 	"gpupower/internal/suites"
 )
 
@@ -24,22 +25,23 @@ var (
 func rig(t *testing.T) (*profiler.Profiler, *core.Model) {
 	t.Helper()
 	rigOnce.Do(func() {
-		dev := hw.GTXTitanX()
-		s, err := sim.New(dev, 42)
+		ctx := context.Background()
+		b, err := simbk.Open("GTX Titan X", 42)
 		if err != nil {
 			rigErr = err
 			return
 		}
-		rigProf, rigErr = profiler.New(s)
+		dev := b.Device()
+		rigProf, rigErr = profiler.New(b)
 		if rigErr != nil {
 			return
 		}
 		var d *core.Dataset
-		d, rigErr = core.BuildDataset(rigProf, microbench.Suite(), dev.DefaultConfig(), dev.AllConfigs())
+		d, rigErr = core.BuildDataset(ctx, rigProf, microbench.Suite(), dev.DefaultConfig(), dev.AllConfigs())
 		if rigErr != nil {
 			return
 		}
-		rigMod, rigErr = core.Estimate(d, nil)
+		rigMod, rigErr = core.Estimate(ctx, d, nil)
 	})
 	if rigErr != nil {
 		t.Fatal(rigErr)
@@ -77,7 +79,7 @@ func TestGovernorSavesEnergyOnMemoryBoundApp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := g.RunApp(app(t, "LBM"), 20)
+	rep, err := g.RunApp(context.Background(), app(t, "LBM"), 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +103,7 @@ func TestGovernorProfilesOnlyFirstIteration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := g.RunApp(app(t, "CUTCP"), 5)
+	rep, err := g.RunApp(context.Background(), app(t, "CUTCP"), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +141,7 @@ func TestGovernorMultiKernelApp(t *testing.T) {
 		t.Fatal(err)
 	}
 	km := app(t, "K-M") // two kernels
-	rep, err := g.RunApp(km, 4)
+	rep, err := g.RunApp(context.Background(), km, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +167,7 @@ func TestMaxPerfUnderCap(t *testing.T) {
 	g.PowerCap = 120 // well below BlackScholes' ~189 W at the reference
 
 	wl := app(t, "BLCKSC")
-	rep, err := g.RunApp(wl, 10)
+	rep, err := g.RunApp(context.Background(), wl, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +187,7 @@ func TestMaxPerfUnderCap(t *testing.T) {
 	}
 	// The chosen point should be the *fastest* admissible one: every faster
 	// configuration must violate the cap.
-	for _, cand := range p.Device().HW().AllConfigs() {
+	for _, cand := range p.HW().AllConfigs() {
 		rt := core.EstimateRelativeTime(u, m.Ref, cand)
 		chosenRT := core.EstimateRelativeTime(u, m.Ref, cfg)
 		if rt < chosenRT-1e-9 {
@@ -207,7 +209,7 @@ func TestImpossibleCap(t *testing.T) {
 		t.Fatal(err)
 	}
 	g.PowerCap = 10 // below idle power: nothing is admissible
-	if _, err := g.RunApp(app(t, "BLCKSC"), 2); err == nil {
+	if _, err := g.RunApp(context.Background(), app(t, "BLCKSC"), 2); err == nil {
 		t.Fatal("impossible cap accepted")
 	}
 }
@@ -218,10 +220,10 @@ func TestRunAppValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := g.RunApp(app(t, "LBM"), 0); err == nil {
+	if _, err := g.RunApp(context.Background(), app(t, "LBM"), 0); err == nil {
 		t.Fatal("zero iterations accepted")
 	}
-	if _, err := g.RunApp(&kernels.App{Name: "empty"}, 1); err == nil {
+	if _, err := g.RunApp(context.Background(), &kernels.App{Name: "empty"}, 1); err == nil {
 		t.Fatal("invalid app accepted")
 	}
 }
@@ -245,10 +247,10 @@ func TestMinEDPRespectsPerformanceMore(t *testing.T) {
 		t.Fatal(err)
 	}
 	wl := app(t, "CUTCP")
-	if _, err := gE.RunApp(wl, 2); err != nil {
+	if _, err := gE.RunApp(context.Background(), wl, 2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := gD.RunApp(wl, 2); err != nil {
+	if _, err := gD.RunApp(context.Background(), wl, 2); err != nil {
 		t.Fatal(err)
 	}
 	u, _ := gE.Utilization(wl.Kernels[0].Name)

@@ -4,25 +4,27 @@
 // average), every measurement is repeated and the median taken, multi-kernel
 // applications weight each kernel's power by its relative execution time,
 // and CUPTI events are collected only at the reference configuration.
+//
+// The profiler is backend-agnostic: it drives any backend.Backend — the
+// in-process simulator, a recorded measurement trace, or (on real hardware)
+// an NVML/CUPTI exporter — and never peeks behind the measurement seam.
 package profiler
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"gpupower/internal/backend"
 	"gpupower/internal/cupti"
 	"gpupower/internal/hw"
 	"gpupower/internal/kernels"
-	"gpupower/internal/nvml"
-	"gpupower/internal/sim"
 	"gpupower/internal/stats"
 )
 
-// Profiler measures power and events on one simulated device.
+// Profiler measures power and events through one measurement backend.
 type Profiler struct {
-	dev *sim.Device
-	nv  *nvml.Device
-	col *cupti.Collector
+	b backend.Backend
 
 	// MinWall is the minimum wall time per power measurement (paper: ≥1 s
 	// at the fastest configuration).
@@ -33,50 +35,48 @@ type Profiler struct {
 }
 
 // New creates a profiler with the paper's methodology parameters.
-func New(dev *sim.Device) (*Profiler, error) {
-	col, err := cupti.NewCollector(dev)
-	if err != nil {
-		return nil, err
+func New(b backend.Backend) (*Profiler, error) {
+	if b == nil {
+		return nil, fmt.Errorf("profiler: nil backend")
 	}
 	return &Profiler{
-		dev:     dev,
-		nv:      nvml.Wrap(dev),
-		col:     col,
+		b:       b,
 		MinWall: time.Second,
 		Repeats: 10,
 	}, nil
 }
 
-// Device returns the underlying simulated device.
-func (p *Profiler) Device() *sim.Device { return p.dev }
+// Backend returns the measurement backend the profiler drives.
+func (p *Profiler) Backend() backend.Backend { return p.b }
 
-// NVML returns the management-library handle.
-func (p *Profiler) NVML() *nvml.Device { return p.nv }
+// HW returns the static hardware description of the profiled device.
+func (p *Profiler) HW() *hw.Device { return p.b.Device() }
 
-// Collector returns the CUPTI event collector.
-func (p *Profiler) Collector() *cupti.Collector { return p.col }
-
-// setClocks drives the NVML clock interface.
+// setClocks drives the backend's clock interface.
 func (p *Profiler) setClocks(cfg hw.Config) error {
-	return p.nv.SetApplicationsClocks(uint32(cfg.MemMHz), uint32(cfg.CoreMHz))
+	return p.b.SetClocks(cfg)
 }
 
 // MeasureKernelPower returns the median-of-Repeats average power of one
 // kernel at cfg, in watts, together with the effective (possibly
-// TDP-capped) configuration and the single-launch time.
-func (p *Profiler) MeasureKernelPower(k *kernels.KernelSpec, cfg hw.Config) (float64, *sim.RunResult, error) {
+// TDP-capped) configuration and the single-launch time. Cancellation is
+// checked between repetitions.
+func (p *Profiler) MeasureKernelPower(ctx context.Context, k *kernels.KernelSpec, cfg hw.Config) (float64, backend.RunInfo, error) {
 	if err := p.setClocks(cfg); err != nil {
-		return 0, nil, err
+		return 0, backend.RunInfo{}, err
 	}
 	if p.Repeats < 1 {
-		return 0, nil, fmt.Errorf("profiler: Repeats must be >= 1, got %d", p.Repeats)
+		return 0, backend.RunInfo{}, fmt.Errorf("profiler: Repeats must be >= 1, got %d", p.Repeats)
 	}
 	vals := make([]float64, 0, p.Repeats)
-	var run *sim.RunResult
+	var run backend.RunInfo
 	for i := 0; i < p.Repeats; i++ {
-		v, r, err := p.dev.SampledAveragePower(k, p.MinWall)
+		if err := backend.CheckContext(ctx, "profiler: measuring "+k.Name); err != nil {
+			return 0, backend.RunInfo{}, err
+		}
+		v, r, err := p.b.SampledKernelPower(k, p.MinWall)
 		if err != nil {
-			return 0, nil, err
+			return 0, backend.RunInfo{}, err
 		}
 		vals = append(vals, v)
 		run = r
@@ -86,17 +86,17 @@ func (p *Profiler) MeasureKernelPower(k *kernels.KernelSpec, cfg hw.Config) (flo
 
 // MeasureAppPower measures an application at cfg, weighting each kernel's
 // power by its relative execution time (Section V-A).
-func (p *Profiler) MeasureAppPower(app *kernels.App, cfg hw.Config) (float64, error) {
+func (p *Profiler) MeasureAppPower(ctx context.Context, app *kernels.App, cfg hw.Config) (float64, error) {
 	if err := app.Validate(); err != nil {
 		return 0, err
 	}
 	var weighted, totalTime float64
 	for _, k := range app.Kernels {
-		pw, run, err := p.MeasureKernelPower(k, cfg)
+		pw, run, err := p.MeasureKernelPower(ctx, k, cfg)
 		if err != nil {
 			return 0, err
 		}
-		t := run.Exec.Seconds()
+		t := run.Seconds
 		weighted += pw * t
 		totalTime += t
 	}
@@ -126,8 +126,8 @@ type AppProfile struct {
 }
 
 // ProfileApp collects CUPTI events for every kernel of the application at
-// the reference configuration.
-func (p *Profiler) ProfileApp(app *kernels.App, ref hw.Config) (*AppProfile, error) {
+// the reference configuration. Cancellation is checked between kernels.
+func (p *Profiler) ProfileApp(ctx context.Context, app *kernels.App, ref hw.Config) (*AppProfile, error) {
 	if err := app.Validate(); err != nil {
 		return nil, err
 	}
@@ -136,7 +136,10 @@ func (p *Profiler) ProfileApp(app *kernels.App, ref hw.Config) (*AppProfile, err
 	}
 	prof := &AppProfile{App: app, RefConfig: ref}
 	for _, k := range app.Kernels {
-		metrics, run, err := p.col.CollectMetrics(k)
+		if err := backend.CheckContext(ctx, "profiler: profiling "+app.Name); err != nil {
+			return nil, err
+		}
+		metrics, run, err := p.b.CollectMetrics(k)
 		if err != nil {
 			return nil, err
 		}
@@ -144,26 +147,57 @@ func (p *Profiler) ProfileApp(app *kernels.App, ref hw.Config) (*AppProfile, err
 			// A TDP-capped reference run would corrupt the event-to-cycle
 			// relation the model assumes; the paper's reference configs
 			// never throttle, so surface it loudly.
-			return nil, fmt.Errorf("profiler: kernel %s throttled at reference %v (ran at %v)",
-				k.Name, ref, run.Effective)
+			return nil, fmt.Errorf("profiler: kernel %s at reference %v (ran at %v): %w",
+				k.Name, ref, run.Effective, backend.ErrThrottled)
 		}
 		prof.Kernels = append(prof.Kernels, KernelProfile{
 			Spec:    k,
-			Metrics: metrics,
-			Seconds: run.Exec.Seconds(),
+			Metrics: metricsByName(metrics),
+			Seconds: run.Seconds,
 		})
 	}
 	return prof, nil
 }
 
+// metricsByName converts the backend's string-keyed metrics into the CUPTI
+// façade's typed keys the model layers consume.
+func metricsByName(m backend.Metrics) map[cupti.Metric]float64 {
+	out := make(map[cupti.Metric]float64, len(m))
+	for name, v := range m {
+		out[cupti.Metric(name)] = v
+	}
+	return out
+}
+
 // MeasureIdlePower measures the awake-but-idle device at cfg.
-func (p *Profiler) MeasureIdlePower(cfg hw.Config) (float64, error) {
+func (p *Profiler) MeasureIdlePower(ctx context.Context, cfg hw.Config) (float64, error) {
 	if err := p.setClocks(cfg); err != nil {
 		return 0, err
 	}
 	vals := make([]float64, 0, p.Repeats)
 	for i := 0; i < p.Repeats; i++ {
-		vals = append(vals, p.dev.SampledIdlePower(p.MinWall))
+		if err := backend.CheckContext(ctx, "profiler: measuring idle power"); err != nil {
+			return 0, err
+		}
+		v, err := p.b.SampledIdlePower(p.MinWall)
+		if err != nil {
+			return 0, err
+		}
+		vals = append(vals, v)
 	}
 	return stats.Median(vals), nil
+}
+
+// RunKernelAt executes one kernel launch at cfg through the backend and
+// returns its measured energy (J) and duration (s) — the governed-run and
+// time-scaling measurement.
+func (p *Profiler) RunKernelAt(k *kernels.KernelSpec, cfg hw.Config) (energyJ, seconds float64, err error) {
+	if err := p.setClocks(cfg); err != nil {
+		return 0, 0, err
+	}
+	e, run, err := p.b.RunKernel(k)
+	if err != nil {
+		return 0, 0, err
+	}
+	return e, run.Seconds, nil
 }

@@ -1,31 +1,30 @@
 package profiler
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 	"time"
 
+	"gpupower/internal/backend"
+	"gpupower/internal/backend/simbk"
 	"gpupower/internal/cupti"
 	"gpupower/internal/hw"
 	"gpupower/internal/kernels"
-	"gpupower/internal/sim"
 )
 
-func newProfiler(t *testing.T, name string) *Profiler {
+func newProfiler(t *testing.T, name string) (*Profiler, *simbk.Backend) {
 	t.Helper()
-	dev, err := hw.DeviceByName(name)
+	b, err := simbk.Open(name, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := sim.New(dev, 42)
+	p, err := New(b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := New(s)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return p
+	return p, b
 }
 
 func kern(name string, spWork float64) *kernels.KernelSpec {
@@ -40,7 +39,7 @@ func kern(name string, spWork float64) *kernels.KernelSpec {
 }
 
 func TestDefaults(t *testing.T) {
-	p := newProfiler(t, "GTX Titan X")
+	p, _ := newProfiler(t, "GTX Titan X")
 	if p.MinWall != time.Second {
 		t.Fatalf("MinWall = %v, want 1s (paper methodology)", p.MinWall)
 	}
@@ -49,10 +48,22 @@ func TestDefaults(t *testing.T) {
 	}
 }
 
+func TestNewRejectsNilBackend(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil backend accepted")
+	}
+}
+
 func TestMeasureKernelPowerAccuracy(t *testing.T) {
-	p := newProfiler(t, "GTX Titan X")
+	ctx := context.Background()
+	p, b := newProfiler(t, "GTX Titan X")
 	cfg := hw.Config{CoreMHz: 975, MemMHz: 3505}
-	pw, run, err := p.MeasureKernelPower(kern("k", 5e9), cfg)
+	pw, _, err := p.MeasureKernelPower(ctx, kern("k", 5e9), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth from the simulator (a real device would not expose it).
+	run, err := b.Sim().Execute(kern("k", 5e9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,31 +73,42 @@ func TestMeasureKernelPowerAccuracy(t *testing.T) {
 }
 
 func TestMeasureKernelPowerInvalidRepeats(t *testing.T) {
-	p := newProfiler(t, "GTX Titan X")
+	p, _ := newProfiler(t, "GTX Titan X")
 	p.Repeats = 0
-	if _, _, err := p.MeasureKernelPower(kern("k", 1e9), p.Device().HW().DefaultConfig()); err == nil {
+	if _, _, err := p.MeasureKernelPower(context.Background(), kern("k", 1e9), p.HW().DefaultConfig()); err == nil {
 		t.Fatal("Repeats=0 accepted")
+	}
+}
+
+func TestMeasureKernelPowerCancellation(t *testing.T) {
+	p, _ := newProfiler(t, "GTX Titan X")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := p.MeasureKernelPower(ctx, kern("k", 1e9), p.HW().DefaultConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
 	}
 }
 
 func TestMeasureAppPowerWeighting(t *testing.T) {
 	// A two-kernel app's power is the time-weighted mean of its kernels'.
-	p := newProfiler(t, "GTX Titan X")
-	cfg := p.Device().HW().DefaultConfig()
+	ctx := context.Background()
+	p, _ := newProfiler(t, "GTX Titan X")
+	cfg := p.HW().DefaultConfig()
 	k1 := kern("light", 1e9)
 	k2 := kern("heavy", 4e10)
 	app := &kernels.App{Name: "two", Kernels: []*kernels.KernelSpec{k1, k2}}
 
-	p1, r1, err := p.MeasureKernelPower(k1, cfg)
+	p1, r1, err := p.MeasureKernelPower(ctx, k1, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, r2, err := p.MeasureKernelPower(k2, cfg)
+	p2, r2, err := p.MeasureKernelPower(ctx, k2, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := (p1*r1.Exec.Seconds() + p2*r2.Exec.Seconds()) / (r1.Exec.Seconds() + r2.Exec.Seconds())
-	got, err := p.MeasureAppPower(app, cfg)
+	want := (p1*r1.Seconds + p2*r2.Seconds) / (r1.Seconds + r2.Seconds)
+	got, err := p.MeasureAppPower(ctx, app, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,17 +124,17 @@ func TestMeasureAppPowerWeighting(t *testing.T) {
 }
 
 func TestMeasureAppPowerRejectsInvalid(t *testing.T) {
-	p := newProfiler(t, "GTX Titan X")
-	if _, err := p.MeasureAppPower(&kernels.App{Name: "empty"}, p.Device().HW().DefaultConfig()); err == nil {
+	p, _ := newProfiler(t, "GTX Titan X")
+	if _, err := p.MeasureAppPower(context.Background(), &kernels.App{Name: "empty"}, p.HW().DefaultConfig()); err == nil {
 		t.Fatal("empty app accepted")
 	}
 }
 
 func TestProfileAppCollectsAllMetrics(t *testing.T) {
-	p := newProfiler(t, "GTX Titan X")
-	ref := p.Device().HW().DefaultConfig()
+	p, _ := newProfiler(t, "GTX Titan X")
+	ref := p.HW().DefaultConfig()
 	app := kernels.SingleKernelApp(kern("k", 5e9))
-	prof, err := p.ProfileApp(app, ref)
+	prof, err := p.ProfileApp(context.Background(), app, ref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +154,7 @@ func TestProfileAppCollectsAllMetrics(t *testing.T) {
 func TestProfileAppRejectsThrottledReference(t *testing.T) {
 	// A kernel that throttles at the requested reference configuration must
 	// be rejected: its events would not correspond to the assumed clocks.
-	p := newProfiler(t, "GTX Titan X")
+	p, _ := newProfiler(t, "GTX Titan X")
 	hot := &kernels.KernelSpec{
 		Name: "hot",
 		WarpInstrs: map[hw.Component]float64{
@@ -144,21 +166,26 @@ func TestProfileAppRejectsThrottledReference(t *testing.T) {
 		IssueEfficiency: 0.95,
 	}
 	ref := hw.Config{CoreMHz: 1164, MemMHz: 4005}
-	if _, err := p.ProfileApp(kernels.SingleKernelApp(hot), ref); err == nil {
+	_, err := p.ProfileApp(context.Background(), kernels.SingleKernelApp(hot), ref)
+	if err == nil {
 		t.Fatal("throttled reference profile accepted")
+	}
+	if !errors.Is(err, backend.ErrThrottled) {
+		t.Fatalf("err = %v, want wrapped backend.ErrThrottled", err)
 	}
 }
 
 func TestMeasureIdlePower(t *testing.T) {
-	p := newProfiler(t, "GTX Titan X")
-	got, err := p.MeasureIdlePower(hw.Config{CoreMHz: 975, MemMHz: 3505})
+	ctx := context.Background()
+	p, _ := newProfiler(t, "GTX Titan X")
+	got, err := p.MeasureIdlePower(ctx, hw.Config{CoreMHz: 975, MemMHz: 3505})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(got-84) > 5 {
 		t.Fatalf("idle = %g W, want ~84 (paper Fig. 5)", got)
 	}
-	lo, err := p.MeasureIdlePower(hw.Config{CoreMHz: 975, MemMHz: 810})
+	lo, err := p.MeasureIdlePower(ctx, hw.Config{CoreMHz: 975, MemMHz: 810})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,30 +195,47 @@ func TestMeasureIdlePower(t *testing.T) {
 }
 
 func TestSetClocksPropagates(t *testing.T) {
-	p := newProfiler(t, "GTX Titan X")
-	if _, _, err := p.MeasureKernelPower(kern("k", 1e9), hw.Config{CoreMHz: 595, MemMHz: 810}); err != nil {
+	ctx := context.Background()
+	p, b := newProfiler(t, "GTX Titan X")
+	if _, _, err := p.MeasureKernelPower(ctx, kern("k", 1e9), hw.Config{CoreMHz: 595, MemMHz: 810}); err != nil {
 		t.Fatal(err)
 	}
-	if got := p.Device().Clocks(); got.CoreMHz != 595 || got.MemMHz != 810 {
+	if got := b.Clocks(); got.CoreMHz != 595 || got.MemMHz != 810 {
 		t.Fatalf("clocks = %v after measurement", got)
 	}
-	if _, _, err := p.MeasureKernelPower(kern("k", 1e9), hw.Config{CoreMHz: 111, MemMHz: 810}); err == nil {
+	if _, _, err := p.MeasureKernelPower(ctx, kern("k", 1e9), hw.Config{CoreMHz: 111, MemMHz: 810}); err == nil {
 		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRunKernelAt(t *testing.T) {
+	p, _ := newProfiler(t, "GTX Titan X")
+	e, s, err := p.RunKernelAt(kern("k", 5e9), p.HW().DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e <= 0 || s <= 0 {
+		t.Fatalf("energy %g J, time %g s: want both positive", e, s)
+	}
+	// Energy / time must be a plausible average power (under TDP).
+	if pw := e / s; pw <= 0 || pw > p.HW().TDP {
+		t.Fatalf("implied power %g W outside (0, TDP]", pw)
 	}
 }
 
 func TestMedianRobustToRepeats(t *testing.T) {
 	// More repeats must not change the measurement by more than the noise
 	// scale.
-	p := newProfiler(t, "Tesla K40c")
-	cfg := p.Device().HW().DefaultConfig()
+	ctx := context.Background()
+	p, _ := newProfiler(t, "Tesla K40c")
+	cfg := p.HW().DefaultConfig()
 	p.Repeats = 3
-	a, _, err := p.MeasureKernelPower(kern("k", 5e9), cfg)
+	a, _, err := p.MeasureKernelPower(ctx, kern("k", 5e9), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	p.Repeats = 15
-	b, _, err := p.MeasureKernelPower(kern("k", 5e9), cfg)
+	b, _, err := p.MeasureKernelPower(ctx, kern("k", 5e9), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

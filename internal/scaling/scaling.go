@@ -17,8 +17,10 @@
 package scaling
 
 import (
+	"context"
 	"fmt"
 
+	"gpupower/internal/backend"
 	"gpupower/internal/core"
 	"gpupower/internal/hw"
 	"gpupower/internal/kernels"
@@ -55,11 +57,11 @@ func utilFeatures(u core.Utilization) []float64 {
 // (a single launch per configuration suffices — execution time, unlike the
 // power sensor, is exact), its utilization comes from reference-
 // configuration events, and the curves are clustered into k classes.
-func Train(p *profiler.Profiler, suite []microbench.Benchmark, k int, seed uint64) (*Classifier, error) {
+func Train(ctx context.Context, p *profiler.Profiler, suite []microbench.Benchmark, k int, seed uint64) (*Classifier, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("scaling: class count %d must be >= 1", k)
 	}
-	dev := p.Device().HW()
+	dev := p.HW()
 	ref := dev.DefaultConfig()
 	configs := dev.AllConfigs()
 	refIdx := -1
@@ -71,13 +73,16 @@ func Train(p *profiler.Profiler, suite []microbench.Benchmark, k int, seed uint6
 	if refIdx < 0 {
 		return nil, fmt.Errorf("scaling: reference configuration missing from ladder")
 	}
-	l2bpc, err := core.CalibrateL2BytesPerCycle(p, ref)
+	l2bpc, err := core.CalibrateL2BytesPerCycle(ctx, p, ref)
 	if err != nil {
 		return nil, err
 	}
 
 	var curves, feats [][]float64
 	for _, b := range suite {
+		if err := backend.CheckContext(ctx, "scaling: training classifier"); err != nil {
+			return nil, err
+		}
 		refRun, err := runAt(p, b.Kernel, ref)
 		if err != nil {
 			return nil, err
@@ -101,7 +106,7 @@ func Train(p *profiler.Profiler, suite []microbench.Benchmark, k int, seed uint6
 		if !usable {
 			continue
 		}
-		prof, err := p.ProfileApp(kernels.SingleKernelApp(b.Kernel), ref)
+		prof, err := p.ProfileApp(ctx, kernels.SingleKernelApp(b.Kernel), ref)
 		if err != nil {
 			return nil, err
 		}
@@ -157,18 +162,11 @@ func Train(p *profiler.Profiler, suite []microbench.Benchmark, k int, seed uint6
 	return c, nil
 }
 
-// runAt executes one launch at cfg and returns the execution time in
-// seconds.
+// runAt executes one launch at cfg through the measurement backend and
+// returns the execution time in seconds.
 func runAt(p *profiler.Profiler, k *kernels.KernelSpec, cfg hw.Config) (float64, error) {
-	dev := p.Device()
-	if err := dev.SetClocks(cfg.MemMHz, cfg.CoreMHz); err != nil {
-		return 0, err
-	}
-	run, err := dev.Execute(k)
-	if err != nil {
-		return 0, err
-	}
-	return run.Exec.Seconds(), nil
+	_, seconds, err := p.RunKernelAt(k, cfg)
+	return seconds, err
 }
 
 // Classify returns the index of the scaling class nearest to an

@@ -1,16 +1,17 @@
 package scaling
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
 
+	"gpupower/internal/backend/simbk"
 	"gpupower/internal/core"
 	"gpupower/internal/hw"
 	"gpupower/internal/kernels"
 	"gpupower/internal/microbench"
 	"gpupower/internal/profiler"
-	"gpupower/internal/sim"
 	"gpupower/internal/suites"
 )
 
@@ -24,17 +25,16 @@ var (
 func trained(t *testing.T) (*profiler.Profiler, *Classifier) {
 	t.Helper()
 	clsOnce.Do(func() {
-		dev := hw.GTXTitanX()
-		s, err := sim.New(dev, 42)
+		b, err := simbk.Open("GTX Titan X", 42)
 		if err != nil {
 			clsErr = err
 			return
 		}
-		clsProf, clsErr = profiler.New(s)
+		clsProf, clsErr = profiler.New(b)
 		if clsErr != nil {
 			return
 		}
-		cls, clsErr = Train(clsProf, microbench.Suite(), 6, 42)
+		cls, clsErr = Train(context.Background(), clsProf, microbench.Suite(), 6, 42)
 	})
 	if clsErr != nil {
 		t.Fatal(clsErr)
@@ -63,10 +63,10 @@ func TestTrainBasics(t *testing.T) {
 
 func TestTrainValidation(t *testing.T) {
 	p, _ := trained(t)
-	if _, err := Train(p, microbench.Suite(), 0, 1); err == nil {
+	if _, err := Train(context.Background(), p, microbench.Suite(), 0, 1); err == nil {
 		t.Fatal("k=0 accepted")
 	}
-	if _, err := Train(p, nil, 3, 1); err == nil {
+	if _, err := Train(context.Background(), p, nil, 3, 1); err == nil {
 		t.Fatal("empty suite accepted")
 	}
 }
@@ -76,9 +76,9 @@ func TestTrainValidation(t *testing.T) {
 // (held-out) validation applications.
 func TestPredictTimeRatioAccuracy(t *testing.T) {
 	p, c := trained(t)
-	dev := p.Device().HW()
+	dev := p.HW()
 	ref := dev.DefaultConfig()
-	l2bpc, err := core.CalibrateL2BytesPerCycle(p, ref)
+	l2bpc, err := core.CalibrateL2BytesPerCycle(context.Background(), p, ref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestPredictTimeRatioAccuracy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		prof, err := p.ProfileApp(kernels.SingleKernelApp(k), ref)
+		prof, err := p.ProfileApp(context.Background(), kernels.SingleKernelApp(k), ref)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"gpupower/internal/backend"
 	"gpupower/internal/hw"
 	"gpupower/internal/kernels"
 	"gpupower/internal/silicon"
@@ -59,10 +60,10 @@ func (d *Device) HW() *hw.Device { return d.hwd }
 // Both frequencies must be supported ladder levels.
 func (d *Device) SetClocks(memMHz, coreMHz float64) error {
 	if !d.hwd.SupportsMemFreq(memMHz) {
-		return fmt.Errorf("sim: %s: unsupported memory clock %g MHz", d.hwd.Name, memMHz)
+		return fmt.Errorf("sim: %s: memory clock %g MHz: %w", d.hwd.Name, memMHz, backend.ErrUnsupportedClock)
 	}
 	if !d.hwd.SupportsCoreFreq(coreMHz) {
-		return fmt.Errorf("sim: %s: unsupported core clock %g MHz", d.hwd.Name, coreMHz)
+		return fmt.Errorf("sim: %s: core clock %g MHz: %w", d.hwd.Name, coreMHz, backend.ErrUnsupportedClock)
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()

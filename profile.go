@@ -4,9 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 
 	"gpupower/internal/hw"
 )
+
+// profileComponents is the canonical component order used by the JSON form
+// and the textual rendering.
+var profileComponents = []Component{Int, SP, DP, SF, Shared, L2, DRAM}
 
 // Profiles are the unit of exchange in the paper's sensor-less and
 // virtualization use cases: a guest (or a machine without the GPU) receives
@@ -37,7 +42,7 @@ func (p *Profile) MarshalJSON() ([]byte, error) {
 		RefPower:    p.RefPower,
 		Utilization: map[string]float64{},
 	}
-	for _, c := range []Component{Int, SP, DP, SF, Shared, L2, DRAM} {
+	for _, c := range profileComponents {
 		j.Utilization[c.String()] = p.Utilization[c]
 	}
 	return json.MarshalIndent(j, "", "  ")
@@ -57,7 +62,7 @@ func (p *Profile) UnmarshalJSON(data []byte) error {
 	p.Ref = Config{CoreMHz: j.RefCore, MemMHz: j.RefMem}
 	p.RefPower = j.RefPower
 	p.Utilization = Utilization{}
-	for _, c := range []Component{Int, SP, DP, SF, Shared, L2, DRAM} {
+	for _, c := range profileComponents {
 		v, ok := j.Utilization[c.String()]
 		if !ok {
 			return fmt.Errorf("gpupower: profile JSON missing utilization for %s", c)
@@ -93,6 +98,20 @@ func LoadProfile(path string) (*Profile, error) {
 		return nil, fmt.Errorf("gpupower: loading profile %s: %w", path, err)
 	}
 	return &p, nil
+}
+
+// FormatUtilization renders the profile's non-negligible per-component
+// utilizations on one line ("SP=0.72 L2=0.31 DRAM=0.18"). It is the one
+// textual rendering shared by gpowerprofile and gpowerpredict, so the two
+// tools always describe a profile identically.
+func (p *Profile) FormatUtilization() string {
+	var parts []string
+	for _, c := range profileComponents {
+		if p.Utilization[c] >= 0.005 {
+			parts = append(parts, fmt.Sprintf("%s=%.2f", c, p.Utilization[c]))
+		}
+	}
+	return strings.Join(parts, " ")
 }
 
 // CompatibleWith reports whether the profile's reference configuration

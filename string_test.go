@@ -1,0 +1,41 @@
+package gpupower_test
+
+import (
+	"testing"
+
+	"gpupower"
+)
+
+// The enum String() methods must be exhaustive: every defined value has a
+// stable name, and out-of-range values print "unknown(N)" instead of an
+// empty string (they end up in logs and experiment tables).
+
+func TestObjectiveString(t *testing.T) {
+	cases := map[gpupower.Objective]string{
+		gpupower.MinEnergy:        "min-energy",
+		gpupower.MinEDP:           "min-EDP",
+		gpupower.MinPowerUnderTDP: "min-power",
+		gpupower.Objective(97):    "unknown(97)",
+		gpupower.Objective(-1):    "unknown(-1)",
+	}
+	for o, want := range cases {
+		if got := o.String(); got != want {
+			t.Errorf("Objective(%d).String() = %q, want %q", int(o), got, want)
+		}
+	}
+}
+
+func TestGovernorPolicyString(t *testing.T) {
+	cases := map[gpupower.GovernorPolicy]string{
+		gpupower.GovMinEnergy:       "min-energy",
+		gpupower.GovMinEDP:          "min-EDP",
+		gpupower.GovMaxPerfUnderCap: "max-perf-under-cap",
+		gpupower.GovernorPolicy(42): "unknown(42)",
+		gpupower.GovernorPolicy(-3): "unknown(-3)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("GovernorPolicy(%d).String() = %q, want %q", int(p), got, want)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package gpupower_test
+
+// The golden-trace tests prove the record/replay workflow end to end: a
+// model can be fitted with no simulator (or GPU) in the process, from a
+// recorded measurement trace alone, and the refitted model is
+// bitwise-identical to the live fit — the estimator is deterministic given
+// the measurements, so the trace carries everything the pipeline needs.
+//
+// Regenerate the committed fixture after an intentional format or
+// methodology change with:
+//
+//	go test -run TestGoldenTraceFixture -update .
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpupower"
+	"gpupower/internal/backend/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate the golden trace fixtures under testdata/")
+
+const (
+	goldenTracePath = "testdata/k40c-fit.trace.gz"
+	goldenModelPath = "testdata/k40c-fit-model.json"
+	goldenSeed      = 42
+)
+
+func modelBytes(t *testing.T, m *gpupower.Model) []byte {
+	t.Helper()
+	data, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestTraceRoundTripRefit records a full microbenchmark fit on the GTX
+// Titan X, saves the trace (gzip-compressed), replays it, and refits.
+func TestTraceRoundTripRefit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records a full Titan X fit; skipped in -short mode")
+	}
+	sim, err := gpupower.NewSimBackend(gpupower.GTXTitanX, goldenSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := gpupower.Record(sim)
+	gpu, err := gpupower.OpenBackend(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := gpu.FitPowerModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("recorder captured nothing")
+	}
+
+	path := filepath.Join(t.TempDir(), "titanx.trace.gz")
+	if err := rec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	replayGPU, err := gpupower.OpenTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refit, err := replayGPU.FitPowerModel()
+	if err != nil {
+		t.Fatalf("refit from trace: %v", err)
+	}
+	if !bytes.Equal(modelBytes(t, live), modelBytes(t, refit)) {
+		t.Fatal("replayed fit is not bitwise-identical to the live fit")
+	}
+
+	// The replayed fit consumed exactly the recorded measurements...
+	rep, ok := replayGPU.Backend().(*trace.Replayer)
+	if !ok {
+		t.Fatalf("OpenTrace backend is %T, want *trace.Replayer", replayGPU.Backend())
+	}
+	if n := rep.Remaining(); n != 0 {
+		t.Fatalf("%d recorded measurements never replayed", n)
+	}
+	// ...so a second fit must fail with the typed exhaustion error.
+	if _, err := replayGPU.FitPowerModel(); !errors.Is(err, gpupower.ErrTraceExhausted) {
+		t.Fatalf("second fit: err = %v, want wrapped ErrTraceExhausted", err)
+	}
+}
+
+// TestGoldenTraceFixture refits from the committed trace fixture and checks
+// the result against the committed model JSON byte-for-byte. A divergence
+// means either the trace format or the fitting pipeline changed behaviour —
+// both require a conscious decision (and possibly a format version bump),
+// not a silent drift.
+func TestGoldenTraceFixture(t *testing.T) {
+	if *updateGolden {
+		regenerateGolden(t)
+	}
+	gpu, err := gpupower.OpenTrace(goldenTracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := gpu.FitPowerModel()
+	if err != nil {
+		t.Fatalf("refit from committed fixture: %v", err)
+	}
+	if m.DeviceName != gpupower.TeslaK40c || !m.Converged {
+		t.Fatalf("fixture model: device %q, converged %v", m.DeviceName, m.Converged)
+	}
+	want, err := os.ReadFile(goldenModelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(modelBytes(t, m), want) {
+		t.Fatal("model refitted from the committed golden trace diverged from the committed model JSON\n" +
+			"(intentional change? regenerate with: go test -run TestGoldenTraceFixture -update .)")
+	}
+}
+
+// regenerateGolden records a fresh K40c fit and rewrites both fixtures.
+func regenerateGolden(t *testing.T) {
+	t.Helper()
+	sim, err := gpupower.NewSimBackend(gpupower.TeslaK40c, goldenSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := gpupower.Record(sim)
+	rec.SetNote("Tesla K40c microbenchmark fit, seed 42; regenerate: go test -run TestGoldenTraceFixture -update .")
+	gpu, err := gpupower.OpenBackend(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := gpu.FitPowerModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Save(goldenTracePath); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenModelPath, modelBytes(t, m), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("regenerated %s (%d events) and %s", goldenTracePath, rec.Len(), goldenModelPath)
+}
