@@ -9,12 +9,18 @@
 #                  that touches a parallel loop.
 #   make cover   — full suite with coverage; prints the total and writes
 #                  cover.out (the baseline figure lives in EXPERIMENTS.md)
+#   make lint    — invariant gate: runs the in-tree gpowerlint analyzers
+#                  (internal/lint; see DESIGN.md §9) over ./... and fails on
+#                  any diagnostic. Mechanically enforces determinism
+#                  (maporder, floateq), cancellation (ctxflow), error
+#                  taxonomy (senterr), and pooled-spawn (gonosync)
+#                  invariants; must stay green on every PR.
 #   make bench   — regenerate the paper's tables/figures (EXPERIMENTS.md numbers)
 #   make speedup — serial vs parallel Estimate comparison per device catalog
 
 GO ?= go
 
-.PHONY: all build test verify vet race cover bench speedup clean
+.PHONY: all build test verify vet race lint cover bench speedup clean
 
 all: verify
 
@@ -31,6 +37,9 @@ vet:
 
 race: vet
 	$(GO) test -race ./...
+
+lint:
+	$(GO) run ./cmd/gpowerlint ./...
 
 cover:
 	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...

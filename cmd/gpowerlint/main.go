@@ -1,0 +1,130 @@
+// Command gpowerlint is the repository's domain-invariant static-analysis
+// gate (DESIGN.md §9). It type-checks the module from source — standard
+// library only, no toolchain or x/tools dependency — and runs every
+// registered analyzer:
+//
+//	maporder   range-over-map bodies with order-sensitive effects
+//	floateq    exact floating-point == / !=
+//	ctxflow    dropped-context loops, mid-stack context.Background()/TODO()
+//	senterr    sentinel-error == / !=, fmt.Errorf wrapping without %w
+//	gonosync   naked go statements outside internal/parallel
+//
+// Usage:
+//
+//	gpowerlint [flags] [./...]
+//
+//	-json             machine-readable output
+//	-analyzers list   run only the named analyzers (comma-separated)
+//	-tests=false      skip _test.go files
+//	-list             print the analyzers and their invariants, then exit
+//
+// Exit status: 0 clean, 1 diagnostics (or bad //lint:ignore directives)
+// found, 2 usage, load or type-check failure. Findings are suppressed
+// site-by-site with `//lint:ignore <analyzer> <reason>`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"gpupower/internal/lint"
+	"gpupower/internal/lint/analyzers"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	tests := flag.Bool("tests", true, "also analyze _test.go files")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	as := analyzers.All()
+	if *only != "" {
+		sel, ok := analyzers.ByName(*only)
+		if !ok || len(sel) == 0 {
+			fmt.Fprintf(os.Stderr, "gpowerlint: unknown analyzer in -analyzers=%q\n", *only)
+			os.Exit(2)
+		}
+		as = sel
+	}
+	if *list {
+		for _, a := range as {
+			fmt.Printf("%s\n    %s\n", a.Name, strings.ReplaceAll(a.Doc, "\n", "\n    "))
+		}
+		return
+	}
+
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "..." {
+			fmt.Fprintf(os.Stderr, "gpowerlint: only the ./... pattern is supported (got %q)\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	root, modPath, err := findModule(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpowerlint: %v\n", err)
+		os.Exit(2)
+	}
+	loader := lint.NewLoader(root, modPath)
+	loader.Tests = *tests
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpowerlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	runner := &lint.Runner{Analyzers: as}
+	res, err := runner.Run(pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpowerlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	cwd, _ := os.Getwd()
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, cwd, res.Diagnostics); err != nil {
+			fmt.Fprintf(os.Stderr, "gpowerlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else if err := lint.WriteText(os.Stdout, cwd, res.Diagnostics); err != nil {
+		fmt.Fprintf(os.Stderr, "gpowerlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, derr := range res.DirectiveErrors {
+		fmt.Fprintf(os.Stderr, "gpowerlint: %v\n", derr)
+	}
+	if len(res.Diagnostics) > 0 || len(res.DirectiveErrors) > 0 {
+		os.Exit(1)
+	}
+}
+
+var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// findModule walks upward from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (string, string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+		if err == nil {
+			m := moduleRe.FindSubmatch(data)
+			if m == nil {
+				return "", "", fmt.Errorf("no module directive in %s", filepath.Join(abs, "go.mod"))
+			}
+			return abs, string(m[1]), nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", "", fmt.Errorf("no go.mod found above %s (run from inside the module)", dir)
+		}
+		abs = parent
+	}
+}

@@ -75,7 +75,7 @@ func (o Objective) String() string {
 // the returned slice is in deterministic ladder order regardless of
 // scheduling.
 func EvaluateOperatingPoints(m *Model, dev *Device, p *Profile) ([]OperatingPoint, error) {
-	return EvaluateOperatingPointsContext(context.Background(), m, dev, p)
+	return EvaluateOperatingPointsContext(context.Background(), m, dev, p) //lint:ignore ctxflow non-cancellable convenience wrapper; the *Context sibling is the cancellable API
 }
 
 // EvaluateOperatingPointsContext is EvaluateOperatingPoints under a
@@ -131,9 +131,10 @@ func (o Objective) value(p OperatingPoint) float64 {
 // to run and FindBestConfig was not reproducible.
 func betterPoint(a, b OperatingPoint, obj Objective) bool {
 	av, bv := obj.value(a), obj.value(b)
-	if av != bv {
+	if av != bv { //lint:ignore floateq total-order tie-break: only bitwise-equal objectives may fall through to the config tie-break, or FindBestConfig loses reproducibility
 		return av < bv
 	}
+	//lint:ignore floateq ladder frequencies are exact catalog constants, not computed values
 	if a.Config.CoreMHz != b.Config.CoreMHz {
 		return a.Config.CoreMHz < b.Config.CoreMHz
 	}
@@ -144,7 +145,7 @@ func betterPoint(a, b OperatingPoint, obj Objective) bool {
 // considering only TDP-feasible points. Ties on the objective are broken
 // deterministically (lower core clock, then lower memory clock).
 func FindBestConfig(m *Model, dev *Device, p *Profile, obj Objective) (OperatingPoint, error) {
-	return FindBestConfigContext(context.Background(), m, dev, p, obj)
+	return FindBestConfigContext(context.Background(), m, dev, p, obj) //lint:ignore ctxflow non-cancellable convenience wrapper; the *Context sibling is the cancellable API
 }
 
 // FindBestConfigContext is FindBestConfig under a context.

@@ -79,6 +79,11 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			if truth == 0 { //lint:ignore floateq division guard mirroring the MAPE convention in internal/stats: exactly-zero measurements are skipped, not divided
+				fmt.Printf("  %-7s %v  virtual sensor: %6.1f W   (real:    0.0 W, err  n/a)\n",
+					wl.Short, cfg, est)
+				continue
+			}
 			rel := 100 * math.Abs(est-truth) / truth
 			if rel > worst {
 				worst = rel

@@ -144,12 +144,12 @@ func (g *GPU) TDP() float64 { return g.dev.TDP }
 // every configuration) and estimate the DVFS-aware model with the
 // Section III-D iterative algorithm.
 func (g *GPU) FitPowerModel() (*Model, error) {
-	return g.FitPowerModelContext(context.Background(), nil)
+	return g.FitPowerModelContext(context.Background(), nil) //lint:ignore ctxflow non-cancellable convenience wrapper; the *Context sibling is the cancellable API
 }
 
 // FitPowerModelWithOptions is FitPowerModel with custom estimator options.
 func (g *GPU) FitPowerModelWithOptions(opts *EstimatorOptions) (*Model, error) {
-	return g.FitPowerModelContext(context.Background(), opts)
+	return g.FitPowerModelContext(context.Background(), opts) //lint:ignore ctxflow non-cancellable convenience wrapper; the *Context sibling is the cancellable API
 }
 
 // FitPowerModelContext is FitPowerModel under a context: cancellation is
@@ -178,7 +178,7 @@ type Profile struct {
 // default (reference) configuration — the only measurement the model needs
 // to predict the application's power at every other configuration.
 func (g *GPU) Profile(app *App) (*Profile, error) {
-	return g.ProfileContext(context.Background(), app)
+	return g.ProfileContext(context.Background(), app) //lint:ignore ctxflow non-cancellable convenience wrapper; the *Context sibling is the cancellable API
 }
 
 // ProfileContext is Profile under a context.
@@ -189,7 +189,7 @@ func (g *GPU) ProfileContext(ctx context.Context, app *App) (*Profile, error) {
 // ProfileAt is Profile at an explicit reference configuration. The model
 // used for prediction must have been fitted with the same reference.
 func (g *GPU) ProfileAt(app *App, ref Config) (*Profile, error) {
-	return g.profileAt(context.Background(), app, ref)
+	return g.profileAt(context.Background(), app, ref) //lint:ignore ctxflow non-cancellable convenience wrapper; the *Context sibling is the cancellable API
 }
 
 func (g *GPU) profileAt(ctx context.Context, app *App, ref Config) (*Profile, error) {
@@ -204,7 +204,7 @@ func (g *GPU) profileAt(ctx context.Context, app *App, ref Config) (*Profile, er
 // peak and reference configuration (the normal prediction path: calibration
 // happened once, at fit time).
 func (g *GPU) ProfileForModel(app *App, m *Model) (*Profile, error) {
-	return g.ProfileForModelContext(context.Background(), app, m)
+	return g.ProfileForModelContext(context.Background(), app, m) //lint:ignore ctxflow non-cancellable convenience wrapper; the *Context sibling is the cancellable API
 }
 
 // ProfileForModelContext is ProfileForModel under a context.
@@ -233,7 +233,7 @@ func (g *GPU) profileWith(ctx context.Context, app *App, ref Config, l2bpc float
 // weighting). Use it to validate predictions; the model itself never needs
 // more than the single reference-configuration profile.
 func (g *GPU) MeasurePower(app *App, cfg Config) (float64, error) {
-	return g.prof.MeasureAppPower(context.Background(), app, cfg)
+	return g.prof.MeasureAppPower(context.Background(), app, cfg) //lint:ignore ctxflow non-cancellable convenience wrapper; the *Context sibling is the cancellable API
 }
 
 // MeasurePowerContext is MeasurePower under a context.
@@ -243,7 +243,7 @@ func (g *GPU) MeasurePowerContext(ctx context.Context, app *App, cfg Config) (fl
 
 // MeasureIdlePower measures the awake-but-idle power at a configuration.
 func (g *GPU) MeasureIdlePower(cfg Config) (float64, error) {
-	return g.prof.MeasureIdlePower(context.Background(), cfg)
+	return g.prof.MeasureIdlePower(context.Background(), cfg) //lint:ignore ctxflow non-cancellable convenience wrapper; the *Context sibling is the cancellable API
 }
 
 // NVML exposes the management-library façade (clock control, supported

@@ -109,6 +109,7 @@ func (t *Tuner) kernelFrontier(ctx context.Context, k *kernels.KernelSpec) (fron
 		return nil, 0, 0, fmt.Errorf("autotune: kernel %s has no TDP-feasible configuration", k.Name)
 	}
 	sort.Slice(all, func(i, j int) bool {
+		//lint:ignore floateq total-order tie-break: only bitwise-equal runtimes fall through to the energy key, keeping the Pareto sort reproducible
 		if all[i].RelTime != all[j].RelTime {
 			return all[i].RelTime < all[j].RelTime
 		}

@@ -141,7 +141,7 @@ func FitAbe(d *core.Dataset) (*AbeModel, error) {
 
 func containsF(v []float64, x float64) bool {
 	for _, y := range v {
-		if y == x {
+		if y == x { //lint:ignore floateq ladder membership: training splits select exact catalog frequencies, not computed values
 			return true
 		}
 	}

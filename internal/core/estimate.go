@@ -283,6 +283,7 @@ func initialConfigs(d *Dataset) ([]int, error) {
 	// F2: same memory frequency, most distant core frequency.
 	bestF2, bestDist := -1, 0.0
 	for i, cfg := range d.Configs {
+		//lint:ignore floateq ladder frequencies are exact catalog constants; F2 selection needs exact same-memory-level matching
 		if cfg.MemMHz == d.Ref.MemMHz && cfg.CoreMHz != d.Ref.CoreMHz {
 			if dist := math.Abs(cfg.CoreMHz - d.Ref.CoreMHz); dist > bestDist {
 				bestF2, bestDist = i, dist
@@ -297,6 +298,7 @@ func initialConfigs(d *Dataset) ([]int, error) {
 	// single-memory-level devices like the Tesla K40c).
 	bestF3, bestDist := -1, 0.0
 	for i, cfg := range d.Configs {
+		//lint:ignore floateq ladder frequencies are exact catalog constants; F3 selection needs exact same-core-level matching
 		if cfg.CoreMHz == d.Ref.CoreMHz && cfg.MemMHz != d.Ref.MemMHz {
 			if dist := math.Abs(cfg.MemMHz - d.Ref.MemMHz); dist > bestDist {
 				bestF3, bestDist = i, dist
@@ -551,7 +553,7 @@ func relDelta(a, b []float64) float64 {
 		}
 	}
 	floor := 1e-2 * scale
-	if floor == 0 {
+	if floor == 0 { //lint:ignore floateq guard: an all-zero parameter vector yields an exactly-zero floor, which must not divide
 		floor = 1e-12
 	}
 	var mx float64

@@ -45,13 +45,13 @@ func NewVoltageTable(coreFreqs, memFreqs []float64) *VoltageTable {
 func (t *VoltageTable) indexOf(cfg hw.Config) (mi, ci int, err error) {
 	mi, ci = -1, -1
 	for i, f := range t.MemFreqs {
-		if f == cfg.MemMHz {
+		if f == cfg.MemMHz { //lint:ignore floateq ladder lookup: table frequencies are copied verbatim from the device catalog, so equality is exact by construction
 			mi = i
 			break
 		}
 	}
 	for i, f := range t.CoreFreqs {
-		if f == cfg.CoreMHz {
+		if f == cfg.CoreMHz { //lint:ignore floateq ladder lookup: table frequencies are copied verbatim from the device catalog, so equality is exact by construction
 			ci = i
 			break
 		}
@@ -166,13 +166,12 @@ type Breakdown struct {
 	Component map[hw.Component]float64
 }
 
-// Total returns the total predicted power of the breakdown.
+// Total returns the total predicted power of the breakdown. The component
+// map is folded in canonical component order (hw.SumComponents) so the float
+// sum is bitwise-reproducible across runs — map iteration order is
+// randomized and float addition is not associative.
 func (b *Breakdown) Total() float64 {
-	s := b.Constant
-	for _, v := range b.Component {
-		s += v
-	}
-	return s
+	return b.Constant + hw.SumComponents(b.Component)
 }
 
 // Decompose predicts the per-part power of an application with utilization u
@@ -210,7 +209,7 @@ func (m *Model) Predict(u Utilization, cfg hw.Config) (float64, error) {
 // frequency, for the Fig. 6 voltage-validation plot.
 func (m *Model) PredictedCoreVoltage(memMHz float64) (coreFreqs, vbar []float64, err error) {
 	for mi, f := range m.Voltages.MemFreqs {
-		if f == memMHz {
+		if f == memMHz { //lint:ignore floateq ladder lookup: callers pass catalog frequencies, which the table stores verbatim
 			return append([]float64(nil), m.Voltages.CoreFreqs...),
 				append([]float64(nil), m.Voltages.VCore[mi]...), nil
 		}

@@ -20,11 +20,16 @@ type ConvergenceStep struct {
 // ConvergenceResult records how the estimator converged on one device
 // (paper Section V-A: "converged in less than 50 iterations, corresponding
 // to about 30 seconds").
+//
+// FitTime is excluded from JSON so serialized results are byte-for-byte
+// reproducible across runs (golden-file comparisons): the iteration trace is
+// deterministic, the wall clock is not. Human-facing output (String, the
+// markdown report) still shows it.
 type ConvergenceResult struct {
 	Device     string
 	Iterations int
 	Converged  bool
-	FitTime    time.Duration
+	FitTime    time.Duration `json:"-"`
 	Steps      []ConvergenceStep
 }
 

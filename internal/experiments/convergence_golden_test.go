@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestConvergenceResultJSONDeterministic locks the satellite invariant
+// behind golden-file comparisons: serializing a convergence result must be
+// byte-for-byte reproducible across runs, which means the wall-clock FitTime
+// must not leak into the JSON (the iteration trace itself is deterministic).
+func TestConvergenceResultJSONDeterministic(t *testing.T) {
+	ctx := context.Background()
+	const device = "Tesla K40c"
+	a, err := RunConvergenceDevice(ctx, device, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunConvergenceDevice(ctx, device, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FitTime == 0 && b.FitTime == 0 {
+		t.Log("both fits reported zero wall time; timer resolution too coarse to distinguish")
+	}
+
+	aj, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("two identical-seed convergence runs serialized differently:\n%s\n%s", aj, bj)
+	}
+	if bytes.Contains(aj, []byte("FitTime")) {
+		t.Errorf("FitTime leaked into serialized output: %s", aj)
+	}
+	// The deterministic fields must still round-trip.
+	var back ConvergenceResult
+	if err := json.Unmarshal(aj, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Device != a.Device || back.Iterations != a.Iterations ||
+		back.Converged != a.Converged || len(back.Steps) != len(a.Steps) {
+		t.Errorf("round-trip mismatch: got %+v want %+v", back, *a)
+	}
+}

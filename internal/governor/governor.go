@@ -154,7 +154,7 @@ type Report struct {
 
 // EnergySavingsPercent is the governed run's energy saving vs the baseline.
 func (r *Report) EnergySavingsPercent() float64 {
-	if r.BaselineEnergyJ == 0 {
+	if r.BaselineEnergyJ == 0 { //lint:ignore floateq guard: a zero baseline means "no baseline run", and the saving is undefined rather than divided
 		return 0
 	}
 	return 100 * (r.BaselineEnergyJ - r.EnergyJ) / r.BaselineEnergyJ
@@ -163,7 +163,7 @@ func (r *Report) EnergySavingsPercent() float64 {
 // SlowdownPercent is the governed run's time increase vs the baseline
 // (negative values mean the governed run was faster).
 func (r *Report) SlowdownPercent() float64 {
-	if r.BaselineSeconds == 0 {
+	if r.BaselineSeconds == 0 { //lint:ignore floateq guard: a zero baseline means "no baseline run", and the slowdown is undefined rather than divided
 		return 0
 	}
 	return 100 * (r.Seconds - r.BaselineSeconds) / r.BaselineSeconds

@@ -57,6 +57,22 @@ func (c Component) String() string {
 // Valid reports whether c is one of the modelled components.
 func (c Component) Valid() bool { return c >= 0 && c < numComponents }
 
+// SumComponents folds a per-component float map in canonical component
+// order. Go randomizes map iteration order and float addition is not
+// associative, so a naive range-over-map sum is not bitwise-reproducible
+// across runs; every power/work total in the module folds through this
+// helper instead (the maporder lint invariant). Keys outside the modelled
+// set — which Valid-checked inputs never contain — are ignored.
+func SumComponents(m map[Component]float64) float64 {
+	var s float64
+	for _, c := range Components {
+		if v, ok := m[c]; ok {
+			s += v
+		}
+	}
+	return s
+}
+
 // Domain identifies an independent voltage-frequency domain (paper Eq. 3:
 // modern NVIDIA GPUs expose N_V-F = 2 domains).
 type Domain int

@@ -106,7 +106,7 @@ func ascending(v []float64) bool {
 
 func contains(v []float64, x float64) bool {
 	for _, y := range v {
-		if y == x {
+		if y == x { //lint:ignore floateq ladder membership: catalog frequencies are exact constants, so only bitwise equality means "same level"
 			return true
 		}
 	}

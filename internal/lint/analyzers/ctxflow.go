@@ -1,0 +1,113 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gpupower/internal/lint"
+)
+
+// CtxFlow enforces the cancellation invariant from PR 2: long operations are
+// cancellable at iteration/configuration granularity, and contexts flow from
+// the entry point down — they are not minted in the middle of the call graph.
+var CtxFlow = &lint.Analyzer{
+	Name: "ctxflow",
+	Doc: `flags dropped-context loops and mid-stack context.Background()/TODO().
+
+Two checks. (1) An exported function that accepts a context.Context and
+contains a for/range loop must consult the context somewhere in its body —
+either directly (ctx.Err(), ctx.Done(), backend.CheckContext) or by
+forwarding ctx into a callee; accepting a context and then looping over
+configurations or iterations without ever touching it silently loses
+cancellation. (2) context.Background() and context.TODO() may appear only in
+package main and in _test.go files; library code must thread the caller's
+context (root-façade convenience wrappers carry explicit
+//lint:ignore ctxflow annotations). The estimator, profiler, experiment,
+autotune, governor and DVFS paths are where this invariant is load-bearing,
+but the check holds module-wide.`,
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *lint.Pass) error {
+	isMain := pass.Pkg.Name() == "main"
+	for _, f := range pass.Files {
+		testFile := pass.IsTestFile(f.Pos())
+
+		// Check 2: no context minting outside main/tests.
+		if !isMain && !testFile {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch calleeFullName(pass.Info, call) {
+				case "context.Background", "context.TODO":
+					pass.Reportf(call.Pos(),
+						"%s in library code: thread the caller's context instead of minting one mid-stack (cancellation stops here)", calleeFullName(pass.Info, call))
+				}
+				return true
+			})
+		}
+
+		// Check 1: exported funcs that accept a ctx, loop, and never consult it.
+		if testFile {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			ctxParams := contextParams(pass.Info, fd)
+			if len(ctxParams) == 0 {
+				continue
+			}
+			hasLoop := false
+			usesCtx := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch m := n.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					hasLoop = true
+				case *ast.Ident:
+					if obj := pass.Info.Uses[m]; obj != nil {
+						for _, p := range ctxParams {
+							if obj == p {
+								usesCtx = true
+							}
+						}
+					}
+				}
+				return true
+			})
+			if hasLoop && !usesCtx {
+				pass.Reportf(fd.Name.Pos(),
+					"exported %s accepts a context.Context and loops but never consults or forwards it: check ctx.Err()/ctx.Done() (or pass ctx to the callee) so iteration-granular cancellation holds", fd.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// contextParams returns the objects of the function's context.Context
+// parameters (empty when it takes none or they are blank).
+func contextParams(info *types.Info, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil || name.Name == "_" {
+				continue
+			}
+			if named, ok := obj.Type().(*types.Named); ok {
+				tn := named.Obj()
+				if tn.Pkg() != nil && tn.Pkg().Path() == "context" && tn.Name() == "Context" {
+					out = append(out, obj)
+				}
+			}
+		}
+	}
+	return out
+}

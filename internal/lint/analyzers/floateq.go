@@ -1,0 +1,53 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+
+	"gpupower/internal/lint"
+)
+
+// FloatEq enforces numerical hygiene: exact floating-point equality is almost
+// always a latent bug in a fitting pipeline (NNLS tolerances, isotonic
+// projections and over-relaxation all perturb values at the ulp level).
+var FloatEq = &lint.Analyzer{
+	Name: "floateq",
+	Doc: `flags == and != between floating-point operands.
+
+Comparisons must go through the tolerance helpers in internal/linalg (the
+approved home for exact comparisons — that package is exempt) or be
+explicitly annotated with //lint:ignore floateq <reason> at deliberate guard
+sites such as division-by-zero checks (mx == 0). Constant-only comparisons
+are ignored. _test.go files are exempt: bitwise serial/parallel equivalence
+tests are the sanctioned use of exact float comparison in this repository.`,
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *lint.Pass) error {
+	if pathHasSuffix(pass.Pkg.Path(), "internal/linalg") {
+		return nil // the approved tolerance-helper package
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.Info, be.X) || !isFloat(pass.Info, be.Y) {
+				return true
+			}
+			xc := pass.Info.Types[be.X].Value != nil
+			yc := pass.Info.Types[be.Y].Value != nil
+			if xc && yc {
+				return true // constant folding, decided at compile time
+			}
+			pass.Reportf(be.OpPos,
+				"exact floating-point comparison (%s): use a tolerance helper from internal/linalg, or annotate a deliberate guard with //lint:ignore floateq <reason>", be.Op)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"gpupower/internal/lint/analyzers"
+	"gpupower/internal/lint/linttest"
+)
+
+func TestFloatEq(t *testing.T) {
+	// floateq/internal/linalg is loaded too: the approved-package exemption
+	// is asserted by the absence of want comments there.
+	linttest.Run(t, "testdata", analyzers.FloatEq, "floateq/...")
+}

@@ -1,0 +1,42 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"gpupower/internal/lint"
+)
+
+// GoNoSync enforces the worker-pool invariant from PR 1: production
+// concurrency goes through internal/parallel, whose pool owns worker counts,
+// panic propagation, deterministic folding and cancellation. A naked go
+// statement elsewhere reintroduces exactly the unbounded, unsynchronized
+// fan-out the pool exists to prevent.
+var GoNoSync = &lint.Analyzer{
+	Name: "gonosync",
+	Doc: `flags go statements outside internal/parallel.
+
+The worker pool (internal/parallel) is the only sanctioned spawn site for
+production goroutines: it bounds fan-out, propagates panics, folds results in
+deterministic order and honors cancellation. _test.go files are exempt —
+tests legitimately race goroutines against contexts and deadlines.`,
+	Run: runGoNoSync,
+}
+
+func runGoNoSync(pass *lint.Pass) error {
+	if pathHasSuffix(pass.Pkg.Path(), "internal/parallel") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"naked go statement outside internal/parallel: spawn through the worker pool (parallel.ForEach/ForEachWorker) so fan-out stays bounded, panics propagate and results fold deterministically")
+			}
+			return true
+		})
+	}
+	return nil
+}

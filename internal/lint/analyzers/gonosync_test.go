@@ -1,0 +1,14 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"gpupower/internal/lint/analyzers"
+	"gpupower/internal/lint/linttest"
+)
+
+func TestGoNoSync(t *testing.T) {
+	// gonosync/internal/parallel is loaded too: the worker-pool exemption is
+	// asserted by the absence of want comments there.
+	linttest.Run(t, "testdata", analyzers.GoNoSync, "gonosync/...")
+}

@@ -1,0 +1,201 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gpupower/internal/lint"
+)
+
+// MapOrder enforces the bitwise-determinism invariant from PR 1: the §III-D
+// estimator must fit the same model bit-for-bit regardless of scheduling, so
+// no order-sensitive effect may depend on Go's randomized map iteration
+// order.
+var MapOrder = &lint.Analyzer{
+	Name: "maporder",
+	Doc: `flags range-over-map loops with order-sensitive bodies.
+
+A range over a map is flagged when its body (a) appends to a slice declared
+outside the loop that is not subsequently passed to sort.*/slices.Sort*, (b)
+accumulates floating-point values declared outside the loop (float addition is
+not associative, so the sum is scheduling-dependent bit-for-bit), or (c)
+emits output (fmt printing, Write*/io.WriteString). The sanctioned pattern is
+to collect the keys, sort them, and range over the sorted slice — collecting
+keys into a slice that is later sorted is recognized and not flagged.`,
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		sorted := collectSortCalls(pass.Info, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rs, sorted)
+			return true
+		})
+	}
+	return nil
+}
+
+// collectSortCalls records every object that appears in the arguments of a
+// sorting call (any sort.* call, or a slices.Sort* call), with the call
+// positions — the "collect keys then sort" laundering pattern.
+func collectSortCalls(info *types.Info, f *ast.File) map[types.Object][]token.Pos {
+	out := make(map[types.Object][]token.Pos)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		isSort := fn.Pkg().Path() == "sort" ||
+			(fn.Pkg().Path() == "slices" && strings.HasPrefix(fn.Name(), "Sort"))
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						out[obj] = append(out[obj], call.Pos())
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func checkMapRangeBody(pass *lint.Pass, rs *ast.RangeStmt, sorted map[types.Object][]token.Pos) {
+	declaredOutside := func(e ast.Expr) (types.Object, bool) {
+		obj := identObj(pass.Info, e)
+		if obj == nil {
+			return nil, false
+		}
+		if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+			return obj, false // loop-local: per-iteration state is order-insensitive
+		}
+		return obj, true
+	}
+	sortedAfter := func(obj types.Object) bool {
+		for _, p := range sorted[obj] {
+			if p > rs.End() {
+				return true
+			}
+		}
+		return false
+	}
+	isAppendTo := func(rhs ast.Expr) bool {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := pass.Info.Uses[id].(*types.Builtin)
+		return ok && b.Name() == "append"
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			switch st.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range st.Lhs {
+					obj, outside := declaredOutside(lhs)
+					if obj != nil && outside && isFloat(pass.Info, lhs) {
+						pass.Reportf(st.Pos(),
+							"floating-point accumulation into %q inside range over map: float addition is not associative, so the result depends on the randomized iteration order; range over sorted keys instead", obj.Name())
+					}
+				}
+			case token.ASSIGN:
+				for i, lhs := range st.Lhs {
+					if i >= len(st.Rhs) {
+						break
+					}
+					obj, outside := declaredOutside(lhs)
+					if obj == nil || !outside {
+						continue
+					}
+					rhs := st.Rhs[i]
+					if isAppendTo(rhs) {
+						if !sortedAfter(obj) {
+							pass.Reportf(st.Pos(),
+								"append to %q inside range over map without a subsequent sort: element order follows the randomized map iteration order; sort %q afterwards or range over sorted keys", obj.Name(), obj.Name())
+						}
+						continue
+					}
+					if be, ok := ast.Unparen(rhs).(*ast.BinaryExpr); ok &&
+						(be.Op == token.ADD || be.Op == token.SUB) && isFloat(pass.Info, lhs) {
+						if x := identObj(pass.Info, be.X); x == obj {
+							pass.Reportf(st.Pos(),
+								"floating-point accumulation into %q inside range over map: float addition is not associative, so the result depends on the randomized iteration order; range over sorted keys instead", obj.Name())
+						} else if y := identObj(pass.Info, be.Y); y == obj {
+							pass.Reportf(st.Pos(),
+								"floating-point accumulation into %q inside range over map: float addition is not associative, so the result depends on the randomized iteration order; range over sorted keys instead", obj.Name())
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if emitsOutput(pass.Info, st) {
+				pass.Reportf(st.Pos(),
+					"output emitted inside range over map: lines appear in randomized iteration order; range over sorted keys instead")
+			}
+		}
+		return true
+	})
+}
+
+// emitsOutput recognizes calls that externalize data in iteration order:
+// the fmt print family, io.WriteString, and Write*/String-builder methods.
+func emitsOutput(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		// print/println builtins
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				return b.Name() == "print" || b.Name() == "println"
+			}
+		}
+		return false
+	}
+	if fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			switch fn.Name() {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				return true
+			}
+			return false
+		case "io":
+			return fn.Name() == "WriteString"
+		}
+	}
+	if sig := fn.Type().(*types.Signature); sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,75 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+
+	"gpupower/internal/lint"
+)
+
+// SentErr enforces the typed-error taxonomy from PR 2: sentinel errors
+// (internal/backend's ErrThrottled, ErrTraceMismatch, ...) are matched with
+// errors.Is so wrapped chains keep matching, and wrapping preserves the chain
+// with %w.
+var SentErr = &lint.Analyzer{
+	Name: "senterr",
+	Doc: `flags sentinel-error equality and error wrapping that breaks errors.Is.
+
+Two checks. (1) == / != between two error-typed operands (err ==
+backend.ErrThrottled, err != io.EOF): once anything in the call chain wraps
+the sentinel with %w, the identity comparison silently stops matching — use
+errors.Is. Comparisons against nil are never flagged (err == nil is the
+idiomatic success check, in tests and elsewhere). (2) fmt.Errorf calls that
+receive an error argument but whose format string has no %w verb: the cause
+is flattened into text and the taxonomy is lost to callers.`,
+	Run: runSentErr,
+}
+
+func runSentErr(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				if isErrorExpr(pass.Info, e.X) && isErrorExpr(pass.Info, e.Y) {
+					pass.Reportf(e.OpPos,
+						"sentinel-error comparison with %s: use errors.Is so wrapped chains still match", e.Op)
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, e)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrorfWrap(pass *lint.Pass, call *ast.CallExpr) {
+	if calleeFullName(pass.Info, call) != "fmt.Errorf" || len(call.Args) < 2 {
+		return
+	}
+	hasErrArg := false
+	for _, arg := range call.Args[1:] {
+		if isErrorExpr(pass.Info, arg) {
+			hasErrArg = true
+			break
+		}
+	}
+	if !hasErrArg {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format: cannot decide statically
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(strings.ReplaceAll(format, "%%", ""), "%w") {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"fmt.Errorf wraps an error without %%w: the cause is flattened to text and errors.Is/errors.As stop matching; use %%w")
+}

@@ -1,0 +1,89 @@
+// Fixture for the ctxflow analyzer: dropped-context loops and mid-stack
+// context minting.
+package ctxflow
+
+import "context"
+
+type config struct{ core, mem float64 }
+
+// SweepDropped accepts a context, loops over configurations, and never
+// consults or forwards it: cancellation is silently lost.
+func SweepDropped(ctx context.Context, configs []config) float64 { // want "accepts a context.Context and loops but never consults or forwards it"
+	var best float64
+	for _, c := range configs {
+		best += c.core + c.mem
+	}
+	return best
+}
+
+// MintBackground mints a context mid-stack in library code.
+func MintBackground() error {
+	ctx := context.Background() // want "context.Background in library code"
+	return ctx.Err()
+}
+
+// MintTODO is the same invariant for TODO.
+func MintTODO() error {
+	ctx := context.TODO() // want "context.TODO in library code"
+	return ctx.Err()
+}
+
+// AnnotatedWrapper is the sanctioned façade-wrapper form.
+func AnnotatedWrapper(configs []config) (float64, error) {
+	return SweepChecked(context.Background(), configs) //lint:ignore ctxflow non-cancellable convenience wrapper; the Context sibling is the cancellable API
+}
+
+// --- negative cases ---
+
+// SweepChecked consults ctx.Err at iteration granularity.
+func SweepChecked(ctx context.Context, configs []config) (float64, error) {
+	var best float64
+	for _, c := range configs {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		best += c.core + c.mem
+	}
+	return best, nil
+}
+
+// SweepForwarded delegates cancellation to the callee.
+func SweepForwarded(ctx context.Context, configs []config) (float64, error) {
+	var total float64
+	for range configs {
+		v, err := SweepChecked(ctx, configs)
+		if err != nil {
+			return 0, err
+		}
+		total += v
+	}
+	return total, nil
+}
+
+// SweepDone selects on ctx.Done.
+func SweepDone(ctx context.Context, configs []config) error {
+	for range configs {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
+}
+
+// NoLoop accepts a context but has nothing iterative to cancel.
+func NoLoop(ctx context.Context) error { return nil }
+
+// NoContext loops but exposes no cancellation surface.
+func NoContext(configs []config) int { return len(configs) }
+
+// unexportedDropped is internal plumbing; only the exported API surface is
+// held to the invariant.
+func unexportedDropped(ctx context.Context, configs []config) int {
+	n := 0
+	for range configs {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,51 @@
+// Fixture for the floateq analyzer: exact floating-point comparisons.
+package floateq
+
+// Converged compares two floats exactly.
+func Converged(a, b float64) bool {
+	return a == b // want "exact floating-point comparison"
+}
+
+// Changed uses != on float32.
+func Changed(a, b float32) bool {
+	return a != b // want "exact floating-point comparison"
+}
+
+// ZeroGuard compares against the zero literal (still exact; must be
+// annotated at deliberate guard sites).
+func ZeroGuard(x float64) bool {
+	return x == 0 // want "exact floating-point comparison"
+}
+
+// AnnotatedGuard is the sanctioned annotated form.
+func AnnotatedGuard(x float64) float64 {
+	if x == 0 { //lint:ignore floateq division guard: exactly-zero denominators must not divide
+		return 0
+	}
+	return 1 / x
+}
+
+// --- negative cases ---
+
+// IntEq compares integers.
+func IntEq(a, b int) bool { return a == b }
+
+// Tolerance is how comparisons should be written.
+func Tolerance(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// ConstFold is decided at compile time.
+func ConstFold() bool {
+	const a, b = 1.0, 2.0
+	return a == b
+}
+
+// StructEq compares structs (exact config identity, not float arithmetic).
+type cfg struct{ Core, Mem float64 }
+
+func StructEq(a, b cfg) bool { return a == b }

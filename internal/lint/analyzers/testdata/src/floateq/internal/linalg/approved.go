@@ -1,0 +1,10 @@
+// Package linalg mirrors the module's approved tolerance-helper home: exact
+// comparisons here are deliberate (pivot checks, NNLS active-set zeros) and
+// exempt from floateq.
+package linalg
+
+// ExactZero is allowed here and only here without annotation.
+func ExactZero(x float64) bool { return x == 0 }
+
+// BitwiseEqual is the approved exact-equality helper.
+func BitwiseEqual(a, b float64) bool { return a == b }

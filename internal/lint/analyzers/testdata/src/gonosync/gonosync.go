@@ -1,0 +1,24 @@
+// Fixture for the gonosync analyzer: naked go statements outside the worker
+// pool.
+package gonosync
+
+// FanOut spawns unbounded goroutines instead of using the pool.
+func FanOut(work []func()) {
+	for _, w := range work {
+		go w() // want "naked go statement outside internal/parallel"
+	}
+}
+
+// Background leaks a goroutine with no synchronization.
+func Background() {
+	go func() {}() // want "naked go statement outside internal/parallel"
+}
+
+// --- negative case ---
+
+// Serial does the work inline.
+func Serial(work []func()) {
+	for _, w := range work {
+		w()
+	}
+}

@@ -1,0 +1,18 @@
+// Package parallel mirrors the module's worker pool: the one sanctioned
+// spawn site, exempt from gonosync.
+package parallel
+
+import "sync"
+
+// ForEach fans work out across a bounded worker set.
+func ForEach(n int, f func(i int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(i int) { // allowed: the pool is the sanctioned spawn site
+			defer wg.Done()
+			f(i)
+		}(w)
+	}
+	wg.Wait()
+}

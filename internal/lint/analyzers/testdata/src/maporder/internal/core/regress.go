@@ -1,0 +1,24 @@
+// Package core deliberately re-introduces the unsorted map-accumulation
+// that PR 1 removed from the estimator (the OmegaCore fold in
+// (*Breakdown).Total): the acceptance regression proving maporder would
+// catch the determinism bug coming back.
+package core
+
+// Component mirrors hw.Component.
+type Component int
+
+// Breakdown mirrors the model's power decomposition.
+type Breakdown struct {
+	Constant  float64
+	OmegaCore map[Component]float64
+}
+
+// Total re-introduces the pre-lint nondeterministic fold: summing the
+// per-component map in randomized iteration order.
+func (b *Breakdown) Total() float64 {
+	s := b.Constant
+	for _, w := range b.OmegaCore {
+		s += w // want "floating-point accumulation into \"s\" inside range over map"
+	}
+	return s
+}

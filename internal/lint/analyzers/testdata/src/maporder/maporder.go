@@ -1,0 +1,121 @@
+// Fixture for the maporder analyzer: order-sensitive effects inside
+// range-over-map bodies.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SumFloats accumulates floats across randomized map iteration order.
+func SumFloats(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want "floating-point accumulation into \"s\" inside range over map"
+	}
+	return s
+}
+
+// SumFloatsPlain uses the x = x + v spelling.
+func SumFloatsPlain(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want "floating-point accumulation into \"total\" inside range over map"
+	}
+	return total
+}
+
+// CollectUnsorted appends map keys without a subsequent sort.
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to \"keys\" inside range over map without a subsequent sort"
+	}
+	return keys
+}
+
+// Emit prints in map iteration order.
+func Emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "output emitted inside range over map"
+	}
+}
+
+// BuildString writes into a builder in map iteration order.
+func BuildString(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want "output emitted inside range over map"
+	}
+	return sb.String()
+}
+
+// --- negative cases: must not be flagged ---
+
+// SortedKeys is the sanctioned collect-then-sort pattern.
+func SortedKeys(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// IntCount accumulates integers: associative, so order-insensitive.
+func IntCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// MaxValue tracks an extremum: order-insensitive.
+func MaxValue(m map[string]float64) float64 {
+	var mx float64
+	for _, v := range m {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// MapToMap writes into another map: content is order-insensitive.
+func MapToMap(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = 2 * v
+	}
+	return out
+}
+
+// LoopLocal accumulates into a variable declared inside the loop body.
+func LoopLocal(m map[string][]float64) []float64 {
+	keys := make([]string, 0, len(m))
+	for k, vs := range m {
+		keys = append(keys, k)
+		var local float64
+		for _, v := range vs {
+			local += v
+		}
+		_ = local
+	}
+	sort.Strings(keys)
+	return nil
+}
+
+// SliceRange accumulates floats over a slice: iteration order is fixed.
+func SliceRange(vs []float64) float64 {
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}

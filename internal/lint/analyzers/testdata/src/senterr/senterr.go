@@ -1,0 +1,57 @@
+// Fixture for the senterr analyzer: sentinel-error identity comparisons and
+// wrap-without-%w.
+package senterr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrThrottled mirrors the backend taxonomy's sentinels.
+var ErrThrottled = errors.New("reference run throttled")
+
+// IsThrottled compares a sentinel by identity: breaks once wrapped.
+func IsThrottled(err error) bool {
+	return err == ErrThrottled // want "sentinel-error comparison with =="
+}
+
+// NotThrottled is the != spelling.
+func NotThrottled(err error) bool {
+	return err != ErrThrottled // want "sentinel-error comparison with !="
+}
+
+// WrapLossy flattens the cause to text.
+func WrapLossy(err error) error {
+	return fmt.Errorf("measuring reference: %v", err) // want "fmt.Errorf wraps an error without %w"
+}
+
+// WrapLossyS loses the chain through %s too.
+func WrapLossyS(err error) error {
+	return fmt.Errorf("measuring reference: %s", err) // want "fmt.Errorf wraps an error without %w"
+}
+
+// --- negative cases ---
+
+// NilCheck is the idiomatic success check and is never flagged.
+func NilCheck(err error) bool { return err == nil }
+
+// NotNilCheck likewise.
+func NotNilCheck(err error) bool { return err != nil }
+
+// IsThrottledIs is the sanctioned matcher.
+func IsThrottledIs(err error) bool { return errors.Is(err, ErrThrottled) }
+
+// WrapPreserving keeps the chain.
+func WrapPreserving(err error) error {
+	return fmt.Errorf("measuring reference: %w", err)
+}
+
+// WrapMixed has an error and a non-error argument with %w present.
+func WrapMixed(cfg string, err error) error {
+	return fmt.Errorf("config %s: %w", cfg, err)
+}
+
+// NoErrArg formats plain values.
+func NoErrArg(cfg string, watts float64) error {
+	return fmt.Errorf("config %s: %g W over TDP", cfg, watts)
+}

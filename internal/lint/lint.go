@@ -1,0 +1,81 @@
+// Package lint is a dependency-free static-analysis engine for the gpupower
+// module. It mechanically enforces the repository's load-bearing invariants —
+// bitwise serial/parallel determinism, context cancellation at iteration
+// granularity, the typed backend error taxonomy, numerical hygiene and the
+// worker-pool concurrency discipline — that would otherwise rely on reviewer
+// vigilance alone.
+//
+// The engine is built exclusively on the go standard library (go/parser,
+// go/ast, go/types, go/token): packages are parsed and type-checked in-module
+// by a small recursive importer (see Loader) that delegates standard-library
+// imports to importer.Default(). Analyzers implement the Analyzer interface
+// and report Diagnostics; findings can be suppressed at a specific site with
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// either as a trailing comment on the offending line or on its own line
+// immediately above it. The reason is mandatory: an invariant exception that
+// cannot be justified in half a sentence is a bug, not an exception.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one static check. Analyzers are stateless: Run is invoked once
+// per type-checked package and reports findings through the Pass.
+type Analyzer struct {
+	// Name is the short identifier used in output and in //lint:ignore
+	// directives (e.g. "maporder").
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// enforces, shown by `gpowerlint -list`.
+	Doc string
+	// Run inspects one package and reports diagnostics via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's syntax trees (including in-package _test.go
+	// files when the loader runs with Tests enabled).
+	Files []*ast.File
+	// Pkg is the type-checked package object.
+	Pkg *types.Package
+	// Info holds the type-checker facts for Files.
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Diagnostic is one finding, positioned in file:line:col terms.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the canonical single-line form used by the CLI.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}

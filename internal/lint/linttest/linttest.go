@@ -1,0 +1,138 @@
+// Package linttest is the annotated-fixture harness for gpowerlint
+// analyzers, in the spirit of golang.org/x/tools' analysistest but built on
+// the standard library only.
+//
+// Fixtures live in GOPATH-style trees (testdata/src/<importpath>/...). A
+// line that should produce a diagnostic carries a trailing comment
+//
+//	// want "regexp"
+//
+// (several quoted regexps may follow one want). The harness runs the
+// analyzer through the full engine — including //lint:ignore suppression —
+// and asserts an exact one-to-one match: every want is satisfied by a
+// diagnostic on its line, and every diagnostic is expected by a want.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+
+	"gpupower/internal/lint"
+)
+
+// wantRe matches the quoted regexps of a want comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads the given fixture packages from testdata/src (GOPATH-style: the
+// pattern "maporder/..." loads every package under that prefix) and checks
+// the analyzer's diagnostics against the // want annotations.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, patterns ...string) {
+	t.Helper()
+	loader := lint.NewLoader(testdata+"/src", "")
+	all, err := loader.Discover()
+	if err != nil {
+		t.Fatalf("discover fixtures: %v", err)
+	}
+	var pkgs []*lint.Package
+	for _, pat := range patterns {
+		matched := false
+		for _, path := range all {
+			if path == pat || (strings.HasSuffix(pat, "/...") &&
+				(path == strings.TrimSuffix(pat, "/...") || strings.HasPrefix(path, strings.TrimSuffix(pat, "...")))) {
+				pkg, err := loader.Load(path)
+				if err != nil {
+					t.Fatalf("load fixture %s: %v", path, err)
+				}
+				pkgs = append(pkgs, pkg)
+				matched = true
+			}
+		}
+		if !matched {
+			t.Fatalf("pattern %q matched no fixture package under %s/src", pat, testdata)
+		}
+	}
+
+	runner := &lint.Runner{Analyzers: []*lint.Analyzer{a}}
+	res, err := runner.Run(pkgs)
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	for _, derr := range res.DirectiveErrors {
+		t.Errorf("directive error: %v", derr)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			wants = append(wants, collectWants(t, pkg, f)...)
+		}
+	}
+
+	for _, d := range res.Diagnostics {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *lint.Package, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			ms := wantRe.FindAllStringSubmatch(text[len("want "):], -1)
+			if len(ms) == 0 {
+				t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+			}
+			for _, m := range ms {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: m[1]})
+			}
+		}
+	}
+	return out
+}
+
+// Fprint is a tiny helper for debugging fixture runs from tests.
+func Fprint(diags []lint.Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		fmt.Fprintln(&sb, d)
+	}
+	return sb.String()
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Analyzer: "floateq",
+			Pos:      token.Position{Filename: "/repo/internal/core/estimate.go", Line: 554, Column: 11},
+			Message:  "exact floating-point comparison (==)",
+		},
+		{
+			Analyzer: "maporder",
+			Pos:      token.Position{Filename: "/repo/internal/core/model.go", Line: 173, Column: 3},
+			Message:  `floating-point accumulation into "s" inside range over map`,
+		},
+	}
+}
+
+func TestWriteTextRelativizes(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteText(&sb, "/repo", sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	want := "internal/core/estimate.go:554:11: floateq: exact floating-point comparison (==)\n" +
+		`internal/core/model.go:173:3: maporder: floating-point accumulation into "s" inside range over map` + "\n"
+	if sb.String() != want {
+		t.Errorf("text output:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteJSON(&sb, "/repo", sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	var got []jsonDiagnostic
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 diagnostics, got %d", len(got))
+	}
+	if got[0].File != "internal/core/estimate.go" || got[0].Line != 554 || got[0].Analyzer != "floateq" {
+		t.Errorf("first diagnostic = %+v", got[0])
+	}
+
+	// Clean runs emit an empty array, not null.
+	sb.Reset()
+	if err := WriteJSON(&sb, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Errorf("clean run emitted %q, want []", sb.String())
+	}
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner applies a set of analyzers to loaded packages and folds the results
+// through the suppression directives.
+type Runner struct {
+	Analyzers []*Analyzer
+}
+
+// Result is the outcome of one lint run.
+type Result struct {
+	// Diagnostics are the surviving (unsuppressed) findings in
+	// deterministic (file, line, col, analyzer, message) order.
+	Diagnostics []Diagnostic
+	// DirectiveErrors are malformed or unknown-analyzer //lint:ignore
+	// directives. They fail the run: a suppression that does not parse is
+	// not silently discarded.
+	DirectiveErrors []error
+	// Suppressed counts findings removed by valid directives.
+	Suppressed int
+}
+
+// Run analyzes every package. Analyzer errors (not diagnostics) abort the run.
+func (r *Runner) Run(pkgs []*Package) (*Result, error) {
+	known := make(map[string]bool, len(r.Analyzers))
+	for _, a := range r.Analyzers {
+		if a.Name == "" || a.Run == nil {
+			return nil, fmt.Errorf("lint: analyzer %q is incomplete", a.Name)
+		}
+		if known[a.Name] {
+			return nil, fmt.Errorf("lint: duplicate analyzer name %q", a.Name)
+		}
+		known[a.Name] = true
+	}
+
+	res := &Result{}
+	var all []Diagnostic
+	var ignores []Ignore
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("lint: package %s has type errors: %w", pkg.Path, pkg.TypeErrors[0])
+		}
+		for _, f := range pkg.Files {
+			igs, errs := ParseIgnores(pkg.Fset, f, known)
+			ignores = append(ignores, igs...)
+			res.DirectiveErrors = append(res.DirectiveErrors, errs...)
+		}
+		for _, a := range r.Analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &all,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+
+	for _, d := range all {
+		if suppressed(d, ignores) {
+			res.Suppressed++
+			continue
+		}
+		res.Diagnostics = append(res.Diagnostics, d)
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return res, nil
+}
+
+func suppressed(d Diagnostic, ignores []Ignore) bool {
+	for i := range ignores {
+		if ignores[i].Matches(d.Analyzer, d.Pos) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,8 @@
+// Package a heads the cycle-free local-import chain a → b → c used by the
+// in-module importer tests.
+package a
+
+import "chainmod/b"
+
+// Top sums through the chain.
+func Top(xs []float64) float64 { return b.Mid(xs) }

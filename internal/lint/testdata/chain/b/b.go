@@ -1,0 +1,7 @@
+// Package b is the middle of the importer-test chain.
+package b
+
+import "chainmod/c"
+
+// Mid forwards to the leaf.
+func Mid(xs []float64) float64 { return c.Leaf(xs) }

@@ -1,0 +1,18 @@
+// Package c is the leaf of the importer-test chain; it exercises the
+// stdlib delegation path of the importer.
+package c
+
+import "strings"
+
+// Leaf sums a slice.
+func Leaf(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Join exists to force a standard-library import through the delegating
+// importer.
+func Join(parts []string) string { return strings.Join(parts, ",") }

@@ -1,0 +1,8 @@
+// Package x participates in a deliberate local import cycle (x → y → x),
+// which the recursive importer must refuse with a clear error.
+package x
+
+import "cyclemod/y"
+
+// X calls into y.
+func X() int { return y.Y() }

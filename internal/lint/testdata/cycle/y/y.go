@@ -1,0 +1,7 @@
+// Package y closes the deliberate import cycle.
+package y
+
+import "cyclemod/x"
+
+// Y calls back into x.
+func Y() int { return x.X() }

@@ -100,7 +100,7 @@ func (p *Profiler) MeasureAppPower(ctx context.Context, app *kernels.App, cfg hw
 		weighted += pw * t
 		totalTime += t
 	}
-	if totalTime == 0 {
+	if totalTime == 0 { //lint:ignore floateq guard: exactly-zero kernel time means an empty app, which must not divide the weighted mean
 		return 0, fmt.Errorf("profiler: app %s has zero total kernel time", app.Name)
 	}
 	return weighted / totalTime, nil

@@ -83,13 +83,11 @@ type PowerBreakdown struct {
 	Unmodelled float64                  // activity power with no counters
 }
 
-// Total returns the total power of the breakdown.
+// Total returns the total power of the breakdown. The component map is
+// folded in canonical order so the ground-truth total is bitwise-identical
+// run-to-run (the same determinism discipline the estimator side follows).
 func (b *PowerBreakdown) Total() float64 {
-	s := b.Constant + b.Unmodelled
-	for _, v := range b.Component {
-		s += v
-	}
-	return s
+	return b.Constant + b.Unmodelled + hw.SumComponents(b.Component)
 }
 
 // Power evaluates the true average power for an execution (kernel at a

@@ -45,7 +45,7 @@ func NewVoltageCurve(points ...VoltagePoint) (*VoltageCurve, error) {
 			return nil, fmt.Errorf("silicon: non-positive voltage %g V at %g MHz", p.Volts, p.FMHz)
 		}
 		if i > 0 {
-			if ps[i].FMHz == ps[i-1].FMHz {
+			if ps[i].FMHz == ps[i-1].FMHz { //lint:ignore floateq anchor frequencies are exact catalog constants; duplicate detection wants bitwise equality
 				return nil, fmt.Errorf("silicon: duplicate voltage anchor at %g MHz", p.FMHz)
 			}
 			if ps[i].Volts < ps[i-1].Volts {

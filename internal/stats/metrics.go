@@ -28,7 +28,7 @@ func MAPE(pred, meas []float64) (float64, error) {
 	var s float64
 	n := 0
 	for i := range pred {
-		if meas[i] == 0 {
+		if meas[i] == 0 { //lint:ignore floateq MAPE-style guard: exactly-zero measurements are skipped, not divided (mirrored by examples/virtual-sensor)
 			continue
 		}
 		s += math.Abs(pred[i]-meas[i]) / math.Abs(meas[i])
@@ -49,7 +49,7 @@ func MeanPercentError(pred, meas []float64) (float64, error) {
 	var s float64
 	n := 0
 	for i := range pred {
-		if meas[i] == 0 {
+		if meas[i] == 0 { //lint:ignore floateq MAPE-style guard: exactly-zero measurements are skipped, not divided (mirrored by examples/virtual-sensor)
 			continue
 		}
 		s += (pred[i] - meas[i]) / meas[i]

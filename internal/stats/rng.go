@@ -43,7 +43,7 @@ func (r *RNG) Intn(n int) int {
 // Normal returns a sample from N(mean, stddev²) via Box–Muller.
 func (r *RNG) Normal(mean, stddev float64) float64 {
 	u1 := r.Float64()
-	for u1 == 0 {
+	for u1 == 0 { //lint:ignore floateq Box-Muller guard: log(0) is the only invalid input, and Float64 can return exactly 0
 		u1 = r.Float64()
 	}
 	u2 := r.Float64()

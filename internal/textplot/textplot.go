@@ -66,10 +66,10 @@ func (c *Chart) Render() (string, error) {
 		return "", fmt.Errorf("textplot: chart %q has no points", c.Title)
 	}
 	// Degenerate ranges expand symmetrically so a flat series still renders.
-	if xmax == xmin {
+	if xmax == xmin { //lint:ignore floateq degenerate-range guard: a perfectly flat series needs symmetric expansion before scaling
 		xmax, xmin = xmax+1, xmin-1
 	}
-	if ymax == ymin {
+	if ymax == ymin { //lint:ignore floateq degenerate-range guard: a perfectly flat series needs symmetric expansion before scaling
 		ymax, ymin = ymax+1, ymin-1
 	}
 
