@@ -17,10 +17,20 @@
 #                  invariants; must stay green on every PR.
 #   make bench   — regenerate the paper's tables/figures (EXPERIMENTS.md numbers)
 #   make speedup — serial vs parallel Estimate comparison per device catalog
+#   make bench-json — run the perf-relevant Go benchmarks plus the speedup
+#                  experiment and consolidate both into BENCH_results.json
+#                  (ns/op, B/op, allocs/op, cold-vs-warm speedup factors;
+#                  seed 42). BENCHTIME=1x makes it a smoke run (CI default
+#                  here); raise it locally for stable numbers.
 
 GO ?= go
+BENCHTIME ?= 1x
 
-.PHONY: all build test verify vet race lint cover bench speedup clean
+# The benchmark subset bench-json records: the estimation and DVFS hot
+# paths this repo optimizes, not the full paper-figure regeneration suite.
+BENCH_JSON_PATTERN = 'Benchmark(Predict|NNLS|Isotonic|DVFSSearch|EvaluateOperatingPoints|FindBestConfigWarm|Estimate(Serial|Parallel))$$'
+
+.PHONY: all build test verify vet race lint cover bench speedup bench-json clean
 
 all: verify
 
@@ -51,5 +61,10 @@ bench:
 speedup:
 	$(GO) test -run NONE -bench 'BenchmarkEstimate(Serial|Parallel)' -benchtime 3x ./
 
+bench-json:
+	$(GO) test -run NONE -bench $(BENCH_JSON_PATTERN) -benchmem -benchtime $(BENCHTIME) ./ | tee bench_raw.txt
+	$(GO) run ./cmd/benchjson -bench bench_raw.txt -o BENCH_results.json
+	@rm -f bench_raw.txt
+
 clean:
-	$(GO) clean ./...
+	$(GO) clean ./... && rm -f cover.out bench_raw.txt

@@ -1,0 +1,139 @@
+// Command benchjson consolidates performance numbers into a single
+// machine-readable artifact:
+//
+//	go test -run NONE -bench . -benchmem ./ > bench_raw.txt
+//	benchjson -bench bench_raw.txt -o BENCH_results.json
+//
+// It parses the standard `go test -bench -benchmem` output (ns/op, B/op,
+// allocs/op per benchmark) and runs the speedup experiment (cold vs warm
+// prediction surfaces, sequential vs pooled fitting) in-process, then writes
+// both as one JSON document. `make bench-json` is the supported entry point;
+// CI uploads the resulting BENCH_results.json as a build artifact.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"regexp"
+	"strconv"
+	"syscall"
+
+	"gpupower/internal/experiments"
+)
+
+// BenchEntry is one parsed `go test -bench` result line.
+type BenchEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// SpeedupEntry is one measured baseline-vs-optimized comparison.
+type SpeedupEntry struct {
+	Name      string  `json:"name"`
+	Baseline  string  `json:"baseline"`
+	Optimized string  `json:"optimized"`
+	BaseNsOp  float64 `json:"base_ns_per_op"`
+	OptNsOp   float64 `json:"opt_ns_per_op"`
+	Factor    float64 `json:"speedup_factor"`
+}
+
+// Document is the BENCH_results.json schema.
+type Document struct {
+	Seed       uint64         `json:"seed"`
+	Benchmarks []BenchEntry   `json:"benchmarks"`
+	Speedups   []SpeedupEntry `json:"speedups"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkPredict-8   1626286   729.7 ns/op   224 B/op   3 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped; B/op and allocs/op are optional
+// (plain -bench output without -benchmem omits them).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark[^\s]+?)(?:-\d+)?\s+(\d+)\s+([0-9.e+]+) ns/op(?:\s+([0-9.e+]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// parseBench extracts benchmark entries from go test -bench output.
+func parseBench(path string) ([]BenchEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []BenchEntry
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		e := BenchEntry{Name: m[1]}
+		e.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		e.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			e.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			e.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	bench := flag.String("bench", "", "path to `go test -bench -benchmem` output to parse (optional)")
+	seed := flag.Uint64("seed", experiments.DefaultSeed, "simulation seed for the speedup measurements")
+	out := flag.String("o", "BENCH_results.json", "output path")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	doc := Document{Seed: *seed}
+	if *bench != "" {
+		entries, err := parseBench(*bench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *bench, err)
+			os.Exit(1)
+		}
+		doc.Benchmarks = entries
+	}
+
+	sp, err := experiments.RunSpeedup(ctx, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: speedup experiment: %v\n", err)
+		os.Exit(1)
+	}
+	for _, row := range sp.Rows {
+		doc.Speedups = append(doc.Speedups, SpeedupEntry{
+			Name:      row.Name,
+			Baseline:  row.BaseLabel,
+			Optimized: row.OptLabel,
+			BaseNsOp:  row.BaseNsOp,
+			OptNsOp:   row.OptNsOp,
+			Factor:    row.Factor,
+		})
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, %d speedup rows, seed %d)\n",
+		*out, len(doc.Benchmarks), len(doc.Speedups), *seed)
+}

@@ -16,6 +16,9 @@
 //	-json             machine-readable output
 //	-analyzers list   run only the named analyzers (comma-separated)
 //	-tests=false      skip _test.go files
+//	-changed ref      report only diagnostics in files touched since the
+//	                  git ref (diff + untracked); the whole module is still
+//	                  type-checked, only the report is filtered
 //	-list             print the analyzers and their invariants, then exit
 //
 // Exit status: 0 clean, 1 diagnostics (or bad //lint:ignore directives)
@@ -39,6 +42,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
 	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	tests := flag.Bool("tests", true, "also analyze _test.go files")
+	changed := flag.String("changed", "", "report only diagnostics in files changed since this git ref")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Parse()
 
@@ -83,6 +87,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gpowerlint: %v\n", err)
 		os.Exit(2)
+	}
+	if *changed != "" {
+		set, err := lint.ChangedSince(root, *changed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpowerlint: %v\n", err)
+			os.Exit(2)
+		}
+		res.Diagnostics = lint.FilterChanged(res.Diagnostics, set, root)
 	}
 
 	cwd, _ := os.Getwd()

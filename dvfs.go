@@ -2,11 +2,10 @@ package gpupower
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
-	"gpupower/internal/backend"
 	"gpupower/internal/core"
-	"gpupower/internal/parallel"
 )
 
 // The DVFS-management use case of the paper (Section V-B, "Use cases" #3):
@@ -67,48 +66,59 @@ func (o Objective) String() string {
 	}
 }
 
+// operatingSurface resolves the memoized prediction surface for a profile,
+// translating the surface layer's typed reference-power error into this
+// package's historical message.
+func operatingSurface(ctx context.Context, m *Model, dev *Device, p *Profile) (*core.Surface, error) {
+	s, err := core.Surfaces.Get(ctx, m, dev, p.Ref, p.Utilization)
+	if err != nil {
+		var npe *core.NonPositiveRefPowerError
+		if errors.As(err, &npe) {
+			return nil, fmt.Errorf("gpupower: non-positive reference power prediction %g", npe.Power)
+		}
+		return nil, err
+	}
+	return s, nil
+}
+
+// pointAt materializes ladder point i of a surface.
+func pointAt(s *core.Surface, i int) OperatingPoint {
+	return OperatingPoint{
+		Config:    s.Configs[i],
+		PowerW:    s.PowerW[i],
+		RelTime:   s.RelTime[i],
+		RelEnergy: s.RelEnergy[i],
+		RelEDP:    s.RelEDP[i],
+	}
+}
+
 // EvaluateOperatingPoints evaluates the model at every configuration of the
 // device without executing the application anywhere but the reference —
-// the design-space pruning the paper highlights. The per-configuration
-// evaluations are independent table lookups, so they fan out across the
-// worker pool; slot i of the result always belongs to configuration i, so
-// the returned slice is in deterministic ladder order regardless of
-// scheduling.
+// the design-space pruning the paper highlights. The evaluation is served
+// from the process-wide prediction-surface cache (core.Surfaces): the first
+// call for a (model, device, profile) tuple computes the full ladder, and
+// repeated calls — DVFS sweeps, governor decisions for an already-profiled
+// kernel — reduce to one cache lookup plus a copy into fresh points. The
+// returned slice is always in deterministic ladder order, and its values
+// are bitwise-identical to evaluating Model.Predict point by point.
 func EvaluateOperatingPoints(m *Model, dev *Device, p *Profile) ([]OperatingPoint, error) {
 	return EvaluateOperatingPointsContext(context.Background(), m, dev, p) //lint:ignore ctxflow non-cancellable convenience wrapper; the *Context sibling is the cancellable API
 }
 
 // EvaluateOperatingPointsContext is EvaluateOperatingPoints under a
-// context: cancellation is checked at configuration granularity and
-// surfaces as an error wrapping ctx.Err().
+// context: a cold surface computation checks cancellation at configuration
+// granularity, a warm hit once on entry; either surfaces as an error
+// wrapping ctx.Err().
 func EvaluateOperatingPointsContext(ctx context.Context, m *Model, dev *Device, p *Profile) ([]OperatingPoint, error) {
-	refPower, err := m.Predict(p.Utilization, p.Ref)
+	s, err := operatingSurface(ctx, m, dev, p)
 	if err != nil {
 		return nil, err
 	}
-	if refPower <= 0 {
-		return nil, fmt.Errorf("gpupower: non-positive reference power prediction %g", refPower)
+	pts := make([]OperatingPoint, s.Len())
+	for i := range pts {
+		pts[i] = pointAt(s, i)
 	}
-	configs := dev.AllConfigs()
-	return parallel.Map(len(configs), func(i int) (OperatingPoint, error) {
-		if err := backend.CheckContext(ctx, "gpupower: evaluating operating points"); err != nil {
-			return OperatingPoint{}, err
-		}
-		cfg := configs[i]
-		pw, err := m.Predict(p.Utilization, cfg)
-		if err != nil {
-			return OperatingPoint{}, err
-		}
-		rt := EstimateRelativeTime(p.Utilization, p.Ref, cfg)
-		relEnergy := pw * rt / refPower
-		return OperatingPoint{
-			Config:    cfg,
-			PowerW:    pw,
-			RelTime:   rt,
-			RelEnergy: relEnergy,
-			RelEDP:    relEnergy * rt,
-		}, nil
-	})
+	return pts, nil
 }
 
 // objectiveValue extracts the scalar the search minimizes.
@@ -148,13 +158,24 @@ func FindBestConfig(m *Model, dev *Device, p *Profile, obj Objective) (Operating
 	return FindBestConfigContext(context.Background(), m, dev, p, obj) //lint:ignore ctxflow non-cancellable convenience wrapper; the *Context sibling is the cancellable API
 }
 
-// FindBestConfigContext is FindBestConfig under a context.
+// FindBestConfigContext is FindBestConfig under a context. It scans the
+// memoized surface directly — no per-call point slice — so a warm search
+// is a cache lookup plus one ordered pass over the ladder.
 func FindBestConfigContext(ctx context.Context, m *Model, dev *Device, p *Profile, obj Objective) (OperatingPoint, error) {
-	pts, err := EvaluateOperatingPointsContext(ctx, m, dev, p)
+	s, err := operatingSurface(ctx, m, dev, p)
 	if err != nil {
 		return OperatingPoint{}, err
 	}
-	best, found := bestFeasible(pts, dev.TDP, obj)
+	best, found := OperatingPoint{}, false
+	for i := 0; i < s.Len(); i++ {
+		if s.PowerW[i] > dev.TDP {
+			continue
+		}
+		pt := pointAt(s, i)
+		if !found || betterPoint(pt, best, obj) {
+			best, found = pt, true
+		}
+	}
 	if !found {
 		return OperatingPoint{}, fmt.Errorf("gpupower: no TDP-feasible configuration for %s", p.App.Name)
 	}

@@ -16,6 +16,7 @@ package autotune
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -81,28 +82,28 @@ func (t *Tuner) kernelFrontier(ctx context.Context, k *kernels.KernelSpec) (fron
 		return nil, 0, 0, err
 	}
 	refSeconds = prof.Kernels[0].Seconds
-	refPower, err = t.model.Predict(u, ref)
+	// The per-configuration energy/time columns come from the memoized
+	// prediction surface, so re-tuning the same kernel (or sharing kernels
+	// across plans) evaluates the model ladder once per utilization.
+	s, err := core.Surfaces.Get(ctx, t.model, dev, ref, u)
 	if err != nil {
+		var npe *core.NonPositiveRefPowerError
+		if errors.As(err, &npe) {
+			return nil, 0, 0, fmt.Errorf("autotune: non-positive reference power for kernel %s", k.Name)
+		}
 		return nil, 0, 0, err
 	}
-	if refPower <= 0 {
-		return nil, 0, 0, fmt.Errorf("autotune: non-positive reference power for kernel %s", k.Name)
-	}
+	refPower = s.RefPower
 
 	var all []Candidate
-	for _, cfg := range dev.AllConfigs() {
-		p, err := t.model.Predict(u, cfg)
-		if err != nil {
-			return nil, 0, 0, err
-		}
-		if p > dev.TDP {
+	for i := 0; i < s.Len(); i++ {
+		if s.PowerW[i] > dev.TDP {
 			continue
 		}
-		rt := core.EstimateRelativeTime(u, ref, cfg)
 		all = append(all, Candidate{
-			Config:    cfg,
-			RelTime:   rt,
-			RelEnergy: p * rt / refPower,
+			Config:    s.Configs[i],
+			RelTime:   s.RelTime[i],
+			RelEnergy: s.RelEnergy[i],
 		})
 	}
 	if len(all) == 0 {

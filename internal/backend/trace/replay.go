@@ -25,12 +25,42 @@ import (
 // fails with backend.ErrTraceMismatch; asking for more repetitions of a
 // tuple than were recorded fails with backend.ErrTraceExhausted; requesting
 // an off-ladder clock fails with backend.ErrUnsupportedClock.
+// matchKey indexes recorded measurements by (operation, kernel,
+// clocks-at-call). It is a comparable struct rather than a formatted
+// string: map lookups hash the fields directly, so the per-measurement
+// hot path performs no formatting and no allocation.
+type matchKey struct {
+	op      Op
+	kernel  string
+	coreMHz float64
+	memMHz  float64
+}
+
+// eventQueue is a head-indexed FIFO over recorded events. Popping
+// advances head instead of re-slicing the backing array, so the queue
+// header in the map is never rewritten per pop and the events slice is
+// built once at NewReplayer time and never reallocated.
+type eventQueue struct {
+	events []*Event
+	head   int
+}
+
+// pop returns the oldest unserved event, or nil when exhausted.
+func (q *eventQueue) pop() *Event {
+	if q.head >= len(q.events) {
+		return nil
+	}
+	e := q.events[q.head]
+	q.head++
+	return e
+}
+
 type Replayer struct {
 	dev *hw.Device
 
 	mu     sync.Mutex
 	cfg    hw.Config
-	queues map[string][]*Event
+	queues map[matchKey]*eventQueue
 	served int
 	total  int
 }
@@ -49,7 +79,7 @@ func NewReplayer(t *Trace) (*Replayer, error) {
 	r := &Replayer{
 		dev:    dev,
 		cfg:    dev.DefaultConfig(),
-		queues: make(map[string][]*Event),
+		queues: make(map[matchKey]*eventQueue),
 	}
 	for i := range t.Events {
 		e := &t.Events[i]
@@ -59,7 +89,12 @@ func NewReplayer(t *Trace) (*Replayer, error) {
 			continue
 		}
 		k := key(e.Op, e.Kernel, hw.Config{CoreMHz: e.CoreMHz, MemMHz: e.MemMHz})
-		r.queues[k] = append(r.queues[k], e)
+		q, ok := r.queues[k]
+		if !ok {
+			q = &eventQueue{}
+			r.queues[k] = q
+		}
+		q.events = append(q.events, e)
 		r.total++
 	}
 	return r, nil
@@ -74,26 +109,25 @@ func Open(path string) (*Replayer, error) {
 	return NewReplayer(t)
 }
 
-func key(op Op, kernel string, cfg hw.Config) string {
-	return fmt.Sprintf("%s|%s|%g|%g", op, kernel, cfg.CoreMHz, cfg.MemMHz)
+func key(op Op, kernel string, cfg hw.Config) matchKey {
+	return matchKey{op: op, kernel: kernel, coreMHz: cfg.CoreMHz, memMHz: cfg.MemMHz}
 }
 
 // next pops the oldest unserved event for the key, distinguishing
-// never-recorded from exhausted.
+// never-recorded from exhausted. One map lookup, no map writes: the
+// queue is mutated through its pointer by advancing the head index.
 func (r *Replayer) next(op Op, kernel string) (*Event, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	k := key(op, kernel, r.cfg)
-	q, ok := r.queues[k]
+	q, ok := r.queues[key(op, kernel, r.cfg)]
 	if !ok {
 		return nil, fmt.Errorf("trace: %s %q at %v never recorded: %w", op, kernel, r.cfg, backend.ErrTraceMismatch)
 	}
-	if len(q) == 0 {
+	e := q.pop()
+	if e == nil {
 		return nil, fmt.Errorf("trace: %s %q at %v: all recorded repetitions consumed: %w",
 			op, kernel, r.cfg, backend.ErrTraceExhausted)
 	}
-	e := q[0]
-	r.queues[k] = q[1:]
 	r.served++
 	return e, nil
 }

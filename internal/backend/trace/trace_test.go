@@ -198,6 +198,35 @@ func TestReplayToleratesReordering(t *testing.T) {
 	}
 }
 
+// TestReplayMatchAllocFree is the allocation regression test for the
+// indexed request matcher: serving a recorded measurement is one struct-key
+// map lookup plus a head advance, and must not allocate (the historical
+// matcher built a formatted string key and re-sliced the queue per call).
+func TestReplayMatchAllocFree(t *testing.T) {
+	tr := &Trace{Version: Version, Device: "Tesla K40c"}
+	const reps = 400
+	for i := 0; i < reps; i++ {
+		tr.Events = append(tr.Events, Event{
+			Op: OpIdlePower, CoreMHz: 745, MemMHz: 3004, Watts: 20 + float64(i),
+		})
+	}
+	rep, err := NewReplayer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.SetClocks(hw.Config{CoreMHz: 745, MemMHz: 3004}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(reps/2, func() {
+		if _, err := rep.SampledIdlePower(time.Second); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("indexed trace match allocates %.1f/op, want 0", allocs)
+	}
+}
+
 func TestSaveLoadRoundTrip(t *testing.T) {
 	rec, _ := openRecorder(t)
 	rec.SetNote("unit-test session")

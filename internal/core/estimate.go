@@ -122,62 +122,155 @@ func modelToParams(m *Model) []float64 {
 	return x
 }
 
-// solveX performs the (non-negative) least-squares estimation of X over the
-// given configuration indices, using the current voltage table (step 1 with
-// V̄ ≡ 1, step 3 with the estimated voltages).
+// nUtil is the length of a benchmark's utilization base block: the six
+// CoreOmegaOrder components followed by DRAM. The estimator flattens each
+// sample's Utilization map into this fixed-order block once per fit, so the
+// per-iteration assembly loops never touch a map.
+const nUtil = 7
+
+// estimatorWorkspace carries every buffer the Section III-D alternation
+// reuses across iterations (DESIGN.md §10): the flattened utilization base
+// blocks, the full-ladder design matrix and right-hand side, the NNLS
+// workspace for the step-1/step-3 refits, and the step-2/SSE scratch. One
+// workspace serves one Estimate call; nothing in it is goroutine-safe.
+//
+// The incremental design assembly exploits the factored structure of the
+// regression row: every voltage-dependent entry is one of the per-config
+// scalars vc, s1 = vc²·fc, vm, s3 = vm²·fm times a per-sample utilization
+// constant. The base blocks are computed once; each refit only rescales
+// them in place. The arithmetic — s1·u instead of vc·vc·fc·u — preserves
+// the float association of designRowInto exactly, so the assembled system
+// (and therefore the fitted model) is bitwise-identical to the historical
+// row-by-row path; estimate_equiv_test.go pins this.
+type estimatorWorkspace struct {
+	d  *Dataset
+	nb int
+
+	// ubase is nb base blocks of nUtil entries each (flat, stride nUtil).
+	ubase []float64
+
+	a    *linalg.Matrix // nb·len(Configs) × nParams design (step-3 shape)
+	bvec []float64
+	nnls *linalg.NNLSWorkspace
+
+	A, B    []float64 // step-2 per-benchmark precomputes
+	partial []float64 // trainingSSE per-config partial sums
+}
+
+// newEstimatorWorkspace sizes a workspace for dataset d and flattens the
+// utilization base blocks.
+func newEstimatorWorkspace(d *Dataset) *estimatorWorkspace {
+	nb := len(d.Benchmarks)
+	rows := nb * len(d.Configs)
+	ws := &estimatorWorkspace{
+		d:       d,
+		nb:      nb,
+		ubase:   make([]float64, nb*nUtil),
+		a:       linalg.NewMatrix(rows, nParams),
+		bvec:    make([]float64, rows),
+		nnls:    linalg.NewNNLSWorkspace(rows, nParams),
+		A:       make([]float64, nb),
+		B:       make([]float64, nb),
+		partial: make([]float64, len(d.Configs)),
+	}
+	for bi, bench := range d.Benchmarks {
+		ub := ws.ubase[bi*nUtil : (bi+1)*nUtil]
+		for i, c := range CoreOmegaOrder {
+			ub[i] = bench.Util[c]
+		}
+		ub[nUtil-1] = bench.Util[hw.DRAM]
+	}
+	return ws
+}
+
+// ub returns benchmark bi's utilization base block.
+func (ws *estimatorWorkspace) ub(bi int) []float64 {
+	return ws.ubase[bi*nUtil : (bi+1)*nUtil]
+}
+
+// solveXInto performs the (non-negative) least-squares estimation of X over
+// the given configuration indices, using the current voltage table (step 1
+// with V̄ ≡ 1, step 3 with the estimated voltages), writing the parameter
+// vector into dst (len nParams).
 //
 // The design-matrix assembly is parallelized across configurations: the k-th
 // configuration owns the contiguous row block [k·nb, (k+1)·nb), so workers
 // write disjoint slices of the matrix and the assembled system is
-// bitwise-identical to the serial one. Per-worker scratch rows keep the
-// inner loop allocation-free.
-func solveX(d *Dataset, volt *VoltageTable, configIdx []int) ([]float64, error) {
-	nb := len(d.Benchmarks)
+// bitwise-identical to the serial one. Rows are filled through RowView from
+// the precomputed base blocks — no per-row scratch, no map lookups, and
+// (for the full-ladder shape) no allocation.
+func (ws *estimatorWorkspace) solveXInto(dst []float64, volt *VoltageTable, configIdx []int) error {
+	d, nb := ws.d, ws.nb
 	rows := nb * len(configIdx)
-	a := linalg.NewMatrix(rows, nParams)
-	b := make([]float64, rows)
-	scratch := make([][]float64, parallel.Workers())
-	for w := range scratch {
-		scratch[w] = make([]float64, nParams)
+	a, b := ws.a, ws.bvec
+	if rows != a.Rows() {
+		// Subset solves (the step-1 {F1,F2,F3} system) run once per fit; a
+		// right-sized matrix keeps the NNLS scaling identical to the
+		// historical path.
+		a = linalg.NewMatrix(rows, nParams)
+		b = make([]float64, rows)
 	}
-	err := parallel.ForEachWorker(len(configIdx), func(w, k int) error {
+	err := parallel.ForEach(len(configIdx), func(k int) error {
 		fi := configIdx[k]
 		cfg := d.Configs[fi]
 		vc, vm, err := volt.At(cfg)
 		if err != nil {
 			return err
 		}
-		row := scratch[w]
+		fc, fm := cfg.CoreMHz, cfg.MemMHz
+		s1 := vc * vc * fc
+		s3 := vm * vm * fm
 		r := k * nb
-		for bi, bench := range d.Benchmarks {
-			designRowInto(row, bench.Util, cfg, vc, vm)
-			a.SetRow(r, row)
+		for bi := 0; bi < nb; bi++ {
+			row := a.RowView(r)
+			ub := ws.ub(bi)
+			row[0] = vc
+			row[1] = s1
+			row[2] = vm
+			row[3] = s3
+			for i := 0; i < nUtil-1; i++ {
+				row[4+i] = s1 * ub[i]
+			}
+			row[nParams-1] = s3 * ub[nUtil-1]
 			b[r] = d.Power[bi][fi]
 			r++
 		}
 		return nil
 	})
 	if err != nil {
+		return err
+	}
+	return ws.nnls.SolveInto(dst, a, b)
+}
+
+// solveX is the workspace-per-call form of solveXInto, kept for tests and
+// one-shot callers.
+func solveX(d *Dataset, volt *VoltageTable, configIdx []int) ([]float64, error) {
+	ws := newEstimatorWorkspace(d)
+	x := make([]float64, nParams)
+	if err := ws.solveXInto(x, volt, configIdx); err != nil {
 		return nil, err
 	}
-	return linalg.NNLS(a, b)
+	return x, nil
 }
 
 // solveVoltages performs step 2: for every configuration, estimate
 // (V̄core, V̄mem) by minimizing the squared prediction error over the
 // benchmark set, then project each domain's ladder onto the monotonicity
 // constraint (Eq. 12) and renormalize so V̄(ref) = 1.
-func solveVoltages(d *Dataset, x []float64, volt *VoltageTable, opts *EstimatorOptions) error {
-	// Precompute A_b = β1 + Σ ω_i U_ib and B_b = β3 + ω_mem·U_dram,b.
-	nb := len(d.Benchmarks)
-	A := make([]float64, nb)
-	B := make([]float64, nb)
-	for bi, bench := range d.Benchmarks {
+func (ws *estimatorWorkspace) solveVoltages(x []float64, volt *VoltageTable, opts *EstimatorOptions) error {
+	// Precompute A_b = β1 + Σ ω_i U_ib and B_b = β3 + ω_mem·U_dram,b on the
+	// reused workspace buffers, reading the flattened base blocks (same
+	// accumulation order as the historical map-walking loop).
+	d := ws.d
+	A, B := ws.A, ws.B
+	for bi := 0; bi < ws.nb; bi++ {
+		ub := ws.ub(bi)
 		A[bi] = x[1]
-		for i, c := range CoreOmegaOrder {
-			A[bi] += x[4+i] * bench.Util[c]
+		for i := 0; i < nUtil-1; i++ {
+			A[bi] += x[4+i] * ub[i]
 		}
-		B[bi] = x[3] + x[10]*bench.Util[hw.DRAM]
+		B[bi] = x[3] + x[nParams-1]*ub[nUtil-1]
 	}
 	beta0, beta2 := x[0], x[2]
 
@@ -357,6 +450,11 @@ func Estimate(ctx context.Context, d *Dataset, opts *EstimatorOptions) (*Model, 
 		allConfigs[i] = i
 	}
 
+	// One workspace per fit: design matrix, NNLS buffers and scratch are
+	// allocated here and reused by every iteration below (DESIGN.md §10).
+	ws := newEstimatorWorkspace(d)
+	x := make([]float64, nParams)
+
 	// Known-voltage simplification (Section III-D): copy the measured
 	// voltages and run step 3 once.
 	if opts.KnownVoltages != nil {
@@ -372,8 +470,7 @@ func Estimate(ctx context.Context, d *Dataset, opts *EstimatorOptions) (*Model, 
 				return nil, err
 			}
 		}
-		x, err := solveX(d, volt, allConfigs)
-		if err != nil {
+		if err := ws.solveXInto(x, volt, allConfigs); err != nil {
 			return nil, err
 		}
 		paramsToModel(m, x)
@@ -387,8 +484,7 @@ func Estimate(ctx context.Context, d *Dataset, opts *EstimatorOptions) (*Model, 
 		if err := applyFixedVoltages(d, volt, opts); err != nil {
 			return nil, err
 		}
-		x, err := solveX(d, volt, allConfigs)
-		if err != nil {
+		if err := ws.solveXInto(x, volt, allConfigs); err != nil {
 			return nil, err
 		}
 		paramsToModel(m, x)
@@ -402,12 +498,14 @@ func Estimate(ctx context.Context, d *Dataset, opts *EstimatorOptions) (*Model, 
 	if err != nil {
 		return nil, err
 	}
-	x, err := solveX(d, volt, init)
-	if err != nil {
+	if err := ws.solveXInto(x, volt, init); err != nil {
 		return nil, fmt.Errorf("core: step 1 failed: %w", err)
 	}
 
-	// Steps 2–4: alternate voltage and parameter estimation.
+	// Steps 2–4: alternate voltage and parameter estimation. The previous-
+	// iteration snapshots live on reused storage (CopyFrom, append into the
+	// same backing array), so the loop body is allocation-light: only the
+	// per-config Minimize2D solves and the parallel fan-out allocate.
 	prevX := append([]float64(nil), x...)
 	prevVolt := volt.Clone()
 	prevSSE := math.Inf(1)
@@ -416,7 +514,7 @@ func Estimate(ctx context.Context, d *Dataset, opts *EstimatorOptions) (*Model, 
 			return nil, err
 		}
 		m.Iterations = iter
-		if err := solveVoltages(d, x, volt, opts); err != nil {
+		if err := ws.solveVoltages(x, volt, opts); err != nil {
 			return nil, fmt.Errorf("core: step 2 (iteration %d) failed: %w", iter, err)
 		}
 		if opts.OverRelax > 1 && iter > 1 {
@@ -424,14 +522,13 @@ func Estimate(ctx context.Context, d *Dataset, opts *EstimatorOptions) (*Model, 
 				return nil, fmt.Errorf("core: over-relaxation (iteration %d) failed: %w", iter, err)
 			}
 		}
-		x, err = solveX(d, volt, allConfigs)
-		if err != nil {
+		if err := ws.solveXInto(x, volt, allConfigs); err != nil {
 			return nil, fmt.Errorf("core: step 3 (iteration %d) failed: %w", iter, err)
 		}
 
 		dv := voltageDelta(prevVolt, volt)
 		dx := relDelta(prevX, x)
-		sse, err := trainingSSE(d, volt, x)
+		sse, err := ws.trainingSSE(volt, x)
 		if err != nil {
 			return nil, fmt.Errorf("core: SSE evaluation (iteration %d) failed: %w", iter, err)
 		}
@@ -445,7 +542,7 @@ func Estimate(ctx context.Context, d *Dataset, opts *EstimatorOptions) (*Model, 
 		}
 		prevSSE = sse
 		prevX = append(prevX[:0], x...)
-		prevVolt = volt.Clone()
+		prevVolt.CopyFrom(volt)
 	}
 
 	paramsToModel(m, x)
@@ -489,26 +586,34 @@ func overRelax(prev, volt *VoltageTable, opts *EstimatorOptions, ref hw.Config) 
 // A voltage-table miss is a hard error: every dataset configuration must
 // resolve (silently skipping one used to understate the SSE and could
 // declare convergence on an objective that ignored part of the data).
-func trainingSSE(d *Dataset, volt *VoltageTable, x []float64) (float64, error) {
-	scratch := make([][]float64, parallel.Workers())
-	for w := range scratch {
-		scratch[w] = make([]float64, nParams)
-	}
-	partial := make([]float64, len(d.Configs))
-	err := parallel.ForEachWorker(len(d.Configs), func(w, fi int) error {
+func (ws *estimatorWorkspace) trainingSSE(volt *VoltageTable, x []float64) (float64, error) {
+	d := ws.d
+	partial := ws.partial
+	err := parallel.ForEach(len(d.Configs), func(fi int) error {
 		cfg := d.Configs[fi]
 		vc, vm, err := volt.At(cfg)
 		if err != nil {
 			return fmt.Errorf("core: training SSE at %v: %w", cfg, err)
 		}
-		row := scratch[w]
+		fc, fm := cfg.CoreMHz, cfg.MemMHz
+		s1 := vc * vc * fc
+		s3 := vm * vm * fm
 		var s float64
-		for bi, bench := range d.Benchmarks {
-			designRowInto(row, bench.Util, cfg, vc, vm)
+		for bi := 0; bi < ws.nb; bi++ {
+			ub := ws.ub(bi)
+			// Term-by-term accumulation in row order replicates the
+			// historical designRowInto + ordered dot product exactly:
+			// each term is (row entry)·x[j] with the row entry factored
+			// through s1/s3 at identical float association.
 			pred := 0.0
-			for j, v := range row {
-				pred += v * x[j]
+			pred += vc * x[0]
+			pred += s1 * x[1]
+			pred += vm * x[2]
+			pred += s3 * x[3]
+			for i := 0; i < nUtil-1; i++ {
+				pred += s1 * ub[i] * x[4+i]
 			}
+			pred += s3 * ub[nUtil-1] * x[nParams-1]
 			diff := d.Power[bi][fi] - pred
 			s += diff * diff
 		}
@@ -523,6 +628,11 @@ func trainingSSE(d *Dataset, volt *VoltageTable, x []float64) (float64, error) {
 		sse += s
 	}
 	return sse, nil
+}
+
+// trainingSSE is the workspace-per-call form used by tests and diagnostics.
+func trainingSSE(d *Dataset, volt *VoltageTable, x []float64) (float64, error) {
+	return newEstimatorWorkspace(d).trainingSSE(volt, x)
 }
 
 // voltageDelta is the largest absolute voltage change between two tables.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"gpupower/internal/hw"
 )
@@ -85,11 +86,22 @@ func (t *VoltageTable) Set(cfg hw.Config, vc, vm float64) error {
 // Clone deep-copies the table.
 func (t *VoltageTable) Clone() *VoltageTable {
 	c := NewVoltageTable(t.CoreFreqs, t.MemFreqs)
-	for mi := range t.VCore {
-		copy(c.VCore[mi], t.VCore[mi])
-		copy(c.VMem[mi], t.VMem[mi])
-	}
+	c.CopyFrom(t)
 	return c
+}
+
+// CopyFrom copies src's voltage entries into t, which must have the same
+// ladder shape. It is the allocation-free sibling of Clone, used by the
+// estimator to keep its previous-iteration snapshot on reused storage.
+func (t *VoltageTable) CopyFrom(src *VoltageTable) {
+	if len(t.VCore) != len(src.VCore) || len(t.CoreFreqs) != len(src.CoreFreqs) {
+		panic(fmt.Sprintf("core: CopyFrom shape mismatch %dx%d vs %dx%d",
+			len(src.MemFreqs), len(src.CoreFreqs), len(t.MemFreqs), len(t.CoreFreqs)))
+	}
+	for mi := range src.VCore {
+		copy(t.VCore[mi], src.VCore[mi])
+		copy(t.VMem[mi], src.VMem[mi])
+	}
 }
 
 // Model is the fitted DVFS-aware power model of one device (Eqs. 6–7 with
@@ -117,6 +129,41 @@ type Model struct {
 	// Iterations and Converged report how the Section III-D loop ended.
 	Iterations int
 	Converged  bool
+
+	// gen is the surface-cache generation (surface.go): 0 means "not yet
+	// assigned"; Generation() lazily draws a process-unique value. It is
+	// accessed atomically, deliberately excluded from serialization (a
+	// deserialized model is a distinct instance and draws a fresh
+	// generation), and bumped by InvalidateSurfaces after in-place edits.
+	gen uint64
+}
+
+// modelGenCounter is the process-wide generation source. Generation 0 is
+// reserved as the "unassigned" sentinel.
+var modelGenCounter uint64
+
+// Generation returns the model's surface-cache generation, assigning a
+// fresh process-unique value on first use. Two models never share a
+// generation, so memoized prediction surfaces keyed by generation can never
+// serve one model's surfaces to another — and a refit (which builds a new
+// *Model) implicitly invalidates every cached surface of the old fit.
+func (m *Model) Generation() uint64 {
+	if g := atomic.LoadUint64(&m.gen); g != 0 {
+		return g
+	}
+	g := atomic.AddUint64(&modelGenCounter, 1)
+	if atomic.CompareAndSwapUint64(&m.gen, 0, g) {
+		return g
+	}
+	return atomic.LoadUint64(&m.gen)
+}
+
+// InvalidateSurfaces assigns the model a fresh generation, orphaning every
+// prediction surface memoized against the old one. Call it after mutating a
+// fitted model in place (coefficient edits, voltage-table adjustments);
+// Estimate never needs it because each fit returns a new instance.
+func (m *Model) InvalidateSurfaces() {
+	atomic.StoreUint64(&m.gen, atomic.AddUint64(&modelGenCounter, 1))
 }
 
 // Validate checks the model for physical consistency.

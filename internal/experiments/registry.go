@@ -138,6 +138,13 @@ var registry = map[string]Runner{
 		}
 		return emit(w, r, plot)
 	},
+	"speedup": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
+		r, err := RunSpeedup(ctx, seed)
+		if err != nil {
+			return err
+		}
+		return emit(w, r, plot)
+	},
 	"robustness": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
 		r, err := RunRobustness(ctx, []uint64{seed, seed + 1, seed + 2, seed + 3, seed + 4})
 		if err != nil {
@@ -188,12 +195,12 @@ func Names() []string {
 	return append(paper, extra...)
 }
 
-// AllNames is the set run by "-exp all" (excludes the expensive seed sweep
-// and the verbose source listing).
+// AllNames is the set run by "-exp all" (excludes the expensive seed sweep,
+// the verbose source listing, and the wall-clock-dependent speedup timings).
 func AllNames() []string {
 	var out []string
 	for _, n := range Names() {
-		if n == "robustness" || n == "sources" {
+		if n == "robustness" || n == "sources" || n == "speedup" {
 			continue
 		}
 		out = append(out, n)

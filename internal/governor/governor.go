@@ -15,6 +15,7 @@ package governor
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"gpupower/internal/backend"
@@ -88,13 +89,76 @@ func New(p *profiler.Profiler, m *core.Model, policy Policy) (*Governor, error) 
 // Decide returns the governor's configuration for a kernel with known
 // utilization, per the active policy.
 func (g *Governor) Decide(u core.Utilization) (hw.Config, error) {
+	return g.DecideContext(context.Background(), u) //lint:ignore ctxflow non-cancellable convenience wrapper; the *Context sibling is the cancellable API
+}
+
+// DecideContext is Decide under a context. The per-configuration power and
+// relative-time columns come from the process-wide prediction-surface
+// cache: the first decision for a kernel's utilization computes the ladder
+// once, and every subsequent decision — repeated Step calls, policy
+// re-evaluation — reduces to one cache lookup plus a linear scan. The scan
+// order and the strict `score < best` comparison are those of the
+// historical per-point loop, so the chosen configuration is byte-identical.
+func (g *Governor) DecideContext(ctx context.Context, u core.Utilization) (hw.Config, error) {
 	dev := g.prof.HW()
 	ref := g.model.Ref
 	cap := g.PowerCap
 	if cap <= 0 {
 		cap = dev.TDP
 	}
+	s, err := core.Surfaces.Get(ctx, g.model, dev, ref, u)
+	if err != nil {
+		var npe *core.NonPositiveRefPowerError
+		if errors.As(err, &npe) {
+			// The cap filter below decides feasibility; a non-positive
+			// reference power only invalidates the energy normalization,
+			// which the governor's scores never use. Recompute without it.
+			return g.decideUncached(u, dev, cap)
+		}
+		return hw.Config{}, err
+	}
+	best := ref
+	bestScore, haveBest := 0.0, false
+	for i := 0; i < s.Len(); i++ {
+		p := s.PowerW[i]
+		if p > cap {
+			continue
+		}
+		rt := s.RelTime[i]
+		score, err := g.score(p, rt)
+		if err != nil {
+			return hw.Config{}, err
+		}
+		if !haveBest || score < bestScore {
+			best, bestScore, haveBest = s.Configs[i], score, true
+		}
+	}
+	if !haveBest {
+		return hw.Config{}, fmt.Errorf("governor: no configuration satisfies the %g W cap", cap)
+	}
+	return best, nil
+}
 
+// score evaluates one ladder point under the active policy.
+func (g *Governor) score(p, rt float64) (float64, error) {
+	switch g.policy {
+	case MinEnergy:
+		return p * rt, nil
+	case MinEDP:
+		return p * rt * rt, nil
+	case MaxPerfUnderCap:
+		return rt, nil
+	default:
+		return 0, fmt.Errorf("governor: unknown policy %v", g.policy)
+	}
+}
+
+// decideUncached is the historical per-point loop, retained for profiles
+// whose reference power prediction is non-positive (the surface layer
+// refuses to build relative-energy columns for those, but the governor's
+// scores are cap-filtered absolutes and remain well-defined).
+func (g *Governor) decideUncached(u core.Utilization, dev *hw.Device, cap float64) (hw.Config, error) {
+	ref := g.model.Ref
 	best := ref
 	bestScore, haveBest := 0.0, false
 	for _, cfg := range dev.AllConfigs() {
@@ -106,16 +170,9 @@ func (g *Governor) Decide(u core.Utilization) (hw.Config, error) {
 			continue
 		}
 		rt := core.EstimateRelativeTime(u, ref, cfg)
-		var score float64
-		switch g.policy {
-		case MinEnergy:
-			score = p * rt
-		case MinEDP:
-			score = p * rt * rt
-		case MaxPerfUnderCap:
-			score = rt
-		default:
-			return hw.Config{}, fmt.Errorf("governor: unknown policy %v", g.policy)
+		score, err := g.score(p, rt)
+		if err != nil {
+			return hw.Config{}, err
 		}
 		if !haveBest || score < bestScore {
 			best, bestScore, haveBest = cfg, score, true
@@ -235,7 +292,7 @@ func (g *Governor) configFor(ctx context.Context, k *kernels.KernelSpec) (hw.Con
 		return hw.Config{}, false, err
 	}
 	g.utils[k.Name] = u
-	cfg, err := g.Decide(u)
+	cfg, err := g.DecideContext(ctx, u)
 	if err != nil {
 		return hw.Config{}, false, err
 	}

@@ -89,6 +89,18 @@ func (m *Matrix) Row(i int) []float64 {
 	return out
 }
 
+// RowView returns row i as a slice sharing the matrix's storage: writes
+// through the slice mutate the matrix. It exists for allocation-free
+// assembly loops (the estimator's incremental design-matrix fill) that
+// would otherwise pay a scratch-row copy per row; callers must not retain
+// the slice past the matrix's lifetime.
+func (m *Matrix) RowView(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("linalg: row %d out of bounds for %dx%d matrix", i, m.rows, m.cols))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
 // SetRow copies r into row i.
 func (m *Matrix) SetRow(i int, r []float64) {
 	if len(r) != m.cols {
@@ -132,53 +144,98 @@ func (m *Matrix) T() *Matrix {
 // goroutine writes a disjoint row of out with the same per-row arithmetic
 // as the serial loop — the result is bitwise-identical).
 func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
-	if m.cols != b.rows {
-		return nil, fmt.Errorf("linalg: dimension mismatch %dx%d · %dx%d", m.rows, m.cols, b.rows, b.cols)
-	}
 	out := NewMatrix(m.rows, b.cols)
-	mulRow := func(i int) {
-		for k := 0; k < m.cols; k++ {
-			a := m.data[i*m.cols+k]
-			if a == 0 {
-				continue
-			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			orow := out.data[i*out.cols : (i+1)*out.cols]
-			for j, bv := range brow {
-				orow[j] += a * bv
-			}
-		}
-	}
-	if m.rows*m.cols*b.cols < parallelMinWork {
-		for i := 0; i < m.rows; i++ {
-			mulRow(i)
-		}
-		return out, nil
-	}
-	if err := parallel.ForEach(m.rows, func(i int) error {
-		mulRow(i)
-		return nil
-	}); err != nil {
+	if err := m.MulInto(out, b); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
+// MulInto computes out = m·b into a caller-owned matrix, reusing its
+// storage so iterative callers allocate nothing per product. out is fully
+// overwritten; it must not alias m or b. The row kernel is shared with Mul,
+// so the two are bitwise-identical.
+func (m *Matrix) MulInto(out *Matrix, b *Matrix) error {
+	if m.cols != b.rows {
+		return fmt.Errorf("linalg: dimension mismatch %dx%d · %dx%d", m.rows, m.cols, b.rows, b.cols)
+	}
+	if out.rows != m.rows || out.cols != b.cols {
+		return fmt.Errorf("linalg: MulInto destination %dx%d, want %dx%d", out.rows, out.cols, m.rows, b.cols)
+	}
+	// The serial path inlines the row kernel rather than calling a shared
+	// closure: a func literal created before the branch escapes into the
+	// parallel.ForEach callback and costs one heap allocation per call even
+	// when the loop never fans out. The two bodies are textually identical,
+	// so the results remain bitwise-equal.
+	if m.rows*m.cols*b.cols < parallelMinWork {
+		for i := 0; i < m.rows; i++ {
+			mulRowInto(out, m, b, i)
+		}
+		return nil
+	}
+	return parallel.ForEach(m.rows, func(i int) error {
+		mulRowInto(out, m, b, i)
+		return nil
+	})
+}
+
+// gatherRow copies the selected columns of row i of m into row i of out.
+// Package function (not a closure) so the serial path of CopyColumns pays
+// only the destination allocation.
+func gatherRow(out, m *Matrix, cols []int, i int) {
+	src := m.data[i*m.cols : (i+1)*m.cols]
+	dst := out.data[i*out.cols : (i+1)*out.cols]
+	for k, j := range cols {
+		dst[k] = src[j]
+	}
+}
+
+// mulRowInto computes row i of out = m·b. It is a package function (not a
+// closure) so the serial path of MulInto allocates nothing.
+func mulRowInto(out, m, b *Matrix, i int) {
+	orow := out.data[i*out.cols : (i+1)*out.cols]
+	for j := range orow {
+		orow[j] = 0
+	}
+	for k := 0; k < m.cols; k++ {
+		a := m.data[i*m.cols+k]
+		if a == 0 {
+			continue
+		}
+		brow := b.data[k*b.cols : (k+1)*b.cols]
+		for j, bv := range brow {
+			orow[j] += a * bv
+		}
+	}
+}
+
 // MulVec returns the matrix-vector product m·x.
 func (m *Matrix) MulVec(x []float64) ([]float64, error) {
-	if m.cols != len(x) {
-		return nil, fmt.Errorf("linalg: MulVec dimension mismatch %dx%d · %d", m.rows, m.cols, len(x))
-	}
 	out := make([]float64, m.rows)
+	if err := m.MulVecInto(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulVecInto computes m·x into dst (len Rows), reusing the caller's buffer
+// so iterative solvers allocate nothing per iteration.
+func (m *Matrix) MulVecInto(dst, x []float64) error {
+	if m.cols != len(x) {
+		return fmt.Errorf("linalg: MulVec dimension mismatch %dx%d · %d", m.rows, m.cols, len(x))
+	}
+	if len(dst) != m.rows {
+		return fmt.Errorf("linalg: MulVec dst length %d, want %d", len(dst), m.rows)
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		var s float64
 		for j, v := range row {
 			s += v * x[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out, nil
+	return nil
 }
 
 // CopyColumns gathers the given columns (in order) into a new matrix —
@@ -192,23 +249,16 @@ func (m *Matrix) CopyColumns(cols []int) *Matrix {
 		}
 	}
 	out := NewMatrix(m.rows, len(cols))
-	copyRow := func(i int) {
-		src := m.data[i*m.cols : (i+1)*m.cols]
-		dst := out.data[i*out.cols : (i+1)*out.cols]
-		for k, j := range cols {
-			dst[k] = src[j]
-		}
-	}
 	if m.rows*len(cols) < parallelMinWork {
 		for i := 0; i < m.rows; i++ {
-			copyRow(i)
+			gatherRow(out, m, cols, i)
 		}
 		return out
 	}
 	// Gather errors are impossible (bounds pre-checked), so the error
 	// return is structurally nil.
 	_ = parallel.ForEach(m.rows, func(i int) error {
-		copyRow(i)
+		gatherRow(out, m, cols, i)
 		return nil
 	})
 	return out
@@ -236,21 +286,24 @@ func (m *Matrix) TMulVecInto(dst, y []float64) error {
 	if len(dst) != m.cols {
 		return fmt.Errorf("linalg: TMulVec dst length %d, want %d", len(dst), m.cols)
 	}
-	col := func(j int) {
+	// Serial body inlined (not a shared closure) so this path allocates
+	// nothing — it is the per-iteration gradient kernel of the NNLS loop.
+	if m.rows*m.cols < parallelMinWork {
+		for j := 0; j < m.cols; j++ {
+			var s float64
+			for i := 0; i < m.rows; i++ {
+				s += m.data[i*m.cols+j] * y[i]
+			}
+			dst[j] = s
+		}
+		return nil
+	}
+	return parallel.ForEach(m.cols, func(j int) error {
 		var s float64
 		for i := 0; i < m.rows; i++ {
 			s += m.data[i*m.cols+j] * y[i]
 		}
 		dst[j] = s
-	}
-	if m.rows*m.cols < parallelMinWork {
-		for j := 0; j < m.cols; j++ {
-			col(j)
-		}
-		return nil
-	}
-	return parallel.ForEach(m.cols, func(j int) error {
-		col(j)
 		return nil
 	})
 }

@@ -6,8 +6,9 @@ import (
 )
 
 // passiveSolver solves the least-squares problem restricted to the passive
-// columns. NNLS uses solvePassive; tests inject failing solvers to exercise
-// the transient-singularity (blocked-set) recovery path.
+// columns. The default path is the workspace-backed solvePassiveInto; tests
+// inject failing solvers through nnls() to exercise the transient-
+// singularity (blocked-set) recovery path.
 type passiveSolver func(a *Matrix, b []float64, passive []bool) ([]float64, error)
 
 // NNLS solves the non-negative least-squares problem
@@ -17,23 +18,119 @@ type passiveSolver func(a *Matrix, b []float64, passive []bool) ([]float64, erro
 // using the active-set algorithm of Lawson & Hanson (1974). The power-model
 // estimator relies on it because every hardware coefficient (β, ω) is a
 // physical capacitance/leakage quantity and must be non-negative.
+//
+// NNLS allocates a fresh workspace per call; iterative callers (the
+// Section III-D refit loop) should hold an NNLSWorkspace and use SolveInto,
+// which allocates nothing in steady state.
 func NNLS(a *Matrix, b []float64) ([]float64, error) {
-	return nnls(a, b, solvePassive)
+	return nnls(a, b, nil)
 }
 
-// nnls is the active-set iteration with an injectable passive solver.
+// nnls is the active-set iteration with an injectable passive solver
+// (nil selects the allocation-free workspace path).
 func nnls(a *Matrix, b []float64, solve passiveSolver) ([]float64, error) {
+	ws := NewNNLSWorkspace(a.Rows(), a.Cols())
+	ws.testSolve = solve
+	x := make([]float64, a.Cols())
+	if err := ws.SolveInto(x, a, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// NNLSWorkspace holds every buffer the Lawson–Hanson active-set iteration
+// needs — gradient, residual, passive/blocked sets, the passive submatrix
+// and its QR factorization — preallocated for a maximum system size.
+// SolveInto then runs with zero steady-state heap allocations, which is
+// what keeps the estimator's step-1/step-3 refits off the allocator
+// (DESIGN.md §10).
+//
+// A workspace is single-goroutine state: confine each instance to one
+// worker (see parallel.PerWorker) or guard it externally.
+type NNLSWorkspace struct {
+	maxRows, maxCols int
+
+	w, z, zs  []float64 // maxCols
+	passive   []bool
+	blocked   []bool
+	idx       []int
+	resid, ax []float64 // maxRows
+	subData   []float64 // maxRows*maxCols
+	sub       Matrix    // current passive-submatrix view over subData
+	qr        *QRWorkspace
+
+	// Bounded-solve scratch (BoundedSolveInto only). The bounded refinement
+	// nests a second NNLS solve inside the workspace, so it owns disjoint
+	// buffers: the nested SolveInto freely reuses z/zs/sub while the
+	// bounded-level submatrix and solution live here.
+	rhs          []float64 // maxRows
+	boundIdx     []int
+	boundX       []float64 // maxCols
+	boundSubData []float64 // maxRows*maxCols
+
+	// testSolve, when non-nil, replaces the passive solve (test injection).
+	testSolve passiveSolver
+}
+
+// NewNNLSWorkspace preallocates a workspace for systems with rows ≤ maxRows
+// and cols ≤ maxCols.
+func NewNNLSWorkspace(maxRows, maxCols int) *NNLSWorkspace {
+	if maxRows <= 0 || maxCols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid NNLS workspace capacity %dx%d", maxRows, maxCols))
+	}
+	qrRows := maxRows
+	if qrRows < maxCols {
+		qrRows = maxCols
+	}
+	return &NNLSWorkspace{
+		maxRows:      maxRows,
+		maxCols:      maxCols,
+		w:            make([]float64, maxCols),
+		z:            make([]float64, maxCols),
+		zs:           make([]float64, maxCols),
+		passive:      make([]bool, maxCols),
+		blocked:      make([]bool, maxCols),
+		idx:          make([]int, 0, maxCols),
+		resid:        make([]float64, maxRows),
+		ax:           make([]float64, maxRows),
+		subData:      make([]float64, maxRows*maxCols),
+		qr:           NewQRWorkspace(qrRows, maxCols),
+		rhs:          make([]float64, maxRows),
+		boundIdx:     make([]int, 0, maxCols),
+		boundX:       make([]float64, maxCols),
+		boundSubData: make([]float64, maxRows*maxCols),
+	}
+}
+
+// SolveInto solves min ‖A·x − b‖ s.t. x ≥ 0 into dst (len Cols). The
+// arithmetic — including the passive QR solves — is shared with the
+// allocating NNLS entry point, so the two are bitwise-identical; only the
+// storage strategy differs.
+func (ws *NNLSWorkspace) SolveInto(dst []float64, a *Matrix, b []float64) error {
 	m, n := a.Rows(), a.Cols()
 	if len(b) != m {
-		return nil, fmt.Errorf("linalg: NNLS rhs length %d, want %d", len(b), m)
+		return fmt.Errorf("linalg: NNLS rhs length %d, want %d", len(b), m)
+	}
+	if len(dst) != n {
+		return fmt.Errorf("linalg: NNLS dst length %d, want %d", len(dst), n)
+	}
+	if m > ws.maxRows || n > ws.maxCols {
+		return fmt.Errorf("linalg: %dx%d exceeds NNLS workspace capacity %dx%d", m, n, ws.maxRows, ws.maxCols)
 	}
 
-	x := make([]float64, n)
-	passive := make([]bool, n) // true: variable free, false: clamped at 0
-	blocked := make([]bool, n) // variables whose inclusion made the passive set singular
+	x := dst
+	for j := range x {
+		x[j] = 0
+	}
+	passive := ws.passive[:n] // true: variable free, false: clamped at 0
+	blocked := ws.blocked[:n] // variables whose inclusion made the passive set singular
+	for j := 0; j < n; j++ {
+		passive[j] = false
+		blocked[j] = false
+	}
 
-	w := make([]float64, n) // gradient of the active (clamped) variables
-	resid := make([]float64, m)
+	w := ws.w[:n] // gradient of the active (clamped) variables
+	resid := ws.resid[:m]
 	copy(resid, b)
 
 	const (
@@ -43,7 +140,7 @@ func nnls(a *Matrix, b []float64, solve passiveSolver) ([]float64, error) {
 	// Scale tolerance with the problem.
 	scale := a.MaxAbs() * Norm2(b)
 	if scale == 0 {
-		return x, nil // A or b is all-zero; x = 0 is optimal.
+		return nil // A or b is all-zero; x = 0 is optimal.
 	}
 	gradTol := tol * scale
 
@@ -56,7 +153,7 @@ func nnls(a *Matrix, b []float64, solve passiveSolver) ([]float64, error) {
 		}
 		// w = Aᵀ·resid (the KKT gradient of the clamped variables).
 		if err := a.TMulVecInto(w, resid); err != nil {
-			return nil, err
+			return err
 		}
 		// Pick the most promising clamped variable.
 		best, bestW := -1, gradTol
@@ -78,7 +175,7 @@ func nnls(a *Matrix, b []float64, solve passiveSolver) ([]float64, error) {
 		removed := false
 		blockedBest := false
 		for {
-			z, err := solve(a, b, passive)
+			z, err := ws.solvePassive(a, b, passive)
 			if err != nil {
 				// The passive submatrix became singular (e.g. collinear
 				// columns when every voltage is pinned to 1); clamp the
@@ -139,9 +236,9 @@ func nnls(a *Matrix, b []float64, solve passiveSolver) ([]float64, error) {
 		}
 
 		// Refresh the residual.
-		ax, err := a.MulVec(x)
-		if err != nil {
-			return nil, err
+		ax := ws.ax[:m]
+		if err := a.MulVecInto(ax, x); err != nil {
+			return err
 		}
 		for i := range resid {
 			resid[i] = b[i] - ax[i]
@@ -153,13 +250,74 @@ func nnls(a *Matrix, b []float64, solve passiveSolver) ([]float64, error) {
 			x[j] = 0
 		}
 	}
-	return x, nil
+	return nil
 }
 
-// solvePassive solves the least-squares problem restricted to the passive
-// columns, returning a full-length vector with zeros on the active set.
-// The sub-matrix assembly copies disjoint rows and is parallelized through
-// Matrix.Mul-style row fan-out for large systems via CopyColumns.
+// solvePassive dispatches the passive-set solve: the injected test solver
+// when present, the allocation-free workspace path otherwise. Either way
+// the solution lands in ws.z (zeros on the active set).
+func (ws *NNLSWorkspace) solvePassive(a *Matrix, b []float64, passive []bool) ([]float64, error) {
+	if ws.testSolve != nil {
+		z, err := ws.testSolve(a, b, passive)
+		if err != nil {
+			return nil, err
+		}
+		copy(ws.z[:a.Cols()], z)
+		return ws.z[:a.Cols()], nil
+	}
+	if err := ws.solvePassiveInto(a, b, passive); err != nil {
+		return nil, err
+	}
+	return ws.z[:a.Cols()], nil
+}
+
+// solvePassiveInto solves the least-squares problem restricted to the
+// passive columns into ws.z, gathering the submatrix into the workspace and
+// factorizing with the preallocated QR — no allocation. The gathered values
+// and the factorization kernel are identical to the historical
+// CopyColumns + LeastSquares path, so the solution is bitwise-equal.
+func (ws *NNLSWorkspace) solvePassiveInto(a *Matrix, b []float64, passive []bool) error {
+	m, n := a.Rows(), a.Cols()
+	idx := ws.idx[:0]
+	for j := 0; j < n; j++ {
+		if passive[j] {
+			idx = append(idx, j)
+		}
+	}
+	z := ws.z[:n]
+	for j := range z {
+		z[j] = 0
+	}
+	if len(idx) == 0 {
+		return nil
+	}
+	k := len(idx)
+	ws.sub = Matrix{rows: m, cols: k, data: ws.subData[:m*k]}
+	for i := 0; i < m; i++ {
+		src := a.data[i*a.cols : (i+1)*a.cols]
+		dst := ws.sub.data[i*k : (i+1)*k]
+		for p, j := range idx {
+			dst[p] = src[j]
+		}
+	}
+	if err := ws.qr.Factorize(&ws.sub); err != nil {
+		return err
+	}
+	zs := ws.zs[:k]
+	if err := ws.qr.SolveInto(zs, b); err != nil {
+		return err
+	}
+	for p, j := range idx {
+		z[j] = zs[p]
+	}
+	return nil
+}
+
+// solvePassive is the allocating reference implementation of the passive-
+// set solve: gather the passive columns, least-squares, scatter back. The
+// workspace path (solvePassiveInto) performs the same arithmetic on reused
+// storage; the equivalence tests compare the two bitwise, and the injection
+// tests fall back to this one.
 func solvePassive(a *Matrix, b []float64, passive []bool) ([]float64, error) {
 	n := a.Cols()
 	var idx []int
@@ -186,13 +344,24 @@ func solvePassive(a *Matrix, b []float64, passive []bool) ([]float64, error) {
 // BoundedNNLS solves min ‖A·x−b‖ s.t. 0 ≤ x ≤ upper (element-wise), by a
 // simple projected refinement on top of NNLS. upper entries may be +Inf.
 func BoundedNNLS(a *Matrix, b []float64, upper []float64) ([]float64, error) {
-	n := a.Cols()
-	if len(upper) != n {
-		return nil, fmt.Errorf("linalg: BoundedNNLS upper length %d, want %d", len(upper), n)
-	}
-	x, err := NNLS(a, b)
-	if err != nil {
+	ws := NewNNLSWorkspace(a.Rows(), a.Cols())
+	x := make([]float64, a.Cols())
+	if err := ws.BoundedSolveInto(x, a, b, upper); err != nil {
 		return nil, err
+	}
+	return x, nil
+}
+
+// BoundedSolveInto is BoundedNNLS on caller-owned scratch: zero steady-state
+// allocations when reusing the workspace across solves.
+func (ws *NNLSWorkspace) BoundedSolveInto(dst []float64, a *Matrix, b, upper []float64) error {
+	m, n := a.Rows(), a.Cols()
+	if len(upper) != n {
+		return fmt.Errorf("linalg: BoundedNNLS upper length %d, want %d", len(upper), n)
+	}
+	x := dst
+	if err := ws.SolveInto(x, a, b); err != nil {
+		return err
 	}
 	clipped := false
 	for j := range x {
@@ -202,16 +371,15 @@ func BoundedNNLS(a *Matrix, b []float64, upper []float64) ([]float64, error) {
 		}
 	}
 	if !clipped {
-		return x, nil
+		return nil
 	}
 	// Re-solve the unclipped variables with the clipped contribution moved to
 	// the right-hand side, once. This is not a full active-set method over
 	// box constraints but is exact when the clip set is correct, which holds
 	// for the well-conditioned systems produced by the estimator.
-	m := a.Rows()
-	rhs := make([]float64, m)
+	rhs := ws.rhs[:m]
 	copy(rhs, b)
-	var cols []int
+	cols := ws.boundIdx[:0]
 	for j := 0; j < n; j++ {
 		if x[j] >= upper[j] && !math.IsInf(upper[j], 1) {
 			for i := 0; i < m; i++ {
@@ -222,19 +390,27 @@ func BoundedNNLS(a *Matrix, b []float64, upper []float64) ([]float64, error) {
 		}
 	}
 	if len(cols) == 0 {
-		return x, nil
+		return nil
 	}
-	am := a.CopyColumns(cols)
-	xs, err := NNLS(am, rhs)
-	if err != nil {
-		return nil, err
+	k := len(cols)
+	am := Matrix{rows: m, cols: k, data: ws.boundSubData[:m*k]}
+	for i := 0; i < m; i++ {
+		src := a.data[i*a.cols : (i+1)*a.cols]
+		row := am.data[i*k : (i+1)*k]
+		for p, j := range cols {
+			row[p] = src[j]
+		}
 	}
-	for k, j := range cols {
-		v := xs[k]
+	xs := ws.boundX[:k]
+	if err := ws.SolveInto(xs, &am, rhs); err != nil {
+		return err
+	}
+	for p, j := range cols {
+		v := xs[p]
 		if v > upper[j] {
 			v = upper[j]
 		}
 		x[j] = v
 	}
-	return x, nil
+	return nil
 }

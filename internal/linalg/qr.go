@@ -18,14 +18,12 @@ type QR struct {
 	rdia []float64 // diagonal of R
 }
 
-// NewQR computes the QR factorization of a. It requires Rows ≥ Cols.
-func NewQR(a *Matrix) (*QR, error) {
-	m, n := a.Rows(), a.Cols()
-	if m < n {
-		return nil, fmt.Errorf("linalg: QR requires rows >= cols, got %dx%d", m, n)
-	}
-	qr := a.Clone()
-	rdia := make([]float64, n)
+// householder factorizes qr in place: packed Householder reflectors below
+// the diagonal, R on/above it, R's diagonal in rdia (len Cols). It is the
+// single shared kernel behind NewQR and QRWorkspace.Factorize, so the two
+// paths are arithmetically — and therefore bitwise — identical.
+func householder(qr *Matrix, rdia []float64) {
+	m, n := qr.rows, qr.cols
 	for k := 0; k < n; k++ {
 		// Householder vector for column k.
 		var nrm float64
@@ -54,14 +52,13 @@ func NewQR(a *Matrix) (*QR, error) {
 		}
 		rdia[k] = -nrm
 	}
-	return &QR{qr: qr, rdia: rdia}, nil
 }
 
-// FullRank reports whether R has no (near-)zero diagonal entries relative to
-// the largest one.
-func (f *QR) FullRank() bool {
+// fullRank reports whether rdia has no (near-)zero entries relative to the
+// largest one.
+func fullRank(rdia []float64) bool {
 	var mx float64
-	for _, d := range f.rdia {
+	for _, d := range rdia {
 		if a := math.Abs(d); a > mx {
 			mx = a
 		}
@@ -70,13 +67,59 @@ func (f *QR) FullRank() bool {
 		return false
 	}
 	const relTol = 1e-12
-	for _, d := range f.rdia {
+	for _, d := range rdia {
 		if math.Abs(d) <= relTol*mx {
 			return false
 		}
 	}
 	return true
 }
+
+// qrSolveInto solves the factored least-squares system into dst (len Cols),
+// using y (len Rows) as scratch for the Qᵀ·b application. It performs no
+// allocation; rank checking is the caller's responsibility.
+func qrSolveInto(qr *Matrix, rdia, dst, y, b []float64) {
+	m, n := qr.rows, qr.cols
+	copy(y, b)
+	// Apply Qᵀ to b.
+	for k := 0; k < n; k++ {
+		if qr.At(k, k) == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += qr.At(i, k) * y[i]
+		}
+		s = -s / qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * qr.At(i, k)
+		}
+	}
+	// Back substitution R·x = y.
+	for k := n - 1; k >= 0; k-- {
+		s := y[k]
+		for j := k + 1; j < n; j++ {
+			s -= qr.At(k, j) * dst[j]
+		}
+		dst[k] = s / rdia[k]
+	}
+}
+
+// NewQR computes the QR factorization of a. It requires Rows ≥ Cols.
+func NewQR(a *Matrix) (*QR, error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, fmt.Errorf("linalg: QR requires rows >= cols, got %dx%d", m, n)
+	}
+	qr := a.Clone()
+	rdia := make([]float64, n)
+	householder(qr, rdia)
+	return &QR{qr: qr, rdia: rdia}, nil
+}
+
+// FullRank reports whether R has no (near-)zero diagonal entries relative to
+// the largest one.
+func (f *QR) FullRank() bool { return fullRank(f.rdia) }
 
 // Solve returns x minimizing ‖A·x − b‖₂. It returns ErrRankDeficient when A
 // is numerically rank-deficient.
@@ -89,31 +132,86 @@ func (f *QR) Solve(b []float64) ([]float64, error) {
 		return nil, ErrRankDeficient
 	}
 	y := make([]float64, m)
-	copy(y, b)
-	// Apply Qᵀ to b.
-	for k := 0; k < n; k++ {
-		if f.qr.At(k, k) == 0 {
-			continue
-		}
-		var s float64
-		for i := k; i < m; i++ {
-			s += f.qr.At(i, k) * y[i]
-		}
-		s = -s / f.qr.At(k, k)
-		for i := k; i < m; i++ {
-			y[i] += s * f.qr.At(i, k)
-		}
-	}
-	// Back substitution R·x = y.
 	x := make([]float64, n)
-	for k := n - 1; k >= 0; k-- {
-		s := y[k]
-		for j := k + 1; j < n; j++ {
-			s -= f.qr.At(k, j) * x[j]
-		}
-		x[k] = s / f.rdia[k]
-	}
+	qrSolveInto(f.qr, f.rdia, x, y, b)
 	return x, nil
+}
+
+// QRWorkspace is a preallocated Householder QR factorization buffer: one
+// allocation up front (sized for the largest system the caller will solve),
+// zero allocations per Factorize/SolveInto afterwards. It is the inner
+// kernel of the estimator's iterative refits (DESIGN.md §10), where the
+// same-shaped system is solved hundreds of times per fit.
+//
+// A workspace is single-goroutine state: confine each instance to one
+// worker (see parallel.PerWorker) or guard it externally.
+type QRWorkspace struct {
+	maxRows, maxCols int
+	qrData           []float64
+	rdia             []float64
+	y                []float64
+
+	qr       Matrix // current factorization view over qrData
+	factored bool
+}
+
+// NewQRWorkspace preallocates a workspace able to factorize any matrix with
+// rows ≤ maxRows and cols ≤ maxCols (rows ≥ cols still required per solve).
+func NewQRWorkspace(maxRows, maxCols int) *QRWorkspace {
+	if maxRows <= 0 || maxCols <= 0 || maxRows < maxCols {
+		panic(fmt.Sprintf("linalg: invalid QR workspace capacity %dx%d", maxRows, maxCols))
+	}
+	return &QRWorkspace{
+		maxRows: maxRows,
+		maxCols: maxCols,
+		qrData:  make([]float64, maxRows*maxCols),
+		rdia:    make([]float64, maxCols),
+		y:       make([]float64, maxRows),
+	}
+}
+
+// Factorize copies a into the workspace and factorizes it in place. The
+// arithmetic is byte-for-byte the NewQR kernel; only the storage is reused.
+func (w *QRWorkspace) Factorize(a *Matrix) error {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return fmt.Errorf("linalg: QR requires rows >= cols, got %dx%d", m, n)
+	}
+	if m > w.maxRows || n > w.maxCols {
+		return fmt.Errorf("linalg: %dx%d exceeds QR workspace capacity %dx%d", m, n, w.maxRows, w.maxCols)
+	}
+	w.qr = Matrix{rows: m, cols: n, data: w.qrData[:m*n]}
+	copy(w.qr.data, a.data)
+	householder(&w.qr, w.rdia[:n])
+	w.factored = true
+	return nil
+}
+
+// FullRank reports whether the last factorized matrix has full column rank
+// at working precision.
+func (w *QRWorkspace) FullRank() bool {
+	return w.factored && fullRank(w.rdia[:w.qr.cols])
+}
+
+// SolveInto writes x minimizing ‖A·x − b‖₂ into dst (len Cols of the last
+// Factorize), allocating nothing. It returns ErrRankDeficient when the
+// factorized matrix is numerically rank-deficient.
+func (w *QRWorkspace) SolveInto(dst, b []float64) error {
+	if !w.factored {
+		return fmt.Errorf("linalg: QR workspace solve before Factorize")
+	}
+	m, n := w.qr.rows, w.qr.cols
+	if len(b) != m {
+		return fmt.Errorf("linalg: QR solve rhs length %d, want %d", len(b), m)
+	}
+	if len(dst) != n {
+		return fmt.Errorf("linalg: QR solve dst length %d, want %d", len(dst), n)
+	}
+	if !fullRank(w.rdia[:n]) {
+		return ErrRankDeficient
+	}
+	qrSolveInto(&w.qr, w.rdia[:n], dst, w.y[:m], b)
+	return nil
 }
 
 // LeastSquares solves min_x ‖A·x − b‖₂ via QR.

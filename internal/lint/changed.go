@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Changed-file filtering: `gpowerlint -changed <git-ref>` restricts the
+// report to diagnostics in files touched since the ref, so an incremental
+// run on a large branch surfaces only the findings the branch could have
+// introduced. The full-module type check still runs — analyzers need whole-
+// program type information — only the *reporting* is filtered.
+//
+// The git interaction is isolated in ChangedSince; ParseChangedList and
+// FilterChanged are pure and unit-tested over synthetic diffs.
+
+// ParseChangedList reads newline-separated file paths (the output shape of
+// `git diff --name-only` and `git ls-files --others`) and returns the set
+// of absolute paths, resolving relative names against root. Non-Go files
+// are dropped — analyzers only ever position diagnostics in .go files —
+// and blank lines are ignored.
+func ParseChangedList(r io.Reader, root string) (map[string]bool, error) {
+	set := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		name := strings.TrimSpace(sc.Text())
+		if name == "" || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(root, name)
+		}
+		set[filepath.Clean(name)] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// FilterChanged keeps only diagnostics positioned in the changed set.
+// Filenames are compared after Clean, so "./a/b.go" and "a/b.go" agree;
+// relative diagnostic positions are resolved against root first.
+func FilterChanged(diags []Diagnostic, changed map[string]bool, root string) []Diagnostic {
+	out := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(root, name)
+		}
+		if changed[filepath.Clean(name)] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ChangedSince returns the set of Go files (absolute paths) that differ
+// from ref in the working tree, including untracked files — the union a
+// reviewer sees as "this branch's changes". It shells out to git, which is
+// how the repository itself is versioned; no library dependency is taken.
+func ChangedSince(root, ref string) (map[string]bool, error) {
+	diff, err := gitOutput(root, "diff", "--name-only", ref, "--")
+	if err != nil {
+		return nil, fmt.Errorf("lint: git diff --name-only %s: %w", ref, err)
+	}
+	set, err := ParseChangedList(strings.NewReader(diff), root)
+	if err != nil {
+		return nil, err
+	}
+	untracked, err := gitOutput(root, "ls-files", "--others", "--exclude-standard")
+	if err != nil {
+		return nil, fmt.Errorf("lint: git ls-files --others: %w", err)
+	}
+	more, err := ParseChangedList(strings.NewReader(untracked), root)
+	if err != nil {
+		return nil, err
+	}
+	for k := range more { //lint:ignore maporder set union: insertion into a map is order-independent
+		set[k] = true
+	}
+	return set, nil
+}
+
+// gitOutput runs one git subcommand rooted at the module directory.
+func gitOutput(root string, args ...string) (string, error) {
+	cmd := exec.Command("git", append([]string{"-C", root}, args...)...)
+	out, err := cmd.Output()
+	if err != nil {
+		var ee *exec.ExitError
+		if errors.As(err, &ee) && len(ee.Stderr) > 0 {
+			return "", fmt.Errorf("%w: %s", err, strings.TrimSpace(string(ee.Stderr)))
+		}
+		return "", err
+	}
+	return string(out), nil
+}

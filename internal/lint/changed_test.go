@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// diagAt builds a diagnostic positioned in the named file.
+func diagAt(file string, line int, analyzer string) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Message:  "finding",
+	}
+}
+
+// TestParseChangedListSyntheticDiff exercises the -changed filter over a
+// synthetic `git diff --name-only` output: non-Go files are dropped, blank
+// lines are skipped, relative names resolve against the module root, and
+// path cleaning makes "./x.go" and "x.go" agree.
+func TestParseChangedListSyntheticDiff(t *testing.T) {
+	const root = "/mod"
+	diff := strings.Join([]string{
+		"internal/core/surface.go",
+		"",
+		"Makefile",
+		"docs/DESIGN.md",
+		"./dvfs.go",
+		"cmd/gpowerlint/main.go",
+		"/mod/internal/lint/changed.go",
+	}, "\n")
+	set, err := ParseChangedList(strings.NewReader(diff), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"/mod/internal/core/surface.go",
+		"/mod/dvfs.go",
+		"/mod/cmd/gpowerlint/main.go",
+		"/mod/internal/lint/changed.go",
+	}
+	if len(set) != len(want) {
+		t.Fatalf("parsed %d files, want %d: %v", len(set), len(want), set)
+	}
+	for _, w := range want {
+		if !set[w] {
+			t.Errorf("changed set is missing %s", w)
+		}
+	}
+}
+
+// TestFilterChangedKeepsOnlyTouchedFiles pins the report filter: only
+// diagnostics in changed files survive, order is preserved, and relative
+// diagnostic positions resolve against the root before matching.
+func TestFilterChangedKeepsOnlyTouchedFiles(t *testing.T) {
+	const root = "/mod"
+	set, err := ParseChangedList(strings.NewReader("a/x.go\nb/y.go\n"), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := []Diagnostic{
+		diagAt("/mod/a/x.go", 3, "floateq"),
+		diagAt("/mod/c/z.go", 9, "maporder"), // untouched: filtered out
+		diagAt("b/y.go", 5, "ctxflow"),       // relative position: resolves to /mod/b/y.go
+		diagAt("/mod/a/x.go", 12, "senterr"),
+	}
+	got := FilterChanged(diags, set, root)
+	if len(got) != 3 {
+		t.Fatalf("filtered to %d diagnostics, want 3: %v", len(got), got)
+	}
+	wantLines := []int{3, 5, 12}
+	for i, d := range got {
+		if d.Pos.Line != wantLines[i] {
+			t.Errorf("diag %d at line %d, want %d (order not preserved?)", i, d.Pos.Line, wantLines[i])
+		}
+	}
+	for _, d := range got {
+		if strings.HasSuffix(d.Pos.Filename, "z.go") {
+			t.Errorf("diagnostic in untouched file survived: %v", d)
+		}
+	}
+}
+
+// TestFilterChangedEmptySet checks the degenerate branch: nothing changed
+// means nothing reported, never a nil-map panic.
+func TestFilterChangedEmptySet(t *testing.T) {
+	diags := []Diagnostic{diagAt("/mod/a.go", 1, "floateq")}
+	if got := FilterChanged(diags, map[string]bool{}, "/mod"); len(got) != 0 {
+		t.Fatalf("empty changed set kept %d diagnostics", len(got))
+	}
+	if got := FilterChanged(diags, nil, "/mod"); len(got) != 0 {
+		t.Fatalf("nil changed set kept %d diagnostics", len(got))
+	}
+}

@@ -222,6 +222,40 @@ func ForEachWorker(n int, fn func(worker, i int) error) error {
 	return (*Pool)(nil).ForEachWorker(n, fn)
 }
 
+// PerWorker is a lazily-built, pool-sized set of per-worker values that
+// survives across loops, so iterative engines (the Section III-D refit
+// loop) reuse per-worker scratch buffers instead of reallocating them every
+// ForEachWorker call:
+//
+//	rows := parallel.NewPerWorker(func() []float64 { return make([]float64, n) })
+//	for iter := ... {
+//	    rows.Ensure(parallel.Workers())
+//	    parallel.ForEachWorker(n, func(w, i int) error { use rows.Get(w) ... })
+//	}
+//
+// Ensure must be called before the loop (growing during a loop would race);
+// Get is then a plain slice index, safe from any worker.
+type PerWorker[T any] struct {
+	make func() T
+	vals []T
+}
+
+// NewPerWorker returns a per-worker value set built on demand by factory.
+func NewPerWorker[T any](factory func() T) *PerWorker[T] {
+	return &PerWorker[T]{make: factory}
+}
+
+// Ensure grows the set to at least n values. It is not safe to call
+// concurrently with Get from workers; call it before fanning out.
+func (p *PerWorker[T]) Ensure(n int) {
+	for len(p.vals) < n {
+		p.vals = append(p.vals, p.make())
+	}
+}
+
+// Get returns worker w's value. Ensure(w+1) must have happened first.
+func (p *PerWorker[T]) Get(w int) T { return p.vals[w] }
+
 // SumOrdered folds per-item partial sums in index order: workers compute
 // partial[i] = fn(i) concurrently (disjoint writes), then the fold runs
 // serially from 0 to n-1. The floating-point association therefore matches

@@ -38,6 +38,10 @@ type Classifier struct {
 	curves [][]float64
 	// centroidUtil[c] is class c's mean utilization feature vector.
 	centroidUtil [][]float64
+	// configIdx indexes Configs so PredictTimeRatio is one map lookup per
+	// call instead of a linear ladder scan (the classifier sits on the
+	// same high-query-rate serving path as the prediction surfaces).
+	configIdx map[hw.Config]int
 }
 
 // K returns the number of scaling classes.
@@ -125,7 +129,7 @@ func Train(ctx context.Context, p *profiler.Profiler, suite []microbench.Benchma
 	}
 	assign, _ := stats.KMeans(curves, k, seed)
 
-	c := &Classifier{Configs: configs, Ref: ref, RefIndex: refIdx}
+	c := &Classifier{Configs: configs, Ref: ref, RefIndex: refIdx, configIdx: indexConfigs(configs)}
 	for cls := 0; cls < k; cls++ {
 		var members []int
 		for i, a := range assign {
@@ -169,13 +173,35 @@ func runAt(p *profiler.Profiler, k *kernels.KernelSpec, cfg hw.Config) (float64,
 	return seconds, err
 }
 
+// indexConfigs builds the ladder-position index used by PredictTimeRatio.
+func indexConfigs(configs []hw.Config) map[hw.Config]int {
+	idx := make(map[hw.Config]int, len(configs))
+	for i, cfg := range configs {
+		idx[cfg] = i
+	}
+	return idx
+}
+
+// sqDistToCentroid is stats.SqDist(utilFeatures(u), centroidUtil[cls])
+// computed without materializing the feature slice: the accumulation walks
+// hw.Components in the same canonical order, so the distance — and hence
+// every classification — is bitwise-identical to the allocating form.
+func (c *Classifier) sqDistToCentroid(u core.Utilization, cls int) float64 {
+	cu := c.centroidUtil[cls]
+	var s float64
+	for i, comp := range hw.Components {
+		d := u[comp] - cu[i]
+		s += d * d
+	}
+	return s
+}
+
 // Classify returns the index of the scaling class nearest to an
 // application's utilization vector.
 func (c *Classifier) Classify(u core.Utilization) int {
-	feat := utilFeatures(u)
-	best, bestD := 0, stats.SqDist(feat, c.centroidUtil[0])
+	best, bestD := 0, c.sqDistToCentroid(u, 0)
 	for cls := 1; cls < len(c.centroidUtil); cls++ {
-		if d := stats.SqDist(feat, c.centroidUtil[cls]); d < bestD {
+		if d := c.sqDistToCentroid(u, cls); d < bestD {
 			best, bestD = cls, d
 		}
 	}
@@ -183,14 +209,14 @@ func (c *Classifier) Classify(u core.Utilization) int {
 }
 
 // PredictTimeRatio predicts T(cfg)/T(ref) for an application with the given
-// reference-configuration utilizations.
+// reference-configuration utilizations. One index lookup plus the
+// nearest-centroid scan; no allocation.
 func (c *Classifier) PredictTimeRatio(u core.Utilization, cfg hw.Config) (float64, error) {
-	for fi, cand := range c.Configs {
-		if cand == cfg {
-			return c.curves[c.Classify(u)][fi], nil
-		}
+	fi, ok := c.configIdx[cfg]
+	if !ok {
+		return 0, fmt.Errorf("scaling: configuration %v unknown to classifier", cfg)
 	}
-	return 0, fmt.Errorf("scaling: configuration %v unknown to classifier", cfg)
+	return c.curves[c.Classify(u)][fi], nil
 }
 
 // AnalyticTimeRatio is the roofline companion, exposed alongside the
