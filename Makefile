@@ -13,8 +13,16 @@
 #                  (internal/lint; see DESIGN.md §9) over ./... and fails on
 #                  any diagnostic. Mechanically enforces determinism
 #                  (maporder, floateq), cancellation (ctxflow), error
-#                  taxonomy (senterr), and pooled-spawn (gonosync)
-#                  invariants; must stay green on every PR.
+#                  taxonomy (senterr), pooled-spawn (gonosync),
+#                  disjoint-write (disjointwrite), unit-provenance
+#                  (unitflow) and live-suppression (unusedignore)
+#                  invariants; must stay green on every PR. Incremental:
+#                  per-package results are cached under
+#                  $$(os.UserCacheDir())/gpowerlint (DESIGN.md §9.9), and
+#                  the target prints its wall time so cache regressions are
+#                  visible in CI logs.
+#   make lint-bench — cold-vs-warm cache timing into a fresh facts dir;
+#                  the numbers recorded in EXPERIMENTS.md come from here.
 #   make bench   — regenerate the paper's tables/figures (EXPERIMENTS.md numbers)
 #   make speedup — serial vs parallel Estimate comparison per device catalog
 #   make bench-json — run the perf-relevant Go benchmarks plus the speedup
@@ -30,7 +38,7 @@ BENCHTIME ?= 1x
 # paths this repo optimizes, not the full paper-figure regeneration suite.
 BENCH_JSON_PATTERN = 'Benchmark(Predict|NNLS|Isotonic|DVFSSearch|EvaluateOperatingPoints|FindBestConfigWarm|Estimate(Serial|Parallel))$$'
 
-.PHONY: all build test verify vet race lint cover bench speedup bench-json clean
+.PHONY: all build test verify vet race lint lint-bench cover bench speedup bench-json clean
 
 all: verify
 
@@ -49,7 +57,25 @@ race: vet
 	$(GO) test -race ./...
 
 lint:
-	$(GO) run ./cmd/gpowerlint ./...
+	@start=$$(date +%s%N); \
+	$(GO) run ./cmd/gpowerlint -cache-stats ./...; status=$$?; \
+	end=$$(date +%s%N); \
+	echo "lint: $$(( (end - start) / 1000000 )) ms wall"; \
+	exit $$status
+
+# lint-bench times a cold run (fresh facts dir: full parse + type check of
+# the module) against a warm run over the identical tree, using a prebuilt
+# binary so `go run` compilation noise stays out of both measurements.
+lint-bench:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/gpowerlint" ./cmd/gpowerlint; \
+	start=$$(date +%s%N); \
+	"$$tmp/gpowerlint" -cache-stats -facts-dir "$$tmp/facts" ./... || exit $$?; \
+	end=$$(date +%s%N); cold=$$(( (end - start) / 1000000 )); \
+	start=$$(date +%s%N); \
+	"$$tmp/gpowerlint" -cache-stats -facts-dir "$$tmp/facts" ./... || exit $$?; \
+	end=$$(date +%s%N); warm=$$(( (end - start) / 1000000 )); \
+	echo "lint-bench: cold $$cold ms, warm $$warm ms"
 
 cover:
 	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...

@@ -3,11 +3,14 @@
 // library only, no toolchain or x/tools dependency — and runs every
 // registered analyzer:
 //
-//	maporder   range-over-map bodies with order-sensitive effects
-//	floateq    exact floating-point == / !=
-//	ctxflow    dropped-context loops, mid-stack context.Background()/TODO()
-//	senterr    sentinel-error == / !=, fmt.Errorf wrapping without %w
-//	gonosync   naked go statements outside internal/parallel
+//	maporder      range-over-map bodies with order-sensitive effects
+//	floateq       exact floating-point == / !=
+//	ctxflow       dropped-context loops, mid-stack context.Background()/TODO()
+//	senterr       sentinel-error == / !=, fmt.Errorf wrapping without %w
+//	gonosync      naked go statements outside internal/parallel
+//	disjointwrite non-index-derived writes to captured state in parallel closures
+//	unitflow      MHz/volts/watts provenance conflicts in assignments and math
+//	unusedignore  //lint:ignore directives that suppressed zero diagnostics
 //
 // Usage:
 //
@@ -17,9 +20,14 @@
 //	-analyzers list   run only the named analyzers (comma-separated)
 //	-tests=false      skip _test.go files
 //	-changed ref      report only diagnostics in files touched since the
-//	                  git ref (diff + untracked); the whole module is still
-//	                  type-checked, only the report is filtered
+//	                  git ref (diff + untracked, rename-aware); the whole
+//	                  module is still analyzed, only the report is filtered
 //	-list             print the analyzers and their invariants, then exit
+//	-facts-dir dir    where per-package results are cached (default:
+//	                  os.UserCacheDir()/gpowerlint); unchanged packages are
+//	                  replayed from disk without re-type-checking
+//	-no-cache         ignore and do not write the facts cache
+//	-cache-stats      print hit/miss counts to stderr after the run
 //
 // Exit status: 0 clean, 1 diagnostics (or bad //lint:ignore directives)
 // found, 2 usage, load or type-check failure. Findings are suppressed
@@ -36,6 +44,7 @@ import (
 
 	"gpupower/internal/lint"
 	"gpupower/internal/lint/analyzers"
+	"gpupower/internal/lint/cache"
 )
 
 func main() {
@@ -44,6 +53,9 @@ func main() {
 	tests := flag.Bool("tests", true, "also analyze _test.go files")
 	changed := flag.String("changed", "", "report only diagnostics in files changed since this git ref")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	factsDir := flag.String("facts-dir", "", "per-package result cache directory (default: os.UserCacheDir()/gpowerlint)")
+	noCache := flag.Bool("no-cache", false, "ignore and do not write the facts cache")
+	cacheStats := flag.Bool("cache-stats", false, "print cache hit/miss counts to stderr")
 	flag.Parse()
 
 	as := analyzers.All()
@@ -76,17 +88,43 @@ func main() {
 	}
 	loader := lint.NewLoader(root, modPath)
 	loader.Tests = *tests
-	pkgs, err := loader.LoadAll()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "gpowerlint: %v\n", err)
-		os.Exit(2)
-	}
+	// The full registry stays the directive vocabulary even when -analyzers
+	// selects a subset: an ignore for an analyzer that merely did not run
+	// this time is dormant, not unknown.
+	runner := &lint.Runner{Analyzers: as, Known: analyzers.KnownNames()}
 
-	runner := &lint.Runner{Analyzers: as}
-	res, err := runner.Run(pkgs)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "gpowerlint: %v\n", err)
-		os.Exit(2)
+	var res *lint.Result
+	if *noCache {
+		pkgs, err := loader.LoadAll()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpowerlint: %v\n", err)
+			os.Exit(2)
+		}
+		res, err = runner.Run(pkgs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpowerlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		dir := *factsDir
+		if dir == "" {
+			base, err := os.UserCacheDir()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gpowerlint: no user cache dir (set -facts-dir or -no-cache): %v\n", err)
+				os.Exit(2)
+			}
+			dir = filepath.Join(base, "gpowerlint")
+		}
+		var stats *cache.Stats
+		var err error
+		res, stats, err = cache.Run(loader, runner, dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpowerlint: %v\n", err)
+			os.Exit(2)
+		}
+		if *cacheStats {
+			fmt.Fprintf(os.Stderr, "gpowerlint: cache %s\n", stats)
+		}
 	}
 	if *changed != "" {
 		set, err := lint.ChangedSince(root, *changed)

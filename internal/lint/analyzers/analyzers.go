@@ -19,7 +19,20 @@ func All() []*lint.Analyzer {
 		CtxFlow,
 		SentErr,
 		GoNoSync,
+		DisjointWrite,
+		UnitFlow,
+		UnusedIgnore,
 	}
+}
+
+// KnownNames returns the full registry name set — the directive vocabulary
+// the Runner should accept even when only a subset of analyzers runs.
+func KnownNames() map[string]bool {
+	out := make(map[string]bool)
+	for _, a := range All() {
+		out[a.Name] = true
+	}
+	return out
 }
 
 // ByName resolves a comma-separated analyzer list ("maporder,floateq").

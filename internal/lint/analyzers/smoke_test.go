@@ -1,0 +1,108 @@
+package analyzers_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpupower/internal/lint"
+	"gpupower/internal/lint/analyzers"
+	"gpupower/internal/lint/linttest"
+)
+
+// runModule loads and analyzes a module tree with the full registry.
+func runModule(t *testing.T, root, modPath string) *lint.Result {
+	t.Helper()
+	loader := lint.NewLoader(root, modPath)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	runner := &lint.Runner{Analyzers: analyzers.All(), Known: analyzers.KnownNames()}
+	res, err := runner.Run(pkgs)
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+	return res
+}
+
+// seededMutation is a file of deliberately planted violations written into a
+// throwaway copy of the real repository: the classic bugs the new dataflow
+// analyzers exist to catch, expressed against the real internal/parallel,
+// internal/hw and internal/silicon APIs rather than fixture stand-ins.
+const seededMutation = `// Package zzseeded holds deliberately planted invariant violations for the
+// analyzer smoke test. It never exists in the real tree.
+package zzseeded
+
+import (
+	"gpupower/internal/hw"
+	"gpupower/internal/parallel"
+	"gpupower/internal/silicon"
+)
+
+// sharedAccumulate reduces into a captured scalar from inside a ForEach
+// closure — the race the disjoint-write convention forbids.
+func sharedAccumulate(xs []float64) float64 {
+	var sum float64
+	_ = parallel.ForEach(len(xs), func(i int) error {
+		sum += xs[i]
+		return nil
+	})
+	return sum
+}
+
+// swappedAnchor feeds a core frequency into a voltage anchor — the silent
+// wrong-by-orders-of-magnitude unit swap unitflow exists to catch.
+func swappedAnchor(cfg hw.Config) silicon.VoltagePoint {
+	return silicon.VoltagePoint{FMHz: 1000, Volts: cfg.CoreMHz}
+}
+`
+
+// TestSeededMutationsCaught is the end-to-end smoke check promised by the
+// analyzer suite: the real repository is clean under the full registry, and
+// planting a non-indexed parallel write plus an MHz-into-volts flow into a
+// copy of it produces exactly the two expected diagnostics.
+func TestSeededMutationsCaught(t *testing.T) {
+	src, modPath := linttest.ModuleRoot(t)
+	copyDir := t.TempDir()
+	linttest.CopyModuleGoFiles(t, src, copyDir)
+
+	clean := runModule(t, copyDir, modPath)
+	if len(clean.Diagnostics) != 0 || len(clean.DirectiveErrors) != 0 {
+		t.Fatalf("repository copy is not clean before mutation:\n%s\ndirective errors: %v",
+			linttest.Fprint(clean.Diagnostics), clean.DirectiveErrors)
+	}
+
+	mutDir := filepath.Join(copyDir, "internal", "zzseeded")
+	if err := os.MkdirAll(mutDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(mutDir, "seeded.go"), []byte(seededMutation), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	mutated := runModule(t, copyDir, modPath)
+	wants := map[string]string{
+		"disjointwrite": `write to captured variable "sum" inside a parallel.ForEach closure`,
+		"unitflow":      `MHz-typed value assigned to volts-typed field "Volts"`,
+	}
+	for analyzer, fragment := range wants {
+		found := false
+		for _, d := range mutated.Diagnostics {
+			if d.Analyzer == analyzer && strings.Contains(d.Message, fragment) &&
+				strings.HasSuffix(d.Pos.Filename, filepath.Join("zzseeded", "seeded.go")) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("seeded %s mutation not caught; report:\n%s", analyzer, linttest.Fprint(mutated.Diagnostics))
+		}
+	}
+	for _, d := range mutated.Diagnostics {
+		if !strings.Contains(d.Pos.Filename, "zzseeded") {
+			t.Errorf("mutation leaked a diagnostic outside the seeded package: %s", d)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Fixture for the disjointwrite analyzer: writes to captured state inside
+// worker-pool closures must be confined to loop-parameter-derived slots.
+package disjointwrite
+
+import "disjointwrite/internal/parallel"
+
+// Matrix mimics the linalg row-view surface the real tree aliases through.
+type Matrix struct{ data []float64 }
+
+// RowView returns a view of row i.
+func (m *Matrix) RowView(i int) []float64 { return m.data[i*4 : (i+1)*4] }
+
+// --- true positives ---
+
+// SharedScalar accumulates into a captured scalar from every iteration.
+func SharedScalar(xs []float64) float64 {
+	var sum float64
+	_ = parallel.ForEach(len(xs), func(i int) error {
+		sum += xs[i] // want "write to captured variable \"sum\" inside a parallel.ForEach closure"
+		return nil
+	})
+	return sum
+}
+
+// FixedSlot funnels every iteration into element 0.
+func FixedSlot(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	_ = parallel.ForEach(len(xs), func(i int) error {
+		out[0] = xs[i] // want "write to shared state through \"out\" inside a parallel.ForEach closure is not indexed by a loop parameter"
+		return nil
+	})
+	return out
+}
+
+// ForeignIndex indexes by a captured variable unrelated to the loop.
+func ForeignIndex(xs []float64, j int) []float64 {
+	out := make([]float64, len(xs))
+	_ = parallel.ForEach(len(xs), func(i int) error {
+		out[j] = xs[i] // want "write to shared state through \"out\" inside a parallel.ForEach closure is not indexed by a loop parameter"
+		return nil
+	})
+	return out
+}
+
+// MapWrite writes a captured map: concurrent map writes race on any key.
+func MapWrite(names []string) map[string]int {
+	out := make(map[string]int)
+	_ = parallel.ForEach(len(names), func(i int) error {
+		out[names[i]] = i // want "write into captured map through \"out\" inside a parallel.ForEach closure"
+		return nil
+	})
+	return out
+}
+
+// AppendShared grows a captured slice: append moves the header and races.
+func AppendShared(xs []float64) []float64 {
+	var kept []float64
+	_ = parallel.ForEach(len(xs), func(i int) error {
+		kept = append(kept, xs[i]) // want "write to captured variable \"kept\" inside a parallel.ForEach closure"
+		return nil
+	})
+	return kept
+}
+
+// SharedAliasWrite writes through an alias of captured memory selected
+// without any loop-derived index.
+func SharedAliasWrite(m *Matrix, xs []float64) {
+	_ = parallel.ForEach(len(xs), func(i int) error {
+		row := m.RowView(0)
+		row[1] = xs[i] // want "write to shared state through \"row\" inside a parallel.ForEach closure is not indexed by a loop parameter"
+		return nil
+	})
+}
+
+// SharedCounter increments a captured counter via ++.
+func SharedCounter(n int) int {
+	var count int
+	_ = parallel.ForEach(n, func(i int) error {
+		count++ // want "write to captured variable \"count\" inside a parallel.ForEach closure"
+		return nil
+	})
+	return count
+}
+
+// StructField writes one captured struct field from every iteration.
+func StructField(xs []float64) float64 {
+	var acc struct{ last float64 }
+	_ = parallel.ForEach(len(xs), func(i int) error {
+		acc.last = xs[i] // want "write to shared state through \"acc\" inside a parallel.ForEach closure is not indexed by a loop parameter"
+		return nil
+	})
+	return acc.last
+}
+
+// --- negatives: the sanctioned disjoint-write shapes ---
+
+// SlotPerItem writes slot i only.
+func SlotPerItem(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	_ = parallel.ForEach(len(xs), func(i int) error {
+		out[i] = 2 * xs[i]
+		return nil
+	})
+	return out
+}
+
+// DerivedIndex writes through a local derived from i (r := i*stride; r++).
+func DerivedIndex(xs []float64, stride int) []float64 {
+	out := make([]float64, len(xs)*stride)
+	_ = parallel.ForEach(len(xs), func(i int) error {
+		r := i * stride
+		for k := 0; k < stride; k++ {
+			out[r] = xs[i]
+			r++
+		}
+		return nil
+	})
+	return out
+}
+
+// WorkerScratch indexes per-worker scratch by the worker id.
+func WorkerScratch(xs []float64, workers int) []float64 {
+	scratch := make([]float64, workers)
+	_ = parallel.ForEachWorker(len(xs), func(w, i int) error {
+		scratch[w] += xs[i]
+		return nil
+	})
+	return scratch
+}
+
+// RowAlias writes through an i-derived row view at arbitrary columns:
+// the alias itself selects a disjoint region.
+func RowAlias(m *Matrix, n int) {
+	_ = parallel.ForEach(n, func(i int) error {
+		row := m.RowView(i)
+		for j := range row {
+			row[j] = float64(j)
+		}
+		return nil
+	})
+}
+
+// LocalState keeps all mutation on closure-owned memory.
+func LocalState(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	_ = parallel.ForEach(len(xs), func(i int) error {
+		tmp := make([]float64, 4)
+		for k := range tmp {
+			tmp[k] = xs[i]
+		}
+		var s float64
+		for _, v := range tmp {
+			s += v
+		}
+		out[i] = s
+		return nil
+	})
+	return out
+}
+
+// NestedIndexChain writes out[names[i]][i] style chains: the slice element
+// write carries an i-derived index even though the inner map index is a read.
+func NestedIndexChain(names []string, seeds []int) map[string][]int {
+	out := make(map[string][]int, len(names))
+	for _, n := range names {
+		out[n] = make([]int, len(seeds))
+	}
+	_ = parallel.ForEach(len(names)*len(seeds), func(i int) error {
+		si, di := i/len(names), i%len(names)
+		out[names[di]][si] = seeds[si]
+		return nil
+	})
+	return out
+}
+
+// MapResults uses parallel.Map, which owns slot assignment internally.
+func MapResults(xs []float64) ([]float64, error) {
+	return parallel.Map(len(xs), func(i int) (float64, error) {
+		return xs[i] * xs[i], nil
+	})
+}
+
+// PoolMethod exercises the *Pool method route of the same entry points.
+func PoolMethod(xs []float64) []float64 {
+	p := parallel.NewPool(2)
+	out := make([]float64, len(xs))
+	_ = p.ForEach(len(xs), func(i int) error {
+		out[i] = xs[i]
+		return nil
+	})
+	return out
+}
+
+// PoolMethodViolation is the method-route positive.
+func PoolMethodViolation(xs []float64) float64 {
+	p := parallel.NewPool(2)
+	var sum float64
+	_ = p.ForEach(len(xs), func(i int) error {
+		sum += xs[i] // want "write to captured variable \"sum\" inside a parallel.ForEach closure"
+		return nil
+	})
+	return sum
+}
+
+// Annotated shows the sanctioned escape hatch for externally synchronized
+// state (here: pretend a mutex guards total elsewhere).
+func Annotated(xs []float64) float64 {
+	var total float64
+	_ = parallel.ForEach(len(xs), func(i int) error {
+		total = xs[i] //lint:ignore disjointwrite fixture: pretend a mutex guards this write
+		return nil
+	})
+	return total
+}

@@ -1,0 +1,22 @@
+// Package hw mirrors the catalog surface the unitflow analyzer seeds from.
+package hw
+
+// Config is one (core, memory) frequency configuration in MHz.
+type Config struct {
+	CoreMHz float64
+	MemMHz  float64
+}
+
+// Device carries the frequency ladders and the power budget.
+type Device struct {
+	CoreFreqs   []float64
+	MemFreqs    []float64
+	DefaultCore float64
+	DefaultMem  float64
+	TDP         float64
+}
+
+// DefaultConfig returns the device's reference configuration.
+func (d *Device) DefaultConfig() Config {
+	return Config{CoreMHz: d.DefaultCore, MemMHz: d.DefaultMem}
+}

@@ -1,0 +1,28 @@
+// Package silicon mirrors the voltage-model surface the unitflow analyzer
+// seeds from.
+package silicon
+
+// VoltagePoint anchors a V(f) curve: at frequency FMHz the rail runs at
+// Volts.
+type VoltagePoint struct {
+	FMHz  float64
+	Volts float64
+}
+
+// VoltageCurve is a piecewise-linear V(f) relation.
+type VoltageCurve struct {
+	Points []VoltagePoint
+}
+
+// VoltsAt returns V(f).
+func (c *VoltageCurve) VoltsAt(fMHz float64) float64 {
+	if len(c.Points) == 0 {
+		return 0
+	}
+	return c.Points[0].Volts
+}
+
+// NormalizedAt returns V̄(f) = V(f)/V(refMHz).
+func (c *VoltageCurve) NormalizedAt(fMHz, refMHz float64) float64 {
+	return c.VoltsAt(fMHz) / c.VoltsAt(refMHz)
+}

@@ -1,0 +1,119 @@
+// Fixture for the unitflow analyzer: MHz / volts / watts provenance through
+// assignments, arithmetic, comparisons, signatures and composite literals.
+package unitflow
+
+import (
+	"unitflow/internal/hw"
+	"unitflow/internal/silicon"
+)
+
+// ScalePower is a volts-parameter sink for the call-argument checks.
+func ScalePower(busVolts float64, scale float64) float64 {
+	return busVolts * busVolts * scale
+}
+
+// --- true positives ---
+
+// AddFreqToVolts adds a ladder frequency to a rail voltage.
+func AddFreqToVolts(cfg hw.Config, railVolts float64) float64 {
+	return cfg.CoreMHz + railVolts // want "cross-unit arithmetic: MHz-typed value \+ volts-typed value"
+}
+
+// CompareFreqToVolts orders a frequency against a voltage.
+func CompareFreqToVolts(cfg hw.Config, railVolts float64) bool {
+	return cfg.MemMHz < railVolts // want "cross-unit comparison: MHz-typed value < volts-typed value"
+}
+
+// MHzIntoVoltsParam feeds a catalog frequency into a voltage parameter.
+func MHzIntoVoltsParam(cfg hw.Config) float64 {
+	return ScalePower(cfg.CoreMHz, 2) // want "MHz-typed value passed to volts parameter \"busVolts\" of ScalePower"
+}
+
+// MHzIntoVoltsField assigns a frequency into the voltage anchor of a curve
+// point — the wrong-by-1000x seed the analyzer exists to catch.
+func MHzIntoVoltsField(cfg hw.Config, p *silicon.VoltagePoint) {
+	p.Volts = cfg.CoreMHz // want "MHz-typed value assigned to volts-typed field \"Volts\""
+}
+
+// SwappedLiteral builds an anchor point with the fields crossed.
+func SwappedLiteral(cfg hw.Config, curve *silicon.VoltageCurve) silicon.VoltagePoint {
+	v := curve.VoltsAt(cfg.CoreMHz)
+	return silicon.VoltagePoint{
+		FMHz:  v,           // want "volts-typed value assigned to MHz-typed field \"FMHz\""
+		Volts: cfg.CoreMHz, // want "MHz-typed value assigned to volts-typed field \"Volts\""
+	}
+}
+
+// PropagatedSwap shows the unit following a local: fc is MHz via
+// assignment, so the later comparison against a voltage is flagged.
+func PropagatedSwap(dev *hw.Device, curve *silicon.VoltageCurve) bool {
+	fc := dev.DefaultCore
+	v := curve.VoltsAt(fc)
+	return fc == v // want "cross-unit comparison: MHz-typed value == volts-typed value"
+}
+
+// LadderElement tracks units through slice elements and range loops.
+func LadderElement(dev *hw.Device, railVolts float64) float64 {
+	var worst float64
+	for _, f := range dev.CoreFreqs {
+		worst = f - railVolts // want "cross-unit arithmetic: MHz-typed value - volts-typed value"
+	}
+	return worst
+}
+
+// TDPVsVolts compares the watts budget to a voltage.
+func TDPVsVolts(dev *hw.Device, railVolts float64) bool {
+	return dev.TDP > railVolts // want "cross-unit comparison: watts-typed value > volts-typed value"
+}
+
+// SuffixedLocal seeds from the naming convention alone.
+func SuffixedLocal(cfg hw.Config) float64 {
+	refMHz := cfg.CoreMHz
+	vddVolts := 1.05
+	return refMHz + vddVolts // want "cross-unit arithmetic: MHz-typed value \+ volts-typed value"
+}
+
+// --- negatives: the model's legal shapes ---
+
+// DynamicPower is the paper's working currency: multiplication changes the
+// unit, so V̄²·f (and any scaling through products) is legal.
+func DynamicPower(cfg hw.Config, curve *silicon.VoltageCurve) float64 {
+	v := curve.VoltsAt(cfg.CoreMHz)
+	return v * v * cfg.CoreMHz
+}
+
+// SameUnitMath adds and compares like quantities freely.
+func SameUnitMath(cfg hw.Config, dev *hw.Device) bool {
+	span := dev.DefaultCore - dev.CoreFreqs[0]
+	mid := cfg.CoreMHz + span/2
+	return mid <= dev.DefaultCore
+}
+
+// Interpolate mirrors VoltsAt: unit-preserving adds inside, unitless ratio
+// from the division, volts carried through the blend.
+func Interpolate(a, b silicon.VoltagePoint, fMHz float64) float64 {
+	t := (fMHz - a.FMHz) / (b.FMHz - a.FMHz)
+	return a.Volts + t*(b.Volts-a.Volts)
+}
+
+// UnitlessConstants never conflict: 0 and 1e6 carry no unit.
+func UnitlessConstants(cfg hw.Config) bool {
+	hz := cfg.CoreMHz * 1e6
+	return hz > 0 && cfg.CoreMHz != 0
+}
+
+// ConversionTransparent keeps the unit through an explicit conversion.
+func ConversionTransparent(cfg hw.Config, dev *hw.Device) bool {
+	return float64(cfg.CoreMHz) <= dev.DefaultCore
+}
+
+// RightSignature passes each unit where it belongs.
+func RightSignature(cfg hw.Config, curve *silicon.VoltageCurve) float64 {
+	return ScalePower(curve.VoltsAt(cfg.CoreMHz), 2)
+}
+
+// Annotated demonstrates the escape hatch for a deliberate raw comparison.
+func Annotated(cfg hw.Config, railVolts float64) bool {
+	//lint:ignore unitflow fixture: deliberately comparing raw magnitudes
+	return cfg.CoreMHz > railVolts
+}

@@ -1,0 +1,34 @@
+// Fixture for the unusedignore analyzer: directives that suppress nothing
+// are themselves diagnostics. Run together with floateq so "used" has a
+// witness.
+package unusedignore
+
+// LadderContains carries a *used* floateq ignore: the exact comparison below
+// is a real floateq finding, so the directive earns its keep (no want).
+func LadderContains(ladder []float64, f float64) bool {
+	for _, y := range ladder {
+		if y == f { //lint:ignore floateq fixture: ladder membership is exact by construction
+			return true
+		}
+	}
+	return false
+}
+
+// StaleGuard carries an ignore on a line with no finding at all: the guarded
+// comparison was long since rewritten, the annotation rotted in place.
+func StaleGuard(a, b float64) bool {
+	//lint:ignore floateq fixture: this guarded an exact comparison that no longer exists // want "//lint:ignore floateq directive suppressed no diagnostics"
+	return a > b
+}
+
+// TrailingStale is the trailing-comment form of the same rot.
+func TrailingStale(a, b float64) float64 {
+	return a + b //lint:ignore floateq fixture: stale trailing annotation // want "//lint:ignore floateq directive suppressed no diagnostics"
+}
+
+// KeptDeliberately names unusedignore in its own list: the sanctioned way
+// to keep a deliberately dormant suppression (no want).
+func KeptDeliberately(a, b float64) bool {
+	//lint:ignore floateq,unusedignore fixture: dormant on purpose, guards a build-tagged variant
+	return a > b
+}

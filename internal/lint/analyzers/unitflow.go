@@ -1,0 +1,507 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gpupower/internal/lint"
+)
+
+// UnitFlow tracks physical-unit provenance through the module's float64
+// plumbing. MHz, volts and watts all travel as bare float64 — a silent
+// MHz↔V swap is a wrong-by-1000× prediction, not a crash (the bug class
+// the multi-domain DVFS literature repeatedly warns about), so the unit
+// must be carried by analysis instead of the type system.
+var UnitFlow = &lint.Analyzer{
+	Name: "unitflow",
+	Doc: `flags cross-unit arithmetic on MHz / volts / watts float64 values.
+
+A provenance lattice {MHz, Volts, Watts, unitless} is seeded from the
+hardware catalog (hw.Config.CoreMHz/MemMHz, hw.Device frequency ladders and
+TDP), the ground-truth voltage curves (silicon.VoltagePoint, VoltsAt /
+NormalizedAt) and the fitted voltage tables (core.VoltageTable), plus a
+naming convention: any field, parameter or variable whose name ends in MHz,
+Volts or Watts carries that unit. Units propagate through assignments,
+slice/array elements, range loops and conversions. Addition, subtraction and
+ordered/equality comparison of two differently-united values is reported, as
+is passing or assigning a value of one unit into a slot declared as another
+(a CoreMHz flowing into a volts parameter). Multiplication and division
+deliberately erase the unit — V̄²·f is the model's working currency and is
+legal by construction.`,
+	Run: runUnitFlow,
+}
+
+// unit is one point of the provenance lattice.
+type unit uint8
+
+const (
+	unitUnknown unit = iota // unitless or undetermined: never conflicts
+	unitMHz
+	unitVolts
+	unitWatts
+)
+
+func (u unit) String() string {
+	switch u {
+	case unitMHz:
+		return "MHz"
+	case unitVolts:
+		return "volts"
+	case unitWatts:
+		return "watts"
+	}
+	return "unitless"
+}
+
+// unitFromName applies the naming convention to fields, params and locals.
+func unitFromName(name string) unit {
+	switch {
+	case strings.HasSuffix(name, "MHz"):
+		return unitMHz
+	case strings.HasSuffix(name, "Volts") || name == "volts":
+		return unitVolts
+	case strings.HasSuffix(name, "Watts") || name == "watts":
+		return unitWatts
+	}
+	return unitUnknown
+}
+
+// fieldSeeds maps (package-path suffix, field name) → unit for catalog and
+// model fields whose names do not carry the suffix convention.
+var fieldSeeds = map[string]map[string]unit{
+	"internal/hw": {
+		"CoreFreqs":   unitMHz,
+		"MemFreqs":    unitMHz,
+		"DefaultCore": unitMHz,
+		"DefaultMem":  unitMHz,
+		"TDP":         unitWatts,
+	},
+	"internal/core": {
+		"CoreFreqs": unitMHz,
+		"MemFreqs":  unitMHz,
+		"VCore":     unitVolts,
+		"VMem":      unitVolts,
+	},
+	"internal/silicon": {
+		"FMHz":  unitMHz,
+		"Volts": unitVolts,
+	},
+}
+
+// resultSeeds maps (package-path suffix, function name) → per-result units
+// for the voltage-model outputs (method name collisions across packages are
+// disambiguated by the path suffix).
+var resultSeeds = map[string]map[string][]unit{
+	"internal/silicon": {
+		"VoltsAt":      {unitVolts},
+		"NormalizedAt": {unitVolts},
+	},
+	"internal/core": {
+		"At": {unitVolts, unitVolts, unitUnknown}, // (*VoltageTable).At → (vc, vm, err)
+	},
+}
+
+// paramSeeds maps (package-path suffix, function name) → per-parameter
+// units, for signatures whose parameter names predate the suffix convention.
+var paramSeeds = map[string]map[string][]unit{
+	"internal/core": {
+		"Set": {unitUnknown, unitVolts, unitVolts}, // (*VoltageTable).Set(cfg, vc, vm)
+	},
+}
+
+func runUnitFlow(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		uf := &unitFlowCheck{
+			pass:     pass,
+			env:      make(map[types.Object]unit),
+			reported: make(map[token.Pos]bool),
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				uf.checkAssign(st)
+			case *ast.ValueSpec:
+				uf.checkValueSpec(st)
+			case *ast.RangeStmt:
+				uf.seedRange(st)
+			case *ast.BinaryExpr:
+				uf.checkBinary(st)
+			case *ast.CallExpr:
+				uf.checkCallArgs(st)
+			case *ast.CompositeLit:
+				uf.checkCompositeLit(st)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// unitFlowCheck holds the per-file inference state: env carries units
+// inferred for local objects, reported deduplicates diagnostics when the
+// same subtree is evaluated from more than one enclosing check.
+type unitFlowCheck struct {
+	pass     *lint.Pass
+	env      map[types.Object]unit
+	reported map[token.Pos]bool
+}
+
+func (uf *unitFlowCheck) reportOnce(pos token.Pos, format string, args ...any) {
+	if uf.reported[pos] {
+		return
+	}
+	uf.reported[pos] = true
+	uf.pass.Reportf(pos, format, args...)
+}
+
+// isFloatish gates the analysis to floating-point-valued expressions (and
+// containers of them); integer loop math never carries a unit here.
+func isFloatish(t types.Type) bool {
+	for {
+		switch u := t.Underlying().(type) {
+		case *types.Basic:
+			return u.Info()&types.IsFloat != 0 || u.Kind() == types.UntypedFloat
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Pointer:
+			t = u.Elem()
+		default:
+			return false
+		}
+	}
+}
+
+// declaredUnit resolves the unit a variable object is declared to carry:
+// seed tables for known catalog/model fields, then the name convention.
+func declaredUnit(obj types.Object) unit {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Type() == nil || !isFloatish(v.Type()) {
+		return unitUnknown
+	}
+	if pkg := v.Pkg(); pkg != nil {
+		for suffix, fields := range fieldSeeds {
+			if pathHasSuffix(pkg.Path(), suffix) {
+				if u, ok := fields[v.Name()]; ok {
+					return u
+				}
+			}
+		}
+	}
+	return unitFromName(v.Name())
+}
+
+// unitOf infers the unit of an expression.
+func (uf *unitFlowCheck) unitOf(e ast.Expr) unit {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := identObj(uf.pass.Info, x)
+		if obj == nil {
+			return unitUnknown
+		}
+		if u, ok := uf.env[obj]; ok && u != unitUnknown {
+			return u
+		}
+		return declaredUnit(obj)
+	case *ast.SelectorExpr:
+		if obj := uf.pass.Info.Uses[x.Sel]; obj != nil {
+			if _, isVar := obj.(*types.Var); isVar {
+				return declaredUnit(obj)
+			}
+		}
+		return unitUnknown
+	case *ast.IndexExpr:
+		// Element of a united container (ladder slice, voltage table row).
+		return uf.unitOf(x.X)
+	case *ast.StarExpr:
+		return uf.unitOf(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.SUB || x.Op == token.ADD {
+			return uf.unitOf(x.X)
+		}
+		return unitUnknown
+	case *ast.CallExpr:
+		// Conversions are unit-transparent: float64(fMHz) is still MHz.
+		if tv, ok := uf.pass.Info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return uf.unitOf(x.Args[0])
+		}
+		if us := uf.callResultUnits(x); len(us) == 1 {
+			return us[0]
+		}
+		return unitUnknown
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.ADD, token.SUB:
+			lu, ru := uf.unitOf(x.X), uf.unitOf(x.Y)
+			if lu != unitUnknown && ru != unitUnknown && lu != ru {
+				uf.reportOnce(x.OpPos,
+					"cross-unit arithmetic: %s-typed value %s %s-typed value (the paper's model only ever adds like quantities; multiplication is what changes a unit)",
+					lu, x.Op, ru)
+				return unitUnknown
+			}
+			if lu != unitUnknown {
+				return lu
+			}
+			return ru
+		default:
+			// MUL/QUO and friends change the unit by construction (V̄²·f),
+			// so the result is deliberately unitless.
+			return unitUnknown
+		}
+	}
+	return unitUnknown
+}
+
+// callResultUnits resolves the units of a call's results via the seed table.
+func (uf *unitFlowCheck) callResultUnits(call *ast.CallExpr) []unit {
+	fn := calleeFunc(uf.pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	for suffix, funcs := range resultSeeds {
+		if pathHasSuffix(fn.Pkg().Path(), suffix) {
+			if us, ok := funcs[fn.Name()]; ok {
+				return us
+			}
+		}
+	}
+	// Single-result functions named by the convention (e.g. coreMHz()).
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Results().Len() == 1 {
+		if u := unitFromName(fn.Name()); u != unitUnknown {
+			return []unit{u}
+		}
+	}
+	return nil
+}
+
+// checkAssign verifies unit agreement across = / := and updates the local
+// environment for plain locals.
+func (uf *unitFlowCheck) checkAssign(st *ast.AssignStmt) {
+	switch st.Tok {
+	case token.ASSIGN, token.DEFINE:
+	default:
+		return // op-assignments reuse the binary-expr rules via checkBinary
+	}
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		// Multi-value form: v1, v2, err := call(...).
+		call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		us := uf.callResultUnits(call)
+		for i, lhs := range st.Lhs {
+			var ru unit
+			if i < len(us) {
+				ru = us[i]
+			}
+			uf.flowInto(lhs, ru, st.Tok)
+		}
+		return
+	}
+	if len(st.Lhs) != len(st.Rhs) {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		uf.flowInto(lhs, uf.unitOf(st.Rhs[i]), st.Tok)
+	}
+}
+
+// flowInto records/verifies a value of unit ru arriving at lvalue lhs.
+func (uf *unitFlowCheck) flowInto(lhs ast.Expr, ru unit, tok token.Token) {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	lu := uf.lvalueDeclaredUnit(lhs)
+	if lu != unitUnknown && ru != unitUnknown && lu != ru {
+		uf.reportOnce(lhs.Pos(),
+			"%s-typed value assigned to %s-typed %s: a silent unit swap here is a wrong-by-orders-of-magnitude prediction, not a crash",
+			ru, lu, describeLValue(lhs))
+		return
+	}
+	// Inference: plain local identifiers inherit the RHS unit. A later
+	// re-assignment from a unitless expression clears the inference rather
+	// than leaving a stale unit behind.
+	if tok == token.DEFINE || lu == unitUnknown {
+		if obj := identObj(uf.pass.Info, lhs); obj != nil {
+			if _, isVar := obj.(*types.Var); isVar {
+				if ru != unitUnknown {
+					uf.env[obj] = ru
+				} else if tok == token.ASSIGN {
+					delete(uf.env, obj)
+				}
+			}
+		}
+	}
+}
+
+// lvalueDeclaredUnit is the declared unit of an assignment target: field
+// seeds and the name convention for idents/selectors, element transparency
+// for indexed writes.
+func (uf *unitFlowCheck) lvalueDeclaredUnit(lhs ast.Expr) unit {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := identObj(uf.pass.Info, x); obj != nil {
+			return declaredUnit(obj)
+		}
+	case *ast.SelectorExpr:
+		if obj := uf.pass.Info.Uses[x.Sel]; obj != nil {
+			return declaredUnit(obj)
+		}
+	case *ast.IndexExpr:
+		return uf.lvalueDeclaredUnit(x.X)
+	case *ast.StarExpr:
+		return uf.lvalueDeclaredUnit(x.X)
+	}
+	return unitUnknown
+}
+
+func describeLValue(lhs ast.Expr) string {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		return "variable \"" + x.Name + "\""
+	case *ast.SelectorExpr:
+		return "field \"" + x.Sel.Name + "\""
+	case *ast.IndexExpr:
+		return "element of " + describeLValue(x.X)
+	case *ast.StarExpr:
+		return describeLValue(x.X)
+	}
+	return "target"
+}
+
+// checkValueSpec handles var declarations with initializers.
+func (uf *unitFlowCheck) checkValueSpec(spec *ast.ValueSpec) {
+	if len(spec.Values) != len(spec.Names) {
+		return
+	}
+	for i, name := range spec.Names {
+		ru := uf.unitOf(spec.Values[i])
+		lu := unitUnknown
+		if obj := uf.pass.Info.Defs[name]; obj != nil {
+			lu = declaredUnit(obj)
+			if lu != unitUnknown && ru != unitUnknown && lu != ru {
+				uf.reportOnce(name.Pos(),
+					"%s-typed value assigned to %s-typed variable %q: a silent unit swap here is a wrong-by-orders-of-magnitude prediction, not a crash",
+					ru, lu, name.Name)
+				continue
+			}
+			if ru != unitUnknown {
+				uf.env[obj] = ru
+			}
+		}
+	}
+}
+
+// seedRange gives range value variables the element unit of the container.
+func (uf *unitFlowCheck) seedRange(st *ast.RangeStmt) {
+	if st.Value == nil {
+		return
+	}
+	cu := uf.unitOf(st.X)
+	if cu == unitUnknown {
+		return
+	}
+	if obj := identObj(uf.pass.Info, st.Value); obj != nil {
+		uf.env[obj] = cu
+	}
+}
+
+// checkBinary reports cross-unit comparisons (the additive case is reported
+// from unitOf itself so nested occurrences inside larger expressions are
+// caught too).
+func (uf *unitFlowCheck) checkBinary(be *ast.BinaryExpr) {
+	switch be.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		lu, ru := uf.unitOf(be.X), uf.unitOf(be.Y)
+		if lu != unitUnknown && ru != unitUnknown && lu != ru {
+			uf.reportOnce(be.OpPos,
+				"cross-unit comparison: %s-typed value %s %s-typed value (comparing frequencies to voltages is meaningless at any tolerance)",
+				lu, be.Op, ru)
+		}
+	case token.ADD, token.SUB:
+		uf.unitOf(be) // triggers the additive mismatch report with dedup
+	}
+}
+
+// checkCompositeLit verifies struct-literal fields: Config{CoreMHz: volts}
+// and VoltagePoint{Volts: cfg.CoreMHz} are the classic construction-site
+// swaps. Both keyed and positional forms are checked.
+func (uf *unitFlowCheck) checkCompositeLit(cl *ast.CompositeLit) {
+	tv, ok := uf.pass.Info.Types[cl]
+	if !ok || tv.Type == nil {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range cl.Elts {
+		var field *types.Var
+		var val ast.Expr
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			id, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			field, _ = uf.pass.Info.Uses[id].(*types.Var)
+			val = kv.Value
+		} else if i < st.NumFields() {
+			field, val = st.Field(i), elt
+		}
+		if field == nil {
+			continue
+		}
+		fu := declaredUnit(field)
+		if fu == unitUnknown {
+			continue
+		}
+		vu := uf.unitOf(val)
+		if vu != unitUnknown && vu != fu {
+			uf.reportOnce(val.Pos(),
+				"%s-typed value assigned to %s-typed field %q: a silent unit swap here is a wrong-by-orders-of-magnitude prediction, not a crash",
+				vu, fu, field.Name())
+		}
+	}
+}
+
+// checkCallArgs verifies argument units against parameter units declared by
+// name convention or the seed table.
+func (uf *unitFlowCheck) checkCallArgs(call *ast.CallExpr) {
+	fn := calleeFunc(uf.pass.Info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Variadic() || sig.Params().Len() != len(call.Args) {
+		return
+	}
+	var seeded []unit
+	if fn.Pkg() != nil {
+		for suffix, funcs := range paramSeeds {
+			if pathHasSuffix(fn.Pkg().Path(), suffix) {
+				if us, ok := funcs[fn.Name()]; ok {
+					seeded = us
+				}
+			}
+		}
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		pu := declaredUnit(p)
+		if i < len(seeded) && seeded[i] != unitUnknown {
+			pu = seeded[i]
+		}
+		if pu == unitUnknown {
+			continue
+		}
+		au := uf.unitOf(call.Args[i])
+		if au != unitUnknown && au != pu {
+			uf.reportOnce(call.Args[i].Pos(),
+				"%s-typed value passed to %s parameter %q of %s: frequency and voltage share float64 here, so only provenance separates a ladder entry from a rail voltage",
+				au, pu, p.Name(), fn.Name())
+		}
+	}
+}

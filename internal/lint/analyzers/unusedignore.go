@@ -1,0 +1,31 @@
+package analyzers
+
+import (
+	"gpupower/internal/lint"
+)
+
+// UnusedIgnore reports //lint:ignore directives that suppressed nothing.
+// The directive inventory (~35 reasoned guard sites at the time of writing)
+// is load-bearing documentation: each one asserts "this exact line violates
+// an invariant for a reason". When the guarded code moves or is fixed, the
+// stale directive keeps asserting an exception that no longer exists — and
+// worse, silently re-arms if a *new* violation lands on its line.
+//
+// Unlike the syntactic analyzers, this check cannot run as a Pass over one
+// package's AST: it needs the outcome of suppression. The Run hook is
+// therefore a no-op and the engine computes the findings after folding every
+// other analyzer through the directives (see lint.Runner). The descriptor
+// exists so the check is selectable, listable and fixture-testable like any
+// other analyzer.
+var UnusedIgnore = &lint.Analyzer{
+	Name: lint.UnusedIgnoreName,
+	Doc: `flags //lint:ignore directives that suppressed zero diagnostics.
+
+A directive is reported only when the verdict is decidable: every analyzer
+it names must have actually run (running -analyzers floateq does not declare
+all ctxflow ignores dead). A directive that names unusedignore itself
+(//lint:ignore floateq,unusedignore reason) is the sanctioned way to keep a
+deliberately dormant suppression, e.g. one guarding generated or
+platform-conditional code.`,
+	Run: func(*lint.Pass) error { return nil }, // engine-level: see lint.Runner
+}

@@ -1,0 +1,17 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"gpupower/internal/lint"
+	"gpupower/internal/lint/analyzers"
+	"gpupower/internal/lint/linttest"
+)
+
+// TestUnusedIgnore runs the engine-level check together with floateq so the
+// fixture's "used" directive has a live diagnostic to suppress.
+func TestUnusedIgnore(t *testing.T) {
+	linttest.RunAnalyzers(t, "testdata",
+		[]*lint.Analyzer{analyzers.FloatEq, analyzers.UnusedIgnore},
+		"unusedignore")
+}

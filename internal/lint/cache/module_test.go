@@ -1,0 +1,47 @@
+package cache
+
+import (
+	"testing"
+
+	"gpupower/internal/lint"
+	"gpupower/internal/lint/linttest"
+)
+
+// TestWarmCacheSkipsTypeCheckingRealModule is the incremental engine's
+// headline property, asserted over the actual repository rather than a
+// synthetic tree: after one cold run, a warm run with a fresh loader replays
+// every directory group from disk and hands *zero* packages to the type
+// checker, while reporting the identical (empty, at HEAD) result.
+func TestWarmCacheSkipsTypeCheckingRealModule(t *testing.T) {
+	root, modPath := linttest.ModuleRoot(t)
+	facts := t.TempDir()
+
+	coldLoader := lint.NewLoader(root, modPath)
+	cold, coldStats, err := Run(coldLoader, newRunner(), facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.Hits != 0 || coldStats.Misses == 0 {
+		t.Fatalf("cold run over real module: %+v, want all misses", *coldStats)
+	}
+	if len(coldLoader.TypeCheckedPaths()) == 0 {
+		t.Fatal("cold run type-checked nothing; the miss path is broken")
+	}
+	if len(cold.Diagnostics) != 0 || len(cold.DirectiveErrors) != 0 {
+		t.Fatalf("repository is not lint-clean at HEAD:\n%s\ndirective errors: %v",
+			linttest.Fprint(cold.Diagnostics), cold.DirectiveErrors)
+	}
+
+	warmLoader := lint.NewLoader(root, modPath)
+	warm, warmStats, err := Run(warmLoader, newRunner(), facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmStats.Misses != 0 || warmStats.Hits != coldStats.Groups {
+		t.Fatalf("warm run over unchanged module: %+v, want %d hits / 0 misses", *warmStats, coldStats.Groups)
+	}
+	if checked := warmLoader.TypeCheckedPaths(); len(checked) != 0 {
+		t.Fatalf("warm run re-type-checked %v; unchanged packages must replay from disk", checked)
+	}
+	sameDiags(t, "warm vs cold over real module", warm, cold)
+}

@@ -60,16 +60,73 @@ func FilterChanged(diags []Diagnostic, changed map[string]bool, root string) []D
 	return out
 }
 
+// ParseNameStatus reads `git diff --name-status --find-renames` output
+// (STATUS<TAB>path, or STATUS<TAB>old<TAB>new for renames/copies) and
+// returns the set of Go files that exist in the working tree and carry the
+// change. Status letters decide which path matters:
+//
+//	D          deleted — no file left to position a diagnostic in, skipped
+//	R*/C*      renamed/copied — the *destination* path is the changed file
+//	            (the score-suffixed letter, e.g. R100, still starts with R)
+//	M/A/T/...  the single listed path
+//
+// This is the rename-correct replacement for parsing `--name-only`, whose
+// line shape cannot distinguish a rename destination from a deleted source:
+// with rename detection off (diff.renames=false, old git, plumbing configs)
+// a rename appears as D+A and the dead source path pollutes the set, and
+// the filter has no way to tell which side still exists.
+func ParseNameStatus(r io.Reader, root string) (map[string]bool, error) {
+	set := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("lint: malformed --name-status line %q", line)
+		}
+		var name string
+		switch fields[0][0] {
+		case 'D':
+			continue
+		case 'R', 'C':
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("lint: rename/copy --name-status line %q has no destination", line)
+			}
+			name = fields[len(fields)-1]
+		default:
+			name = fields[1]
+		}
+		if !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(root, name)
+		}
+		set[filepath.Clean(name)] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
 // ChangedSince returns the set of Go files (absolute paths) that differ
 // from ref in the working tree, including untracked files — the union a
 // reviewer sees as "this branch's changes". It shells out to git, which is
 // how the repository itself is versioned; no library dependency is taken.
+//
+// Rename detection is forced on (--find-renames) rather than inherited from
+// the user's diff.renames config, so a `git mv` surfaces as the destination
+// path no matter how the environment is configured.
 func ChangedSince(root, ref string) (map[string]bool, error) {
-	diff, err := gitOutput(root, "diff", "--name-only", ref, "--")
+	diff, err := gitOutput(root, "diff", "--name-status", "--find-renames", ref, "--")
 	if err != nil {
-		return nil, fmt.Errorf("lint: git diff --name-only %s: %w", ref, err)
+		return nil, fmt.Errorf("lint: git diff --name-status %s: %w", ref, err)
 	}
-	set, err := ParseChangedList(strings.NewReader(diff), root)
+	set, err := ParseNameStatus(strings.NewReader(diff), root)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +138,7 @@ func ChangedSince(root, ref string) (map[string]bool, error) {
 	if err != nil {
 		return nil, err
 	}
-	for k := range more { //lint:ignore maporder set union: insertion into a map is order-independent
+	for k := range more {
 		set[k] = true
 	}
 	return set, nil

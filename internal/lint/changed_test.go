@@ -2,6 +2,9 @@ package lint
 
 import (
 	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -78,6 +81,135 @@ func TestFilterChangedKeepsOnlyTouchedFiles(t *testing.T) {
 	for _, d := range got {
 		if strings.HasSuffix(d.Pos.Filename, "z.go") {
 			t.Errorf("diagnostic in untouched file survived: %v", d)
+		}
+	}
+}
+
+// TestParseNameStatusStatusLetters pins the status-letter dispatch over a
+// synthetic `git diff --name-status --find-renames` transcript: modified and
+// added paths pass through, deletions are dropped (no file left to hold a
+// diagnostic), and renames/copies contribute their destination — never the
+// dead source path.
+func TestParseNameStatusStatusLetters(t *testing.T) {
+	const root = "/mod"
+	diff := strings.Join([]string{
+		"M\tinternal/core/surface.go",
+		"A\tcmd/gpowerlint/cache.go",
+		"D\tinternal/old/removed.go",
+		"R100\tinternal/lint/incremental.go\tinternal/lint/cache/cache.go",
+		"R087\tinternal/hw/freqs.go\tinternal/hw/ladder.go",
+		"C075\tinternal/core/model.go\tinternal/core/model_mem.go",
+		"T\ttools/gen.go",
+		"M\tREADME.md",
+		"",
+	}, "\n")
+	set, err := ParseNameStatus(strings.NewReader(diff), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"/mod/internal/core/surface.go",
+		"/mod/cmd/gpowerlint/cache.go",
+		"/mod/internal/lint/cache/cache.go",
+		"/mod/internal/hw/ladder.go",
+		"/mod/internal/core/model_mem.go",
+		"/mod/tools/gen.go",
+	}
+	if len(set) != len(want) {
+		t.Fatalf("parsed %d files, want %d: %v", len(set), len(want), set)
+	}
+	for _, w := range want {
+		if !set[w] {
+			t.Errorf("changed set is missing %s", w)
+		}
+	}
+	for _, dead := range []string{
+		"/mod/internal/old/removed.go",      // deleted
+		"/mod/internal/lint/incremental.go", // rename source
+		"/mod/internal/hw/freqs.go",         // rename source (with edits)
+	} {
+		if set[dead] {
+			t.Errorf("dead path %s must not be in the changed set", dead)
+		}
+	}
+}
+
+// TestParseNameStatusMalformed rejects truncated lines instead of guessing.
+func TestParseNameStatusMalformed(t *testing.T) {
+	if _, err := ParseNameStatus(strings.NewReader("M internal/a.go\n"), "/mod"); err == nil {
+		t.Error("space-separated (non-TAB) line accepted")
+	}
+	if _, err := ParseNameStatus(strings.NewReader("R100\told.go\n"), "/mod"); err == nil {
+		t.Error("rename line without destination accepted")
+	}
+}
+
+// gitIn runs one git command in dir with identity/config pinned so the test
+// is hermetic with respect to the host's git configuration.
+func gitIn(t *testing.T, dir string, args ...string) string {
+	t.Helper()
+	base := []string{
+		"-C", dir,
+		"-c", "user.name=lint-test", "-c", "user.email=lint@test",
+		"-c", "commit.gpgsign=false", "-c", "protocol.file.allow=always",
+	}
+	cmd := exec.Command("git", append(base, args...)...)
+	cmd.Env = append(os.Environ(), "GIT_CONFIG_GLOBAL=/dev/null", "GIT_CONFIG_SYSTEM=/dev/null")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("git %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+// TestChangedSinceTracksRenames builds a real throwaway repository and checks
+// the end-to-end contract that motivated the --name-status rewrite: after a
+// `git mv` the changed set names the destination file and not the dead
+// source, deletions vanish from the set, and untracked files still join.
+// The repo's diff.renames is forced off to model environments (old git,
+// plumbing-style configs) where `--name-only` degrades to D+A pairs — the
+// explicit --find-renames in ChangedSince must win over that config.
+func TestChangedSinceTracksRenames(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not installed")
+	}
+	root := t.TempDir()
+	gitIn(t, root, "init", "-q")
+	gitIn(t, root, "config", "diff.renames", "false")
+
+	const body = "package scratch\n\n// Stable enough content for git similarity detection to call\n// the move below a rename rather than an unrelated delete/add pair.\nfunc Keep() int { return 42 }\n"
+	write := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("old.go", body)
+	write("doomed.go", "package scratch\n\nfunc Doomed() {}\n")
+	gitIn(t, root, "add", ".")
+	gitIn(t, root, "commit", "-q", "-m", "seed")
+
+	gitIn(t, root, "mv", "old.go", "renamed.go")
+	gitIn(t, root, "rm", "-q", "doomed.go")
+	write("untracked.go", "package scratch\n")
+	write("notes.txt", "not a go file\n")
+
+	set, err := ChangedSince(root, "HEAD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wantIn := range []string{"renamed.go", "untracked.go"} {
+		if !set[filepath.Join(root, wantIn)] {
+			t.Errorf("changed set is missing %s: %v", wantIn, set)
+		}
+	}
+	for _, wantOut := range []string{"old.go", "doomed.go", "notes.txt"} {
+		if set[filepath.Join(root, wantOut)] {
+			t.Errorf("changed set must not contain %s: %v", wantOut, set)
 		}
 	}
 }

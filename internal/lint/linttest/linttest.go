@@ -16,6 +16,9 @@ package linttest
 import (
 	"fmt"
 	"go/ast"
+	"io"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -38,6 +41,14 @@ type expectation struct {
 // pattern "maporder/..." loads every package under that prefix) and checks
 // the analyzer's diagnostics against the // want annotations.
 func Run(t *testing.T, testdata string, a *lint.Analyzer, patterns ...string) {
+	t.Helper()
+	RunAnalyzers(t, testdata, []*lint.Analyzer{a}, patterns...)
+}
+
+// RunAnalyzers is Run over a set of analyzers sharing one fixture tree —
+// needed by engine-level checks like unusedignore, whose verdicts depend on
+// what the other analyzers suppressed.
+func RunAnalyzers(t *testing.T, testdata string, as []*lint.Analyzer, patterns ...string) {
 	t.Helper()
 	loader := lint.NewLoader(testdata+"/src", "")
 	all, err := loader.Discover()
@@ -63,10 +74,10 @@ func Run(t *testing.T, testdata string, a *lint.Analyzer, patterns ...string) {
 		}
 	}
 
-	runner := &lint.Runner{Analyzers: []*lint.Analyzer{a}}
+	runner := &lint.Runner{Analyzers: as}
 	res, err := runner.Run(pkgs)
 	if err != nil {
-		t.Fatalf("run %s: %v", a.Name, err)
+		t.Fatalf("run %s: %v", as[0].Name, err)
 	}
 	for _, derr := range res.DirectiveErrors {
 		t.Errorf("directive error: %v", derr)
@@ -109,7 +120,18 @@ func collectWants(t *testing.T, pkg *lint.Package, f *ast.File) []*expectation {
 		for _, c := range cg.List {
 			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
 			if !strings.HasPrefix(text, "want ") {
-				continue
+				// A //lint:ignore directive occupies the whole comment, so a
+				// fixture asserting a diagnostic *about the directive itself*
+				// (unusedignore) embeds the want at the end of the directive
+				// text: //lint:ignore a reason // want "regexp".
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					continue
+				}
+				text = text[i+len("// "):]
 			}
 			pos := pkg.Fset.Position(c.Pos())
 			ms := wantRe.FindAllStringSubmatch(text[len("want "):], -1)
@@ -126,6 +148,82 @@ func collectWants(t *testing.T, pkg *lint.Package, f *ast.File) []*expectation {
 		}
 	}
 	return out
+}
+
+// ModuleRoot walks upward from the test's working directory to the enclosing
+// go.mod and returns the module root directory and module path. Integration
+// tests use it to run the engine over the real repository.
+func ModuleRoot(t *testing.T) (root, modPath string) {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^module\s+(\S+)`)
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			m := re.FindSubmatch(data)
+			if m == nil {
+				t.Fatalf("no module directive in %s/go.mod", dir)
+			}
+			return dir, string(m[1])
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test working directory")
+		}
+		dir = parent
+	}
+}
+
+// CopyModuleGoFiles mirrors the module's buildable tree (every .go file
+// outside hidden, underscore, vendor and testdata directories) into dst, so
+// a test can seed mutations into a throwaway copy of the real repository
+// without touching the checkout.
+func CopyModuleGoFiles(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(p string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if fi.IsDir() {
+			name := fi.Name()
+			if p != src && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+			return err
+		}
+		in, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		w, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(w, in); err != nil {
+			w.Close()
+			return err
+		}
+		return w.Close()
+	})
+	if err != nil {
+		t.Fatalf("copy module tree: %v", err)
+	}
 }
 
 // Fprint is a tiny helper for debugging fixture runs from tests.

@@ -32,6 +32,7 @@ type Package struct {
 	TypeErrors []error
 
 	xtestFiles []*ast.File // package foo_test files, hoisted into a sibling Package by LoadAll
+	xtestPkg   *Package    // memoized external-test sibling, built on first LoadPackages
 }
 
 // Loader parses and type-checks packages of a single module (or of a
@@ -58,6 +59,10 @@ type Loader struct {
 	loading map[string]bool
 	std     types.Importer
 	srcImp  types.Importer
+	// checked records every path handed to the type checker, in order. The
+	// fact cache's warm-run integration test asserts this stays empty when
+	// nothing changed.
+	checked []string
 }
 
 // NewLoader returns a loader over rootDir. rootPath is the module path prefix
@@ -128,20 +133,49 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 	}
 	var out []*Package
 	for _, p := range paths {
-		pkg, err := l.Load(p)
+		pkgs, err := l.LoadPackages(p)
 		if err != nil {
-			return nil, fmt.Errorf("lint: load %s: %w", p, err)
+			return nil, err
 		}
-		out = append(out, pkg)
-		if len(pkg.xtestFiles) > 0 {
-			xp, err := l.checkXTest(pkg)
-			if err != nil {
-				return nil, fmt.Errorf("lint: load %s external tests: %w", p, err)
-			}
-			out = append(out, xp)
-		}
+		out = append(out, pkgs...)
 	}
 	return out, nil
+}
+
+// LoadPackages loads the package at path plus, when the directory carries an
+// external test package, that package as a second entry — the directory
+// group the Runner and the fact cache operate on. The external-test sibling
+// is memoized, so repeated calls do not re-type-check it.
+func (l *Loader) LoadPackages(path string) ([]*Package, error) {
+	pkg, err := l.Load(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: load %s: %w", path, err)
+	}
+	out := []*Package{pkg}
+	if len(pkg.xtestFiles) > 0 {
+		if pkg.xtestPkg == nil {
+			xp, err := l.checkXTest(pkg)
+			if err != nil {
+				return nil, fmt.Errorf("lint: load %s external tests: %w", path, err)
+			}
+			pkg.xtestPkg = xp
+		}
+		out = append(out, pkg.xtestPkg)
+	}
+	return out, nil
+}
+
+// DirFor resolves an import path to its directory under RootDir, reporting
+// whether the path is local to the loaded tree. The fact cache uses it to
+// hash package sources without forcing a load.
+func (l *Loader) DirFor(path string) (string, bool) { return l.pathToDir(path) }
+
+// TypeCheckedPaths returns the package paths that have been handed to the
+// type checker so far, in check order (external-test packages appear under
+// their "<path>_test" name). A warm cache run over an unchanged tree keeps
+// this empty — the property the incremental engine exists to provide.
+func (l *Loader) TypeCheckedPaths() []string {
+	return append([]string(nil), l.checked...)
 }
 
 func (l *Loader) relToPath(rel string) string {
@@ -241,6 +275,7 @@ func (l *Loader) Load(path string) (*Package, error) {
 
 // check type-checks one set of files as the package named by path.
 func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.Info, []error) {
+	l.checked = append(l.checked, path)
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),

@@ -5,10 +5,25 @@ import (
 	"sort"
 )
 
+// UnusedIgnoreName is the name of the engine-level analyzer that reports
+// //lint:ignore directives which suppressed nothing. Unlike the syntactic
+// analyzers it cannot be a plain Pass over one package's AST: it needs the
+// outcome of suppression, so the Runner computes it after folding every
+// other analyzer's findings through the directives. The analyzers package
+// registers a descriptor under this name so the check participates in
+// -list, -analyzers selection and linttest fixtures like any other.
+const UnusedIgnoreName = "unusedignore"
+
 // Runner applies a set of analyzers to loaded packages and folds the results
 // through the suppression directives.
 type Runner struct {
 	Analyzers []*Analyzer
+	// Known is the set of analyzer names accepted in //lint:ignore
+	// directives. It defaults to the names of Analyzers, but callers running
+	// a subset (gpowerlint -analyzers maporder) should set it to the full
+	// registry so directives for analyzers that merely did not run this time
+	// are not rejected as unknown.
+	Known map[string]bool
 }
 
 // Result is the outcome of one lint run.
@@ -24,17 +39,87 @@ type Result struct {
 	Suppressed int
 }
 
-// Run analyzes every package. Analyzer errors (not diagnostics) abort the run.
-func (r *Runner) Run(pkgs []*Package) (*Result, error) {
-	known := make(map[string]bool, len(r.Analyzers))
+// Merge appends another result (group-local or cached) into r. Callers are
+// expected to sort once at the end via SortDiagnostics.
+func (r *Result) Merge(other *Result) {
+	r.Diagnostics = append(r.Diagnostics, other.Diagnostics...)
+	r.DirectiveErrors = append(r.DirectiveErrors, other.DirectiveErrors...)
+	r.Suppressed += other.Suppressed
+}
+
+// validate checks the analyzer set and returns the known-name map used for
+// directive parsing.
+func (r *Runner) validate() (map[string]bool, error) {
+	names := make(map[string]bool, len(r.Analyzers))
 	for _, a := range r.Analyzers {
 		if a.Name == "" || a.Run == nil {
 			return nil, fmt.Errorf("lint: analyzer %q is incomplete", a.Name)
 		}
-		if known[a.Name] {
+		if names[a.Name] {
 			return nil, fmt.Errorf("lint: duplicate analyzer name %q", a.Name)
 		}
-		known[a.Name] = true
+		names[a.Name] = true
+	}
+	known := r.Known
+	if known == nil {
+		known = names
+	}
+	return known, nil
+}
+
+// Run analyzes every package. Analyzer errors (not diagnostics) abort the
+// run. Packages are processed in directory groups (a package and its
+// external-test sibling share a directory), each of which is self-contained:
+// //lint:ignore directives only ever suppress diagnostics in their own file,
+// so no suppression crosses a group boundary. This is the property the
+// fact cache (internal/lint/cache) relies on to replay groups independently.
+func (r *Runner) Run(pkgs []*Package) (*Result, error) {
+	if _, err := r.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, group := range GroupByDir(pkgs) {
+		gr, err := r.RunGroup(group)
+		if err != nil {
+			return nil, err
+		}
+		res.Merge(gr)
+	}
+	SortDiagnostics(res.Diagnostics)
+	return res, nil
+}
+
+// GroupByDir splits a package list into runs of consecutive packages that
+// share a directory (the base package followed by its hoisted external-test
+// package, in LoadAll order).
+func GroupByDir(pkgs []*Package) [][]*Package {
+	var groups [][]*Package
+	for i := 0; i < len(pkgs); {
+		j := i + 1
+		for j < len(pkgs) && pkgs[j].Dir == pkgs[i].Dir {
+			j++
+		}
+		groups = append(groups, pkgs[i:j])
+		i = j
+	}
+	return groups
+}
+
+// RunGroup analyzes one directory group (a package plus, possibly, its
+// external-test sibling) and returns a self-contained, sorted result.
+func (r *Runner) RunGroup(pkgs []*Package) (*Result, error) {
+	known, err := r.validate()
+	if err != nil {
+		return nil, err
+	}
+	runSet := make(map[string]bool, len(r.Analyzers))
+	reportUnused := false
+	for _, a := range r.Analyzers {
+		if a.Name == UnusedIgnoreName {
+			reportUnused = true
+			continue
+		}
+		runSet[a.Name] = true
 	}
 
 	res := &Result{}
@@ -50,6 +135,9 @@ func (r *Runner) Run(pkgs []*Package) (*Result, error) {
 			res.DirectiveErrors = append(res.DirectiveErrors, errs...)
 		}
 		for _, a := range r.Analyzers {
+			if a.Name == UnusedIgnoreName {
+				continue // engine-level: computed below, after suppression
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -64,15 +152,88 @@ func (r *Runner) Run(pkgs []*Package) (*Result, error) {
 		}
 	}
 
+	hits := make([]int, len(ignores))
 	for _, d := range all {
-		if suppressed(d, ignores) {
+		if i := suppressedBy(d, ignores); i >= 0 {
+			hits[i]++
 			res.Suppressed++
 			continue
 		}
 		res.Diagnostics = append(res.Diagnostics, d)
 	}
-	sort.Slice(res.Diagnostics, func(i, j int) bool {
-		a, b := res.Diagnostics[i], res.Diagnostics[j]
+
+	if reportUnused {
+		unused := unusedIgnores(ignores, hits, runSet)
+		// Unused-ignore findings are themselves suppressible — a directive
+		// whose analyzer list includes "unusedignore" is exempt by
+		// construction (see unusedIgnores), so no fixpoint is needed.
+		for _, d := range unused {
+			if i := suppressedBy(d, ignores); i >= 0 {
+				res.Suppressed++
+				continue
+			}
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+
+	SortDiagnostics(res.Diagnostics)
+	return res, nil
+}
+
+// unusedIgnores turns zero-hit directives into diagnostics. A directive is
+// reported only when a verdict is possible and meaningful:
+//
+//   - every analyzer it names actually ran (a directive for ctxflow is not
+//     "unused" merely because this run selected -analyzers floateq), and
+//   - it does not name unusedignore itself — //lint:ignore a,unusedignore
+//     is the sanctioned "keep even if currently unused" escape hatch.
+func unusedIgnores(ignores []Ignore, hits []int, runSet map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for i := range ignores {
+		ig := &ignores[i]
+		if hits[i] > 0 {
+			continue
+		}
+		decidable := true
+		for _, name := range ig.Analyzers {
+			if name == UnusedIgnoreName {
+				decidable = false
+				break
+			}
+			if !runSet[name] {
+				decidable = false
+				break
+			}
+		}
+		if !decidable {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: UnusedIgnoreName,
+			Pos:      ig.Pos,
+			Message: fmt.Sprintf("//lint:ignore %s directive suppressed no diagnostics: the guarded code moved or was fixed, so delete the directive (or add unusedignore to its analyzer list to keep it deliberately)",
+				joinNames(ig.Analyzers)),
+		})
+	}
+	return out
+}
+
+func joinNames(names []string) string {
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ","
+		}
+		s += n
+	}
+	return s
+}
+
+// SortDiagnostics orders diagnostics by (file, line, col, analyzer, message)
+// — the engine's canonical deterministic report order.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -87,14 +248,14 @@ func (r *Runner) Run(pkgs []*Package) (*Result, error) {
 		}
 		return a.Message < b.Message
 	})
-	return res, nil
 }
 
-func suppressed(d Diagnostic, ignores []Ignore) bool {
+// suppressedBy returns the index of the first directive matching d, or -1.
+func suppressedBy(d Diagnostic, ignores []Ignore) int {
 	for i := range ignores {
 		if ignores[i].Matches(d.Analyzer, d.Pos) {
-			return true
+			return i
 		}
 	}
-	return false
+	return -1
 }
