@@ -26,17 +26,25 @@
 #   make bench   — regenerate the paper's tables/figures (EXPERIMENTS.md numbers)
 #   make speedup — serial vs parallel Estimate comparison per device catalog
 #   make bench-json — run the perf-relevant Go benchmarks plus the speedup
-#                  experiment and consolidate both into BENCH_results.json
-#                  (ns/op, B/op, allocs/op, cold-vs-warm speedup factors;
-#                  seed 42). BENCHTIME=1x makes it a smoke run (CI default
-#                  here); raise it locally for stable numbers.
+#                  and fleet-fit experiments and consolidate everything into
+#                  BENCH_results.json (ns/op, B/op, allocs/op, reference-vs-
+#                  restructured estimate-fit factors, fleet models/min;
+#                  seed 42). Fails if a large-device estimate-fit speedup
+#                  drops below MIN_ESTIMATE_SPEEDUP (default 2.0; the CI
+#                  bench-smoke gate). BENCHTIME=1x makes it a smoke run (CI
+#                  default here); raise it locally for stable numbers.
 
 GO ?= go
 BENCHTIME ?= 1x
 
 # The benchmark subset bench-json records: the estimation and DVFS hot
 # paths this repo optimizes, not the full paper-figure regeneration suite.
-BENCH_JSON_PATTERN = 'Benchmark(Predict|NNLS|Isotonic|DVFSSearch|EvaluateOperatingPoints|FindBestConfigWarm|Estimate(Serial|Parallel))$$'
+BENCH_JSON_PATTERN = 'Benchmark(Predict|NNLS(Cold)?|Isotonic|DVFSSearch|EvaluateOperatingPoints|FindBestConfigWarm|Estimate(Serial|Parallel|Reference)|FleetFit)$$'
+
+# bench-json regression gate: the estimate-fit speedup rows for the large
+# devices (Titan Xp, GTX Titan X) must stay at or above this factor, else
+# benchjson exits non-zero and the CI bench-smoke job fails.
+MIN_ESTIMATE_SPEEDUP ?= 2.0
 
 .PHONY: all build test verify vet race lint lint-bench cover bench speedup bench-json clean
 
@@ -89,7 +97,8 @@ speedup:
 
 bench-json:
 	$(GO) test -run NONE -bench $(BENCH_JSON_PATTERN) -benchmem -benchtime $(BENCHTIME) ./ | tee bench_raw.txt
-	$(GO) run ./cmd/benchjson -bench bench_raw.txt -o BENCH_results.json
+	$(GO) run ./cmd/benchjson -bench bench_raw.txt -o BENCH_results.json \
+		-min-estimate-speedup $(MIN_ESTIMATE_SPEEDUP)
 	@rm -f bench_raw.txt
 
 clean:

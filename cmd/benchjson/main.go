@@ -5,10 +5,13 @@
 //	benchjson -bench bench_raw.txt -o BENCH_results.json
 //
 // It parses the standard `go test -bench -benchmem` output (ns/op, B/op,
-// allocs/op per benchmark) and runs the speedup experiment (cold vs warm
-// prediction surfaces, sequential vs pooled fitting) in-process, then writes
-// both as one JSON document. `make bench-json` is the supported entry point;
-// CI uploads the resulting BENCH_results.json as a build artifact.
+// allocs/op per benchmark) and runs the speedup and fleet-fit experiments
+// (cold vs warm prediction surfaces, reference vs restructured estimation
+// engine, fleet fitting throughput) in-process, then writes everything as
+// one JSON document. `make bench-json` is the supported entry point; CI
+// uploads the resulting BENCH_results.json as a build artifact and gates on
+// -min-estimate-speedup: the estimate-fit rows for the large devices must
+// not regress below the given factor.
 package main
 
 import (
@@ -45,11 +48,21 @@ type SpeedupEntry struct {
 	Factor    float64 `json:"speedup_factor"`
 }
 
+// FleetFitEntry records the fleet-scale fitting throughput measurement.
+type FleetFitEntry struct {
+	Members         []string `json:"members"`
+	Workers         int      `json:"workers"`
+	WallNs          float64  `json:"wall_ns"`
+	ModelsPerMinute float64  `json:"models_per_minute"`
+	Converged       int      `json:"converged"`
+}
+
 // Document is the BENCH_results.json schema.
 type Document struct {
 	Seed       uint64         `json:"seed"`
 	Benchmarks []BenchEntry   `json:"benchmarks"`
 	Speedups   []SpeedupEntry `json:"speedups"`
+	FleetFit   *FleetFitEntry `json:"fleet_fit,omitempty"`
 }
 
 // benchLine matches e.g.
@@ -93,6 +106,8 @@ func main() {
 	bench := flag.String("bench", "", "path to `go test -bench -benchmem` output to parse (optional)")
 	seed := flag.Uint64("seed", experiments.DefaultSeed, "simulation seed for the speedup measurements")
 	out := flag.String("o", "BENCH_results.json", "output path")
+	minEstimate := flag.Float64("min-estimate-speedup", 0,
+		"fail (exit 1) if any large-device estimate-fit speedup factor falls below this (0 disables the gate)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -124,6 +139,19 @@ func main() {
 		})
 	}
 
+	ff, err := experiments.RunFleetFit(ctx, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: fleet-fit experiment: %v\n", err)
+		os.Exit(1)
+	}
+	doc.FleetFit = &FleetFitEntry{
+		Members:         ff.Members,
+		Workers:         ff.Workers,
+		WallNs:          ff.WallNs,
+		ModelsPerMinute: ff.ModelsPerMinute,
+		Converged:       ff.Converged,
+	}
+
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -134,6 +162,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (%d benchmarks, %d speedup rows, seed %d)\n",
-		*out, len(doc.Benchmarks), len(doc.Speedups), *seed)
+	fmt.Printf("wrote %s (%d benchmarks, %d speedup rows, %.1f models/min fleet fit, seed %d)\n",
+		*out, len(doc.Benchmarks), len(doc.Speedups), ff.ModelsPerMinute, *seed)
+
+	// The regression gate runs after the artifact is written so a failing
+	// run still leaves the numbers on disk for diagnosis.
+	if *minEstimate > 0 {
+		gated := []string{"estimate-fit (Titan Xp)", "estimate-fit (GTX Titan X)"}
+		checked := 0
+		failed := false
+		for _, want := range gated {
+			for _, e := range doc.Speedups {
+				if e.Name != want {
+					continue
+				}
+				checked++
+				if e.Factor < *minEstimate {
+					fmt.Fprintf(os.Stderr, "benchjson: %s speedup %.2fx below gate %.2fx\n",
+						e.Name, e.Factor, *minEstimate)
+					failed = true
+				}
+			}
+		}
+		if checked != len(gated) {
+			fmt.Fprintf(os.Stderr, "benchjson: gate found %d of %d estimate-fit rows %v\n",
+				checked, len(gated), gated)
+			failed = true
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
 }

@@ -153,26 +153,72 @@ type estimatorWorkspace struct {
 	bvec []float64
 	nnls *linalg.NNLSWorkspace
 
+	// Subset-shape buffers for the step-1 {F1,F2,F3} solve. Historically
+	// this path silently allocated a fresh matrix + rhs on every call; the
+	// cache keeps repeated fits (the fleet scenario) allocation-free.
+	subA *linalg.Matrix
+	subB []float64
+
+	// fill* carry solveXInto's per-call arguments to fillRowBlock, and
+	// fillFn memoizes the bound method value. A closure literal passed to
+	// parallel.ForEach escapes and allocates even on the inline serial
+	// path (the MulInto closure-escape trap), so the assembly loop's
+	// callback is built once per workspace instead of once per solve.
+	fillA    *linalg.Matrix
+	fillB    []float64
+	fillVolt *VoltageTable
+	fillIdx  []int
+	fillFn   func(k int) error
+
 	A, B    []float64 // step-2 per-benchmark precomputes
 	partial []float64 // trainingSSE per-config partial sums
+}
+
+// growFloats returns s resized to exactly n entries, reusing its backing
+// array when the capacity suffices. Contents are unspecified; every caller
+// overwrites the slice before reading it.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // newEstimatorWorkspace sizes a workspace for dataset d and flattens the
 // utilization base blocks.
 func newEstimatorWorkspace(d *Dataset) *estimatorWorkspace {
+	ws := &estimatorWorkspace{}
+	ws.reset(d)
+	return ws
+}
+
+// reset retargets the workspace at dataset d, growing buffers only when d
+// needs more capacity than any dataset seen before and re-deriving all
+// dataset-dependent state (the flattened utilization base blocks). A reused
+// workspace therefore produces bitwise-identical fits to a fresh one: every
+// buffer is either fully rewritten here or fully rewritten by the assembly
+// loops before it is read. This is what lets fleet fitting hold one
+// workspace per worker across many heterogeneous device fits.
+func (ws *estimatorWorkspace) reset(d *Dataset) {
 	nb := len(d.Benchmarks)
 	rows := nb * len(d.Configs)
-	ws := &estimatorWorkspace{
-		d:       d,
-		nb:      nb,
-		ubase:   make([]float64, nb*nUtil),
-		a:       linalg.NewMatrix(rows, nParams),
-		bvec:    make([]float64, rows),
-		nnls:    linalg.NewNNLSWorkspace(rows, nParams),
-		A:       make([]float64, nb),
-		B:       make([]float64, nb),
-		partial: make([]float64, len(d.Configs)),
+	ws.d = d
+	ws.nb = nb
+	ws.ubase = growFloats(ws.ubase, nb*nUtil)
+	if ws.a == nil {
+		ws.a = linalg.NewMatrix(rows, nParams)
+	} else {
+		ws.a.Reshape(rows, nParams)
 	}
+	ws.bvec = growFloats(ws.bvec, rows)
+	if ws.nnls == nil {
+		ws.nnls = linalg.NewNNLSWorkspace(rows, nParams)
+	} else {
+		ws.nnls.Ensure(rows, nParams)
+	}
+	ws.A = growFloats(ws.A, nb)
+	ws.B = growFloats(ws.B, nb)
+	ws.partial = growFloats(ws.partial, len(d.Configs))
 	for bi, bench := range d.Benchmarks {
 		ub := ws.ubase[bi*nUtil : (bi+1)*nUtil]
 		for i, c := range CoreOmegaOrder {
@@ -180,7 +226,6 @@ func newEstimatorWorkspace(d *Dataset) *estimatorWorkspace {
 		}
 		ub[nUtil-1] = bench.Util[hw.DRAM]
 	}
-	return ws
 }
 
 // ub returns benchmark bi's utilization base block.
@@ -200,47 +245,64 @@ func (ws *estimatorWorkspace) ub(bi int) []float64 {
 // the precomputed base blocks — no per-row scratch, no map lookups, and
 // (for the full-ladder shape) no allocation.
 func (ws *estimatorWorkspace) solveXInto(dst []float64, volt *VoltageTable, configIdx []int) error {
-	d, nb := ws.d, ws.nb
-	rows := nb * len(configIdx)
+	rows := ws.nb * len(configIdx)
 	a, b := ws.a, ws.bvec
 	if rows != a.Rows() {
-		// Subset solves (the step-1 {F1,F2,F3} system) run once per fit; a
-		// right-sized matrix keeps the NNLS scaling identical to the
-		// historical path.
-		a = linalg.NewMatrix(rows, nParams)
-		b = make([]float64, rows)
+		// Subset solves (the step-1 {F1,F2,F3} system) use cached
+		// right-sized buffers — a right-sized matrix keeps the NNLS scaling
+		// identical to the historical path, and the cache keeps repeated
+		// fits through a reused workspace allocation-free.
+		if ws.subA == nil {
+			ws.subA = linalg.NewMatrix(rows, nParams)
+		} else if ws.subA.Rows() != rows {
+			ws.subA.Reshape(rows, nParams)
+		}
+		ws.subB = growFloats(ws.subB, rows)
+		a, b = ws.subA, ws.subB
 	}
-	err := parallel.ForEach(len(configIdx), func(k int) error {
-		fi := configIdx[k]
-		cfg := d.Configs[fi]
-		vc, vm, err := volt.At(cfg)
-		if err != nil {
-			return err
-		}
-		fc, fm := cfg.CoreMHz, cfg.MemMHz
-		s1 := vc * vc * fc
-		s3 := vm * vm * fm
-		r := k * nb
-		for bi := 0; bi < nb; bi++ {
-			row := a.RowView(r)
-			ub := ws.ub(bi)
-			row[0] = vc
-			row[1] = s1
-			row[2] = vm
-			row[3] = s3
-			for i := 0; i < nUtil-1; i++ {
-				row[4+i] = s1 * ub[i]
-			}
-			row[nParams-1] = s3 * ub[nUtil-1]
-			b[r] = d.Power[bi][fi]
-			r++
-		}
-		return nil
-	})
+	if ws.fillFn == nil {
+		ws.fillFn = ws.fillRowBlock
+	}
+	ws.fillA, ws.fillB, ws.fillVolt, ws.fillIdx = a, b, volt, configIdx
+	err := parallel.ForEach(len(configIdx), ws.fillFn)
+	ws.fillVolt, ws.fillIdx = nil, nil
 	if err != nil {
 		return err
 	}
 	return ws.nnls.SolveInto(dst, a, b)
+}
+
+// fillRowBlock assembles configuration k's contiguous row block of the
+// design system staged in ws.fill* by solveXInto. Workers read the shared
+// fill state and write disjoint row ranges only.
+func (ws *estimatorWorkspace) fillRowBlock(k int) error {
+	d, nb := ws.d, ws.nb
+	a, b := ws.fillA, ws.fillB
+	fi := ws.fillIdx[k]
+	cfg := d.Configs[fi]
+	vc, vm, err := ws.fillVolt.At(cfg)
+	if err != nil {
+		return err
+	}
+	fc, fm := cfg.CoreMHz, cfg.MemMHz
+	s1 := vc * vc * fc
+	s3 := vm * vm * fm
+	r := k * nb
+	for bi := 0; bi < nb; bi++ {
+		row := a.RowView(r)
+		ub := ws.ub(bi)
+		row[0] = vc
+		row[1] = s1
+		row[2] = vm
+		row[3] = s3
+		for i := 0; i < nUtil-1; i++ {
+			row[4+i] = s1 * ub[i]
+		}
+		row[nParams-1] = s3 * ub[nUtil-1]
+		b[r] = d.Power[bi][fi]
+		r++
+	}
+	return nil
 }
 
 // solveX is the workspace-per-call form of solveXInto, kept for tests and
@@ -258,6 +320,15 @@ func solveX(d *Dataset, volt *VoltageTable, configIdx []int) ([]float64, error) 
 // (V̄core, V̄mem) by minimizing the squared prediction error over the
 // benchmark set, then project each domain's ladder onto the monotonicity
 // constraint (Eq. 12) and renormalize so V̄(ref) = 1.
+//
+// The per-configuration objective Σ_b (P_b − β0·vc − fc·A_b·vc² − β2·vm −
+// fm·B_b·vm²)² is compiled into a closed-form bivariate quartic
+// (linalg.Quartic2D) before the search: the benchmark sum collapses into
+// thirteen monomial coefficients, one O(nb) pass per configuration, so every
+// evaluation inside the golden-section descent costs O(1) instead of O(nb).
+// This removed the dominant cost of a fit (the objective loop was >50% of
+// Estimate's profile); EstimateReference keeps the direct-evaluation
+// arithmetic as the measured baseline.
 func (ws *estimatorWorkspace) solveVoltages(x []float64, volt *VoltageTable, opts *EstimatorOptions) error {
 	// Precompute A_b = β1 + Σ ω_i U_ib and B_b = β3 + ω_mem·U_dram,b on the
 	// reused workspace buffers, reading the flattened base blocks (same
@@ -274,28 +345,56 @@ func (ws *estimatorWorkspace) solveVoltages(x []float64, volt *VoltageTable, opt
 	}
 	beta0, beta2 := x[0], x[2]
 
+	// Voltage- and frequency-independent moments of the per-benchmark slope
+	// terms, shared by every configuration's compiled objective (the
+	// config-dependent factors fc, fm scale them per config below).
+	var sumA, sumB, sumA2, sumB2, sumAB float64
+	for bi := 0; bi < ws.nb; bi++ {
+		sumA += A[bi]
+		sumB += B[bi]
+		sumA2 += A[bi] * A[bi]
+		sumB2 += B[bi] * B[bi]
+		sumAB += A[bi] * B[bi]
+	}
+	nbf := float64(ws.nb)
+
 	// The per-configuration solves are independent (the paper's step 2 is a
 	// separate 2-D minimization per V-F point), so they fan out across the
 	// worker pool. Each iteration writes exactly one (mi, ci) slot of the
 	// voltage table — dataset configurations are unique (Dataset.Validate) —
-	// so the writes are disjoint and the table is bitwise-identical to the
-	// serial fill.
+	// so the writes are disjoint, and the per-config arithmetic is
+	// straight-line, so the table is bitwise-identical to the serial fill.
 	err := parallel.ForEach(len(d.Configs), func(fi int) error {
 		cfg := d.Configs[fi]
 		if cfg == d.Ref {
 			return volt.Set(cfg, 1, 1)
 		}
 		fc, fm := cfg.CoreMHz, cfg.MemMHz
-		obj := func(vc, vm float64) float64 {
-			var s float64
-			for bi := range d.Benchmarks {
-				pred := beta0*vc + vc*vc*fc*A[bi] + beta2*vm + vm*vm*fm*B[bi]
-				diff := d.Power[bi][fi] - pred
-				s += diff * diff
-			}
-			return s
+		// Config-dependent moments: one fused pass over the benchmarks.
+		var sumD, sumD2, sumDA, sumDB float64
+		for bi := 0; bi < ws.nb; bi++ {
+			pd := d.Power[bi][fi]
+			sumD += pd
+			sumD2 += pd * pd
+			sumDA += pd * A[bi]
+			sumDB += pd * B[bi]
 		}
-		vc, vm, err := linalg.Minimize2D(obj, opts.VoltageLo, opts.VoltageHi,
+		q := linalg.Quartic2D{
+			C00: sumD2,
+			C10: -2 * beta0 * sumD,
+			C20: nbf*beta0*beta0 - 2*fc*sumDA,
+			C30: 2 * beta0 * fc * sumA,
+			C40: fc * fc * sumA2,
+			C01: -2 * beta2 * sumD,
+			C02: nbf*beta2*beta2 - 2*fm*sumDB,
+			C03: 2 * beta2 * fm * sumB,
+			C04: fm * fm * sumB2,
+			C11: 2 * nbf * beta0 * beta2,
+			C12: 2 * beta0 * fm * sumB,
+			C21: 2 * beta2 * fc * sumA,
+			C22: 2 * fc * fm * sumAB,
+		}
+		vc, vm, err := q.Minimize(opts.VoltageLo, opts.VoltageHi,
 			opts.VoltageLo, opts.VoltageHi, 1e-6)
 		if err != nil {
 			return err
@@ -419,11 +518,44 @@ func applyFixedVoltages(d *Dataset, volt *VoltageTable, opts *EstimatorOptions) 
 	return nil
 }
 
+// FitWorkspace is a reusable, opaque estimation workspace: the design
+// matrix, NNLS/QR buffers and step-2/SSE scratch of the Section III-D
+// alternation, preserved across EstimateWith calls. Buffers grow to the
+// largest dataset seen and are re-derived per fit, so reuse never changes a
+// fitted bit (the fleet equivalence tests pin this). A workspace is
+// single-goroutine state: confine each instance to one worker (see
+// parallel.PerWorker) or guard it externally.
+type FitWorkspace struct {
+	ws *estimatorWorkspace
+}
+
+// NewFitWorkspace returns an empty workspace; buffers are sized lazily by
+// the first fit.
+func NewFitWorkspace() *FitWorkspace { return &FitWorkspace{} }
+
+// prepare retargets the workspace at dataset d.
+func (fw *FitWorkspace) prepare(d *Dataset) *estimatorWorkspace {
+	if fw.ws == nil {
+		fw.ws = newEstimatorWorkspace(d)
+	} else {
+		fw.ws.reset(d)
+	}
+	return fw.ws
+}
+
 // Estimate runs the Section III-D algorithm on a training dataset and
 // returns the fitted DVFS-aware power model. Cancellation is checked at
 // iteration granularity: a canceled context aborts the alternation promptly
 // with an error wrapping ctx.Err().
 func Estimate(ctx context.Context, d *Dataset, opts *EstimatorOptions) (*Model, error) {
+	return EstimateWith(ctx, d, opts, nil)
+}
+
+// EstimateWith is Estimate on a caller-owned reusable workspace (nil fw
+// behaves like Estimate: a fresh workspace per call). Fleet fitting holds
+// one FitWorkspace per worker so back-to-back fits of same-shaped datasets
+// run with zero steady-state workspace allocation.
+func EstimateWith(ctx context.Context, d *Dataset, opts *EstimatorOptions, fw *FitWorkspace) (*Model, error) {
 	if opts == nil {
 		opts = DefaultEstimatorOptions()
 	}
@@ -450,9 +582,13 @@ func Estimate(ctx context.Context, d *Dataset, opts *EstimatorOptions) (*Model, 
 		allConfigs[i] = i
 	}
 
-	// One workspace per fit: design matrix, NNLS buffers and scratch are
-	// allocated here and reused by every iteration below (DESIGN.md §10).
-	ws := newEstimatorWorkspace(d)
+	// One workspace per fit — or the caller's reusable one: design matrix,
+	// NNLS buffers and scratch are sized here and reused by every iteration
+	// below (DESIGN.md §10).
+	if fw == nil {
+		fw = NewFitWorkspace()
+	}
+	ws := fw.prepare(d)
 	x := make([]float64, nParams)
 
 	// Known-voltage simplification (Section III-D): copy the measured

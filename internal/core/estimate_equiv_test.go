@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -165,6 +166,94 @@ func TestSolveVoltagesBasePrecomputes(t *testing.T) {
 		}
 		if math.Float64bits(ws.B[bi]) != math.Float64bits(wantB) {
 			t.Fatalf("B[%d] = %x, want %x", bi, ws.B[bi], wantB)
+		}
+	}
+}
+
+// TestSolveXIntoSubsetAllocFree pins the step-1 subset path: solving over
+// initialConfigs (rows != full design height) must reuse the cached
+// subset-shaped buffers after the first call instead of allocating a fresh
+// matrix and right-hand side per solve.
+func TestSolveXIntoSubsetAllocFree(t *testing.T) {
+	d := syntheticDataset(defaultSyntheticTruth(), 24, 2.0, 7)
+	ws := newEstimatorWorkspace(d)
+	init, err := initialConfigs(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(init) == len(d.Configs) {
+		t.Fatalf("initialConfigs covers the full ladder; subset path not exercised")
+	}
+	volt := NewVoltageTable(d.Device.CoreFreqs, d.Device.MemFreqs)
+	x := make([]float64, nParams)
+	// Warm once: the first subset solve sizes ws.subA/ws.subB.
+	if err := ws.solveXInto(x, volt, init); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := ws.solveXInto(x, volt, init); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("subset solveXInto allocates %.1f/op in steady state, want 0", allocs)
+	}
+}
+
+// TestEstimateMatchesReferenceEngine cross-checks the production engine
+// against the preserved pre-restructuring engine (estimate_reference.go) on
+// a synthetic dataset. The engines order their floating-point work
+// differently (blocked vs Hypot-chain QR, compiled vs direct step-2
+// objectives), so agreement is tolerance-based: measured divergence on the
+// real device rigs is ≤1e-5 relative on parameters and ≤6e-6 on voltages;
+// the bounds here leave two orders of magnitude of margin.
+func TestEstimateMatchesReferenceEngine(t *testing.T) {
+	d := syntheticDataset(defaultSyntheticTruth(), 24, 2.0, 7)
+	ref, err := EstimateReference(context.Background(), d, nil)
+	if err != nil {
+		t.Fatalf("EstimateReference: %v", err)
+	}
+	got, err := Estimate(context.Background(), d, nil)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+
+	if got.Converged != ref.Converged {
+		t.Fatalf("Converged = %v, reference %v (after %d vs %d iterations)",
+			got.Converged, ref.Converged, got.Iterations, ref.Iterations)
+	}
+
+	var scale float64
+	for _, b := range ref.Beta {
+		scale = math.Max(scale, math.Abs(b))
+	}
+	for _, w := range ref.OmegaCore {
+		scale = math.Max(scale, math.Abs(w))
+	}
+	scale = math.Max(scale, math.Abs(ref.OmegaMem))
+
+	for i := range ref.Beta {
+		if diff := math.Abs(got.Beta[i] - ref.Beta[i]); diff > 1e-3*scale {
+			t.Errorf("β%d = %v, reference %v (diff %g)", i, got.Beta[i], ref.Beta[i], diff)
+		}
+	}
+	for c, w := range ref.OmegaCore {
+		if diff := math.Abs(got.OmegaCore[c] - w); diff > 1e-3*scale {
+			t.Errorf("ω_%s = %v, reference %v (diff %g)", c, got.OmegaCore[c], w, diff)
+		}
+	}
+	if diff := math.Abs(got.OmegaMem - ref.OmegaMem); diff > 1e-3*scale {
+		t.Errorf("ω_mem = %v, reference %v (diff %g)", got.OmegaMem, ref.OmegaMem, diff)
+	}
+	for mi := range ref.Voltages.VCore {
+		for ci := range ref.Voltages.VCore[mi] {
+			dc := math.Abs(got.Voltages.VCore[mi][ci] - ref.Voltages.VCore[mi][ci])
+			dm := math.Abs(got.Voltages.VMem[mi][ci] - ref.Voltages.VMem[mi][ci])
+			if dc > 1e-4 || dm > 1e-4 {
+				t.Errorf("voltage (%d,%d): (%v, %v), reference (%v, %v)",
+					mi, ci, got.Voltages.VCore[mi][ci], got.Voltages.VMem[mi][ci],
+					ref.Voltages.VCore[mi][ci], ref.Voltages.VMem[mi][ci])
+			}
 		}
 	}
 }

@@ -145,6 +145,13 @@ var registry = map[string]Runner{
 		}
 		return emit(w, r, plot)
 	},
+	"fleet": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
+		r, err := RunFleetFit(ctx, seed)
+		if err != nil {
+			return err
+		}
+		return emit(w, r, plot)
+	},
 	"robustness": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
 		r, err := RunRobustness(ctx, []uint64{seed, seed + 1, seed + 2, seed + 3, seed + 4})
 		if err != nil {
@@ -196,11 +203,12 @@ func Names() []string {
 }
 
 // AllNames is the set run by "-exp all" (excludes the expensive seed sweep,
-// the verbose source listing, and the wall-clock-dependent speedup timings).
+// the verbose source listing, and the wall-clock-dependent speedup and
+// fleet-throughput timings).
 func AllNames() []string {
 	var out []string
 	for _, n := range Names() {
-		if n == "robustness" || n == "sources" || n == "speedup" {
+		if n == "robustness" || n == "sources" || n == "speedup" || n == "fleet" {
 			continue
 		}
 		out = append(out, n)

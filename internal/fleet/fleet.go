@@ -1,0 +1,151 @@
+// Package fleet fits many per-device power models concurrently — the
+// "model registry" scenario: a site operates a heterogeneous fleet of GPUs
+// (several catalog architectures, several silicon instances per
+// architecture) and wants one fitted Section III-D model per device.
+//
+// The package composes the pieces the rest of the repository already
+// guarantees are safe to drive concurrently: each fleet member owns its own
+// simulated device, backend and profiler (measurements on one member are
+// single-goroutine, members are independent), and each pool worker owns one
+// reusable core.FitWorkspace, so back-to-back fits on a worker allocate no
+// workspace memory. Fits write disjoint result slots and reuse never
+// changes a fitted bit (core's workspace-reset contract), so a fleet fit of
+// N devices is bitwise-identical to N independent Estimate calls — the
+// fleet tests pin this.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gpupower/internal/backend/simbk"
+	"gpupower/internal/core"
+	"gpupower/internal/hw"
+	"gpupower/internal/microbench"
+	"gpupower/internal/parallel"
+	"gpupower/internal/profiler"
+	"gpupower/internal/sim"
+)
+
+// Spec identifies one fleet member: a catalog device plus the per-instance
+// seed (distinct silicon instances of the same architecture get distinct
+// seeds and therefore distinct process variation).
+type Spec struct {
+	Device string
+	Seed   uint64
+}
+
+// String renders a stable member label ("GTX Titan X#7").
+func (s Spec) String() string { return fmt.Sprintf("%s#%d", s.Device, s.Seed) }
+
+// Registry returns n fleet members drawn round-robin from the device
+// catalog, seeded baseSeed, baseSeed+1, … — the synthetic stand-in for a
+// site's device inventory.
+func Registry(n int, baseSeed uint64) []Spec {
+	devs := hw.AllDevices()
+	specs := make([]Spec, n)
+	for i := range specs {
+		specs[i] = Spec{Device: devs[i%len(devs)].Name, Seed: baseSeed + uint64(i)}
+	}
+	return specs
+}
+
+// Fit is one member's fitted result.
+type Fit struct {
+	Spec  Spec
+	Model *core.Model
+}
+
+// Result is a fleet fit: one Fit per input spec, in spec order, plus the
+// wall-clock throughput of the fitting phase.
+type Result struct {
+	Fits []Fit
+	// Wall is the wall-clock duration of the concurrent fitting phase
+	// (dataset measurement excluded).
+	Wall time.Duration
+	// ModelsPerMinute is len(Fits) normalized by Wall.
+	ModelsPerMinute float64
+	// Workers is the pool width the fits ran under.
+	Workers int
+}
+
+// BuildDatasets measures one training dataset per spec, fanning out across
+// members (each member's measurement pipeline is confined to one goroutine,
+// per the rig concurrency contract). Result slot i belongs to specs[i].
+func BuildDatasets(ctx context.Context, specs []Spec) ([]*core.Dataset, error) {
+	return parallel.Map(len(specs), func(i int) (*core.Dataset, error) {
+		dev, err := hw.DeviceByName(specs[i].Device)
+		if err != nil {
+			return nil, err
+		}
+		s, err := sim.New(dev, specs[i].Seed)
+		if err != nil {
+			return nil, err
+		}
+		b, err := simbk.New(s)
+		if err != nil {
+			return nil, err
+		}
+		p, err := profiler.New(b)
+		if err != nil {
+			return nil, err
+		}
+		d, err := core.BuildDataset(ctx, p, microbench.Suite(), dev.DefaultConfig(), dev.AllConfigs())
+		if err != nil {
+			return nil, fmt.Errorf("fleet: dataset for %s: %w", specs[i], err)
+		}
+		return d, nil
+	})
+}
+
+// FitDatasets fits one model per dataset concurrently. Each pool worker
+// holds one reusable core.FitWorkspace across all the fits it executes;
+// models land in slot i for datasets[i]. Models are bitwise-identical to
+// individual core.Estimate calls on the same datasets.
+func FitDatasets(ctx context.Context, datasets []*core.Dataset, opts *core.EstimatorOptions) ([]*core.Model, error) {
+	workspaces := parallel.NewPerWorker(core.NewFitWorkspace)
+	workspaces.Ensure(parallel.Workers())
+	models := make([]*core.Model, len(datasets))
+	err := parallel.ForEachWorker(len(datasets), func(w, i int) error {
+		m, err := core.EstimateWith(ctx, datasets[i], opts, workspaces.Get(w))
+		if err != nil {
+			return err
+		}
+		models[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return models, nil
+}
+
+// FitAll measures and fits the whole fleet: datasets first (untimed — in
+// production the measurements come from the devices themselves), then the
+// concurrent fitting phase, timed, with the models-fitted-per-minute
+// throughput in the result.
+func FitAll(ctx context.Context, specs []Spec, opts *core.EstimatorOptions) (*Result, error) {
+	datasets, err := BuildDatasets(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	models, err := FitDatasets(ctx, datasets, opts)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	res := &Result{
+		Fits:    make([]Fit, len(specs)),
+		Wall:    wall,
+		Workers: parallel.Workers(),
+	}
+	for i := range specs {
+		res.Fits[i] = Fit{Spec: specs[i], Model: models[i]}
+	}
+	if wall > 0 {
+		res.ModelsPerMinute = float64(len(specs)) / wall.Minutes()
+	}
+	return res, nil
+}

@@ -55,6 +55,24 @@ func NewMatrixFromRows(rows [][]float64) (*Matrix, error) {
 	return m, nil
 }
 
+// Reshape repoints m at a rows×cols view, reusing the backing array when it
+// has the capacity and reallocating otherwise. Element contents after a
+// Reshape are unspecified — it exists for reusable workspaces (fleet fitting
+// refits many device models through one buffer set) whose assembly loops
+// overwrite every entry before it is read. It panics on non-positive
+// dimensions, like NewMatrix.
+func (m *Matrix) Reshape(rows, cols int) {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid matrix dimensions %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.data) < n {
+		m.data = make([]float64, n)
+	}
+	m.data = m.data[:n]
+	m.rows, m.cols = rows, cols
+}
+
 // Rows returns the number of rows.
 func (m *Matrix) Rows() int { return m.rows }
 

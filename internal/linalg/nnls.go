@@ -102,6 +102,27 @@ func NewNNLSWorkspace(maxRows, maxCols int) *NNLSWorkspace {
 	}
 }
 
+// Ensure grows the workspace to accommodate systems with rows ≤ maxRows and
+// cols ≤ maxCols, reallocating the internal buffers only when the requested
+// capacity exceeds the current one. It exists for long-lived per-worker
+// workspaces (fleet fitting) that meet heterogeneous system shapes; growing
+// never changes solve results, because every buffer is (re)initialized per
+// SolveInto. Not safe to call concurrently with a solve.
+func (ws *NNLSWorkspace) Ensure(maxRows, maxCols int) {
+	if maxRows <= ws.maxRows && maxCols <= ws.maxCols {
+		return
+	}
+	if maxRows < ws.maxRows {
+		maxRows = ws.maxRows
+	}
+	if maxCols < ws.maxCols {
+		maxCols = ws.maxCols
+	}
+	grown := NewNNLSWorkspace(maxRows, maxCols)
+	grown.testSolve = ws.testSolve
+	*ws = *grown
+}
+
 // SolveInto solves min ‖A·x − b‖ s.t. x ≥ 0 into dst (len Cols). The
 // arithmetic — including the passive QR solves — is shared with the
 // allocating NNLS entry point, so the two are bitwise-identical; only the

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"gpupower/internal/parallel"
 )
 
 // ErrRankDeficient is returned when a least-squares system does not have a
@@ -18,37 +20,171 @@ type QR struct {
 	rdia []float64 // diagonal of R
 }
 
+// qrRowBlock is the fixed row-block length of the blocked Householder
+// kernel. Block b of column k covers rows [k+b·qrRowBlock, k+(b+1)·qrRowBlock),
+// so the block decomposition — and therefore the partial-sum association of
+// the fused reflector application — is a property of the matrix shape alone,
+// never of the worker count. Serial and parallel factorizations of the same
+// matrix are bitwise-identical.
+const qrRowBlock = 256
+
+// qrBlocks returns the number of row blocks a factorization of m rows can
+// touch (the column-0 count, which is the maximum over all columns).
+func qrBlocks(m int) int { return (m + qrRowBlock - 1) / qrRowBlock }
+
+// colNorm2 computes the Euclidean norm of rows [k, m) of column k with one
+// scaled sum-of-squares pass (overflow-safe like a Hypot chain, but one
+// division per element and a single Sqrt instead of a libcall per element).
+func colNorm2(qr *Matrix, k int) float64 {
+	m, n := qr.rows, qr.cols
+	var mx float64
+	for i := k; i < m; i++ {
+		if a := math.Abs(qr.data[i*n+k]); a > mx {
+			mx = a
+		}
+	}
+	if mx == 0 {
+		return 0
+	}
+	var ss float64
+	for i := k; i < m; i++ {
+		v := qr.data[i*n+k] / mx
+		ss += v * v
+	}
+	return mx * math.Sqrt(ss)
+}
+
+// reflectorPartial computes row block b's partial sums of vᵀ·A over the
+// trailing columns of the column-k reflector into partial[b·cols : (b+1)·cols].
+// Package function (not a closure) so the inline serial dispatch in
+// applyReflector allocates nothing — the same closure-escape trap MulInto
+// documents.
+func reflectorPartial(qr *Matrix, k, b int, partial []float64) {
+	m, n := qr.rows, qr.cols
+	lo := k + b*qrRowBlock
+	hi := lo + qrRowBlock
+	if hi > m {
+		hi = m
+	}
+	data := qr.data
+	part := partial[b*n : (b+1)*n]
+	for j := k + 1; j < n; j++ {
+		part[j] = 0
+	}
+	for i := lo; i < hi; i++ {
+		row := data[i*n : (i+1)*n]
+		vi := row[k]
+		for j := k + 1; j < n; j++ {
+			part[j] += vi * row[j]
+		}
+	}
+}
+
+// reflectorUpdate applies the rank-1 update of the column-k reflector to row
+// block b: A_ij += w_j·v_i. Blocks own disjoint rows. Package function for
+// the same allocation reason as reflectorPartial.
+func reflectorUpdate(qr *Matrix, k, b int, w []float64) {
+	m, n := qr.rows, qr.cols
+	lo := k + b*qrRowBlock
+	hi := lo + qrRowBlock
+	if hi > m {
+		hi = m
+	}
+	data := qr.data
+	for i := lo; i < hi; i++ {
+		row := data[i*n : (i+1)*n]
+		vi := row[k]
+		for j := k + 1; j < n; j++ {
+			row[j] += w[j] * vi
+		}
+	}
+}
+
+// applyReflector applies the column-k Householder reflector (packed in rows
+// [k, m) of column k, pivot on the diagonal) to the trailing columns with a
+// fused two-pass row sweep:
+//
+//	pass 1:  w_j = Σ_i v_i·A_ij   (per-block partials, folded in block order)
+//	pass 2:  A_ij += s_j·v_i      (s_j = −w_j/v_k; disjoint row blocks)
+//
+// Compared with the historical column-at-a-time loop this reads each row
+// once per pass (row-major, cache-friendly), touches no bounds-checked
+// At/Set accessors, and is the fan-out point that lets the step-1/step-3
+// refits scale across cores. Both passes run over the same fixed block
+// decomposition whether dispatched inline or across the pool, so serial and
+// parallel factorizations are bitwise-identical.
+//
+// w needs len ≥ cols; partial needs len ≥ blocks·cols.
+func applyReflector(qr *Matrix, k int, w, partial []float64) {
+	m, n := qr.rows, qr.cols
+	if k+1 >= n {
+		return
+	}
+	rows := m - k
+	blocks := (rows + qrRowBlock - 1) / qrRowBlock
+	fanOut := blocks > 1 && rows*(n-k-1) >= parallelMinWork
+	// Pass 1: per-block partial sums of vᵀ·A over the trailing columns.
+	if fanOut {
+		// The per-block work is reflectorPartial either way; the closure only
+		// routes the block index, so fan-out cannot change a bit.
+		_ = parallel.ForEach(blocks, func(b int) error {
+			reflectorPartial(qr, k, b, partial)
+			return nil
+		})
+	} else {
+		for b := 0; b < blocks; b++ {
+			reflectorPartial(qr, k, b, partial)
+		}
+	}
+	// Fold the partials in block order (fixed association) and precompute
+	// the per-column update scale.
+	data := qr.data
+	pivot := data[k*n+k]
+	for j := k + 1; j < n; j++ {
+		var s float64
+		for b := 0; b < blocks; b++ {
+			s += partial[b*n+j]
+		}
+		w[j] = -s / pivot
+	}
+	// Pass 2: rank-1 update, disjoint row blocks.
+	if fanOut {
+		_ = parallel.ForEach(blocks, func(b int) error {
+			reflectorUpdate(qr, k, b, w)
+			return nil
+		})
+	} else {
+		for b := 0; b < blocks; b++ {
+			reflectorUpdate(qr, k, b, w)
+		}
+	}
+}
+
 // householder factorizes qr in place: packed Householder reflectors below
 // the diagonal, R on/above it, R's diagonal in rdia (len Cols). It is the
 // single shared kernel behind NewQR and QRWorkspace.Factorize, so the two
-// paths are arithmetically — and therefore bitwise — identical.
-func householder(qr *Matrix, rdia []float64) {
+// paths are arithmetically — and therefore bitwise — identical. The
+// reflector application is blocked and fused (see applyReflector); the
+// historical Hypot-chain kernel survives as householderRef, the baseline of
+// the speedup measurements.
+//
+// w and partial are caller-owned scratch: len(w) ≥ cols,
+// len(partial) ≥ qrBlocks(rows)·cols.
+func householder(qr *Matrix, rdia, w, partial []float64) {
 	m, n := qr.rows, qr.cols
+	data := qr.data
 	for k := 0; k < n; k++ {
 		// Householder vector for column k.
-		var nrm float64
-		for i := k; i < m; i++ {
-			nrm = math.Hypot(nrm, qr.At(i, k))
-		}
+		nrm := colNorm2(qr, k)
 		if nrm != 0 {
-			if qr.At(k, k) < 0 {
+			if data[k*n+k] < 0 {
 				nrm = -nrm
 			}
 			for i := k; i < m; i++ {
-				qr.Set(i, k, qr.At(i, k)/nrm)
+				data[i*n+k] /= nrm
 			}
-			qr.Set(k, k, qr.At(k, k)+1)
-			// Apply the reflector to remaining columns.
-			for j := k + 1; j < n; j++ {
-				var s float64
-				for i := k; i < m; i++ {
-					s += qr.At(i, k) * qr.At(i, j)
-				}
-				s = -s / qr.At(k, k)
-				for i := k; i < m; i++ {
-					qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
-				}
-			}
+			data[k*n+k]++
+			applyReflector(qr, k, w, partial)
 		}
 		rdia[k] = -nrm
 	}
@@ -80,26 +216,30 @@ func fullRank(rdia []float64) bool {
 // allocation; rank checking is the caller's responsibility.
 func qrSolveInto(qr *Matrix, rdia, dst, y, b []float64) {
 	m, n := qr.rows, qr.cols
+	data := qr.data
 	copy(y, b)
-	// Apply Qᵀ to b.
+	// Apply Qᵀ to b. Direct data indexing (not At/Set) with the exact loop
+	// order of the historical accessor-based code: same arithmetic, no
+	// per-element bounds re-checks.
 	for k := 0; k < n; k++ {
-		if qr.At(k, k) == 0 {
+		if data[k*n+k] == 0 {
 			continue
 		}
 		var s float64
 		for i := k; i < m; i++ {
-			s += qr.At(i, k) * y[i]
+			s += data[i*n+k] * y[i]
 		}
-		s = -s / qr.At(k, k)
+		s = -s / data[k*n+k]
 		for i := k; i < m; i++ {
-			y[i] += s * qr.At(i, k)
+			y[i] += s * data[i*n+k]
 		}
 	}
 	// Back substitution R·x = y.
 	for k := n - 1; k >= 0; k-- {
 		s := y[k]
+		row := data[k*n : (k+1)*n]
 		for j := k + 1; j < n; j++ {
-			s -= qr.At(k, j) * dst[j]
+			s -= row[j] * dst[j]
 		}
 		dst[k] = s / rdia[k]
 	}
@@ -113,7 +253,7 @@ func NewQR(a *Matrix) (*QR, error) {
 	}
 	qr := a.Clone()
 	rdia := make([]float64, n)
-	householder(qr, rdia)
+	householder(qr, rdia, make([]float64, n), make([]float64, qrBlocks(m)*n))
 	return &QR{qr: qr, rdia: rdia}, nil
 }
 
@@ -150,6 +290,8 @@ type QRWorkspace struct {
 	qrData           []float64
 	rdia             []float64
 	y                []float64
+	w                []float64 // blocked-kernel per-column update scales
+	partial          []float64 // blocked-kernel per-block partial sums
 
 	qr       Matrix // current factorization view over qrData
 	factored bool
@@ -167,6 +309,8 @@ func NewQRWorkspace(maxRows, maxCols int) *QRWorkspace {
 		qrData:  make([]float64, maxRows*maxCols),
 		rdia:    make([]float64, maxCols),
 		y:       make([]float64, maxRows),
+		w:       make([]float64, maxCols),
+		partial: make([]float64, qrBlocks(maxRows)*maxCols),
 	}
 }
 
@@ -182,7 +326,7 @@ func (w *QRWorkspace) Factorize(a *Matrix) error {
 	}
 	w.qr = Matrix{rows: m, cols: n, data: w.qrData[:m*n]}
 	copy(w.qr.data, a.data)
-	householder(&w.qr, w.rdia[:n])
+	householder(&w.qr, w.rdia[:n], w.w[:n], w.partial[:qrBlocks(m)*n])
 	w.factored = true
 	return nil
 }

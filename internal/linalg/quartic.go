@@ -1,0 +1,107 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quartic2D is a bivariate quartic surface of the shape produced by the
+// estimator's per-configuration step-2 objective (paper Section III-D):
+//
+//	f(x, y) = Σ_b (D_b − p·x − q_b·x² − r·y − s_b·y²)²
+//
+// expanded into thirteen monomial coefficients. Compiling the sum of squares
+// into this closed form turns every objective evaluation inside the 2-D
+// minimization from an O(n_benchmarks) loop into a constant-time polynomial
+// evaluation — the evaluation count per fit is in the hundreds of thousands,
+// so this is where the step-2 time goes.
+//
+// Cxy multiplies xˣ·yʸ. The expansion cost is one O(n_benchmarks) pass per
+// configuration (see core.solveVoltages); evaluation is pure straight-line
+// arithmetic, so it is deterministic and allocation-free by construction.
+type Quartic2D struct {
+	C00, C10, C20, C30, C40 float64 // 1, x, x², x³, x⁴
+	C01, C02, C03, C04      float64 // y, y², y³, y⁴
+	C11, C12, C21, C22      float64 // x·y, x·y², x²·y, x²·y²
+}
+
+// Eval evaluates the surface at (x, y) with a fixed operation order, so the
+// result is bitwise-reproducible across calls and goroutines.
+func (q *Quartic2D) Eval(x, y float64) float64 {
+	x2 := x * x
+	y2 := y * y
+	sx := q.C00 + q.C10*x + q.C20*x2 + q.C30*x2*x + q.C40*x2*x2
+	sy := q.C01*y + q.C02*y2 + q.C03*y2*y + q.C04*y2*y2
+	sxy := q.C11*x*y + q.C12*x*y2 + q.C21*x2*y + q.C22*x2*y2
+	return sx + sy + sxy
+}
+
+// evalAxis evaluates along one coordinate with the other held fixed:
+// f(t, other) when alongX, f(other, t) otherwise.
+func (q *Quartic2D) evalAxis(t, other float64, alongX bool) float64 {
+	if alongX {
+		return q.Eval(t, other)
+	}
+	return q.Eval(other, t)
+}
+
+// minimizeAxis is Minimize1D specialized to the compiled surface: identical
+// golden-section + parabolic-refinement arithmetic, but the evaluations are
+// direct method calls — no closure is created, so the per-configuration
+// voltage solves stay off the allocator.
+func (q *Quartic2D) minimizeAxis(alongX bool, other, lo, hi, tol float64) float64 {
+	const invPhi = 0.6180339887498949 // 1/φ
+	a, b := lo, hi
+	c := b - (b-a)*invPhi
+	d := a + (b-a)*invPhi
+	fc, fd := q.evalAxis(c, other, alongX), q.evalAxis(d, other, alongX)
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - (b-a)*invPhi
+			fc = q.evalAxis(c, other, alongX)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + (b-a)*invPhi
+			fd = q.evalAxis(d, other, alongX)
+		}
+	}
+	x := (a + b) / 2
+	// One parabolic refinement through (a, mid, b) if it stays in range.
+	m := x
+	fa, fm, fb := q.evalAxis(a, other, alongX), q.evalAxis(m, other, alongX), q.evalAxis(b, other, alongX)
+	den := (a-m)*(fm-fb) - (m-b)*(fa-fm)
+	if den != 0 {
+		num := (a-m)*(a-m)*(fm-fb) - (m-b)*(m-b)*(fa-fm)
+		cand := m - 0.5*num/den
+		if cand > lo && cand < hi && !math.IsNaN(cand) && q.evalAxis(cand, other, alongX) < fm {
+			x = cand
+		}
+	}
+	return x
+}
+
+// Minimize minimizes the surface on [xlo,xhi]×[ylo,yhi] by coordinate
+// descent with golden-section line searches — the same search structure as
+// Minimize2D, with the closure-based objective replaced by the compiled
+// polynomial. Allocation-free.
+func (q *Quartic2D) Minimize(xlo, xhi, ylo, yhi, tol float64) (float64, float64, error) {
+	if !(xlo < xhi) || !(ylo < yhi) {
+		return 0, 0, fmt.Errorf("linalg: Quartic2D minimize invalid box [%g,%g]x[%g,%g]", xlo, xhi, ylo, yhi)
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	x := (xlo + xhi) / 2
+	y := (ylo + yhi) / 2
+	const maxSweeps = 60
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		px, py := x, y
+		x = q.minimizeAxis(true, y, xlo, xhi, tol)
+		y = q.minimizeAxis(false, x, ylo, yhi, tol)
+		if math.Abs(x-px) < tol && math.Abs(y-py) < tol {
+			break
+		}
+	}
+	return x, y, nil
+}

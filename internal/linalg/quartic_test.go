@@ -1,0 +1,134 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// step2Problem is a synthetic instance of the step-2 objective
+// Σ_b (D_b − β0·vc − A_b·fc·vc² − β2·vm − B_b·fm·vm²)², the sum of squares
+// the compiled Quartic2D expands into 13 monomial coefficients.
+type step2Problem struct {
+	beta0, beta2, fc, fm float64
+	A, B, D              []float64
+}
+
+func randStep2(rng *rand.Rand, nb int) step2Problem {
+	p := step2Problem{
+		beta0: 20 + 30*rng.Float64(),
+		beta2: 5 + 10*rng.Float64(),
+		fc:    0.5 + rng.Float64(),
+		fm:    0.5 + rng.Float64(),
+		A:     make([]float64, nb),
+		B:     make([]float64, nb),
+		D:     make([]float64, nb),
+	}
+	for b := 0; b < nb; b++ {
+		p.A[b] = 10 + 40*rng.Float64()
+		p.B[b] = 2 + 10*rng.Float64()
+		// Targets near the model at (vc, vm) ≈ (1, 1) plus noise, so the
+		// minimum sits inside the voltage box like a real step-2 solve.
+		p.D[b] = p.beta0 + p.fc*p.A[b] + p.beta2 + p.fm*p.B[b] + rng.NormFloat64()
+	}
+	return p
+}
+
+// direct evaluates the objective the pre-compilation way: one O(nb) loop.
+func (p step2Problem) direct(vc, vm float64) float64 {
+	var s float64
+	for b := range p.D {
+		pred := p.beta0*vc + vc*vc*p.fc*p.A[b] + p.beta2*vm + vm*vm*p.fm*p.B[b]
+		diff := p.D[b] - pred
+		s += diff * diff
+	}
+	return s
+}
+
+// compile expands the problem into monomial coefficients with the same
+// moment algebra solveVoltages uses.
+func (p step2Problem) compile() Quartic2D {
+	var sumA, sumB, sumA2, sumB2, sumAB float64
+	var sumD, sumD2, sumDA, sumDB float64
+	for b := range p.D {
+		sumA += p.A[b]
+		sumB += p.B[b]
+		sumA2 += p.A[b] * p.A[b]
+		sumB2 += p.B[b] * p.B[b]
+		sumAB += p.A[b] * p.B[b]
+		sumD += p.D[b]
+		sumD2 += p.D[b] * p.D[b]
+		sumDA += p.D[b] * p.A[b]
+		sumDB += p.D[b] * p.B[b]
+	}
+	nbf := float64(len(p.D))
+	return Quartic2D{
+		C00: sumD2,
+		C10: -2 * p.beta0 * sumD,
+		C20: nbf*p.beta0*p.beta0 - 2*p.fc*sumDA,
+		C30: 2 * p.beta0 * p.fc * sumA,
+		C40: p.fc * p.fc * sumA2,
+		C01: -2 * p.beta2 * sumD,
+		C02: nbf*p.beta2*p.beta2 - 2*p.fm*sumDB,
+		C03: 2 * p.beta2 * p.fm * sumB,
+		C04: p.fm * p.fm * sumB2,
+		C11: 2 * nbf * p.beta0 * p.beta2,
+		C12: 2 * p.beta0 * p.fm * sumB,
+		C21: 2 * p.beta2 * p.fc * sumA,
+		C22: 2 * p.fc * p.fm * sumAB,
+	}
+}
+
+// TestQuartic2DEvalMatchesDirect checks the monomial expansion against the
+// direct sum of squares across the voltage box. The two forms order their
+// floating-point work differently, so agreement is relative, not bitwise.
+func TestQuartic2DEvalMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		p := randStep2(rng, 8+rng.Intn(80))
+		q := p.compile()
+		for i := 0; i < 50; i++ {
+			vc := 0.5 + rng.Float64()
+			vm := 0.5 + rng.Float64()
+			want := p.direct(vc, vm)
+			got := q.Eval(vc, vm)
+			if diff := math.Abs(got - want); diff > 1e-8*(1+math.Abs(want)) {
+				t.Fatalf("trial %d: Eval(%v, %v) = %v, direct %v (diff %g)",
+					trial, vc, vm, got, want, diff)
+			}
+		}
+	}
+}
+
+// TestQuartic2DMinimizeMatchesMinimize2D pins the closure-free coordinate
+// descent to the generic minimizer on the same objective: same box, same
+// tolerance, the same minimizer arithmetic, so the located minima must
+// coincide to within the search tolerance.
+func TestQuartic2DMinimizeMatchesMinimize2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 10; trial++ {
+		p := randStep2(rng, 8+rng.Intn(80))
+		q := p.compile()
+
+		const lo, hi, tol = 0.5, 1.5, 1e-6
+		wantVc, wantVm, err := Minimize2D(p.direct, lo, hi, lo, hi, tol)
+		if err != nil {
+			t.Fatalf("trial %d: Minimize2D: %v", trial, err)
+		}
+		gotVc, gotVm, err := q.Minimize(lo, hi, lo, hi, tol)
+		if err != nil {
+			t.Fatalf("trial %d: Quartic2D.Minimize: %v", trial, err)
+		}
+
+		if math.Abs(gotVc-wantVc) > 1e-4 || math.Abs(gotVm-wantVm) > 1e-4 {
+			t.Fatalf("trial %d: argmin (%v, %v), Minimize2D found (%v, %v)",
+				trial, gotVc, gotVm, wantVc, wantVm)
+		}
+		// The objective at the two minima must agree even more tightly than
+		// the argmins (the surface is flat at the bottom).
+		fw, fg := p.direct(wantVc, wantVm), p.direct(gotVc, gotVm)
+		if diff := math.Abs(fg - fw); diff > 1e-6*(1+math.Abs(fw)) {
+			t.Fatalf("trial %d: objective %v vs %v at the two minima", trial, fg, fw)
+		}
+	}
+}

@@ -122,6 +122,21 @@ func (p *Pool) size(n int) int {
 // non-nil error stops the distribution of further indices (in-flight items
 // finish). fn must confine its writes to data owned by item i.
 func (p *Pool) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if p.size(n) == 1 {
+		// Inline serial path, duplicated from ForEachWorker so the adapter
+		// closure below is never built when the loop won't fan out — that
+		// closure escapes and would cost one allocation per call even on
+		// single-core hosts.
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return fmt.Errorf("parallel: item %d: %w", i, err)
+			}
+		}
+		return nil
+	}
 	return p.ForEachWorker(n, func(_, i int) error { return fn(i) })
 }
 
