@@ -29,10 +29,15 @@
 #                  and fleet-fit experiments and consolidate everything into
 #                  BENCH_results.json (ns/op, B/op, allocs/op, reference-vs-
 #                  restructured estimate-fit factors, fleet models/min;
-#                  seed 42). Fails if a large-device estimate-fit speedup
-#                  drops below MIN_ESTIMATE_SPEEDUP (default 2.0; the CI
-#                  bench-smoke gate). BENCHTIME=1x makes it a smoke run (CI
-#                  default here); raise it locally for stable numbers.
+#                  seed 42). Also drives the gpowerd HTTP load harness for
+#                  SERVE_DURATION over SERVE_CONNS keep-alive connections
+#                  and records the serve_predict row. Fails if a large-device
+#                  estimate-fit speedup drops below MIN_ESTIMATE_SPEEDUP
+#                  (default 2.0) or the served predictions/sec drop below
+#                  MIN_SERVE_THROUGHPUT (default 1,000,000; CI passes a
+#                  lower bar to tolerate shared runners). BENCHTIME=1x makes
+#                  it a smoke run (CI default here); raise it locally for
+#                  stable numbers.
 
 GO ?= go
 BENCHTIME ?= 1x
@@ -45,6 +50,13 @@ BENCH_JSON_PATTERN = 'Benchmark(Predict|NNLS(Cold)?|Isotonic|DVFSSearch|Evaluate
 # devices (Titan Xp, GTX Titan X) must stay at or above this factor, else
 # benchjson exits non-zero and the CI bench-smoke job fails.
 MIN_ESTIMATE_SPEEDUP ?= 2.0
+
+# gpowerd load-harness knobs for the serve_predict row: wall time of the
+# timed phase, client connections, and the sustained predictions/sec floor
+# (0 disables the gate; SERVE_DURATION=0 skips the harness entirely).
+SERVE_DURATION ?= 2s
+SERVE_CONNS ?= 4
+MIN_SERVE_THROUGHPUT ?= 1000000
 
 .PHONY: all build test verify vet race lint lint-bench cover bench speedup bench-json clean
 
@@ -98,7 +110,9 @@ speedup:
 bench-json:
 	$(GO) test -run NONE -bench $(BENCH_JSON_PATTERN) -benchmem -benchtime $(BENCHTIME) ./ | tee bench_raw.txt
 	$(GO) run ./cmd/benchjson -bench bench_raw.txt -o BENCH_results.json \
-		-min-estimate-speedup $(MIN_ESTIMATE_SPEEDUP)
+		-min-estimate-speedup $(MIN_ESTIMATE_SPEEDUP) \
+		-serve-duration $(SERVE_DURATION) -serve-conns $(SERVE_CONNS) \
+		-min-serve-throughput $(MIN_SERVE_THROUGHPUT)
 	@rm -f bench_raw.txt
 
 clean:

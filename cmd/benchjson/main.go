@@ -5,10 +5,11 @@
 //	benchjson -bench bench_raw.txt -o BENCH_results.json
 //
 // It parses the standard `go test -bench -benchmem` output (ns/op, B/op,
-// allocs/op per benchmark) and runs the speedup and fleet-fit experiments
-// (cold vs warm prediction surfaces, reference vs restructured estimation
-// engine, fleet fitting throughput) in-process, then writes everything as
-// one JSON document. `make bench-json` is the supported entry point; CI
+// allocs/op per benchmark) and runs the speedup, fleet-fit and
+// serving-throughput experiments (cold vs warm prediction surfaces,
+// reference vs restructured estimation engine, fleet fitting throughput,
+// gpowerd /v1/predict over loopback HTTP) in-process, then writes
+// everything as one JSON document. `make bench-json` is the supported entry point; CI
 // uploads the resulting BENCH_results.json as a build artifact and gates on
 // -min-estimate-speedup: the estimate-fit rows for the large devices must
 // not regress below the given factor.
@@ -25,6 +26,7 @@ import (
 	"regexp"
 	"strconv"
 	"syscall"
+	"time"
 
 	"gpupower/internal/experiments"
 )
@@ -57,12 +59,29 @@ type FleetFitEntry struct {
 	Converged       int      `json:"converged"`
 }
 
+// ServePredictEntry records the gpowerd end-to-end serving throughput
+// measurement (real loopback HTTP server, batch /v1/predict, bitwise
+// pre-flight verification).
+type ServePredictEntry struct {
+	Device            string  `json:"device"`
+	Conns             int     `json:"conns"`
+	ItemsPerRequest   int     `json:"items_per_request"`
+	ConfigsPerItem    int     `json:"configs_per_item"`
+	DurationNs        float64 `json:"duration_ns"`
+	Requests          int64   `json:"requests"`
+	Predictions       int64   `json:"predictions"`
+	PredictionsPerSec float64 `json:"predictions_per_sec"`
+	RequestsPerSec    float64 `json:"requests_per_sec"`
+	Verified          bool    `json:"verified_bitwise"`
+}
+
 // Document is the BENCH_results.json schema.
 type Document struct {
-	Seed       uint64         `json:"seed"`
-	Benchmarks []BenchEntry   `json:"benchmarks"`
-	Speedups   []SpeedupEntry `json:"speedups"`
-	FleetFit   *FleetFitEntry `json:"fleet_fit,omitempty"`
+	Seed         uint64             `json:"seed"`
+	Benchmarks   []BenchEntry       `json:"benchmarks"`
+	Speedups     []SpeedupEntry     `json:"speedups"`
+	FleetFit     *FleetFitEntry     `json:"fleet_fit,omitempty"`
+	ServePredict *ServePredictEntry `json:"serve_predict,omitempty"`
 }
 
 // benchLine matches e.g.
@@ -108,6 +127,10 @@ func main() {
 	out := flag.String("o", "BENCH_results.json", "output path")
 	minEstimate := flag.Float64("min-estimate-speedup", 0,
 		"fail (exit 1) if any large-device estimate-fit speedup factor falls below this (0 disables the gate)")
+	serveDuration := flag.Duration("serve-duration", 2*time.Second, "load-phase duration for the serving-throughput measurement (0 skips it)")
+	serveConns := flag.Int("serve-conns", 4, "concurrent client connections for the serving-throughput measurement")
+	minServe := flag.Float64("min-serve-throughput", 0,
+		"fail (exit 1) if the serving throughput falls below this many predictions/sec (0 disables the gate)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -152,6 +175,26 @@ func main() {
 		Converged:       ff.Converged,
 	}
 
+	if *serveDuration > 0 {
+		sl, err := experiments.RunServeLoad(ctx, *seed, *serveDuration, *serveConns)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: serve-load experiment: %v\n", err)
+			os.Exit(1)
+		}
+		doc.ServePredict = &ServePredictEntry{
+			Device:            sl.Device,
+			Conns:             sl.Conns,
+			ItemsPerRequest:   sl.ItemsPerRequest,
+			ConfigsPerItem:    sl.ConfigsPerItem,
+			DurationNs:        sl.DurationNs,
+			Requests:          sl.Requests,
+			Predictions:       sl.Predictions,
+			PredictionsPerSec: sl.PredictionsPerSec,
+			RequestsPerSec:    sl.RequestsPerSec,
+			Verified:          sl.Verified,
+		}
+	}
+
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -164,6 +207,10 @@ func main() {
 	}
 	fmt.Printf("wrote %s (%d benchmarks, %d speedup rows, %.1f models/min fleet fit, seed %d)\n",
 		*out, len(doc.Benchmarks), len(doc.Speedups), ff.ModelsPerMinute, *seed)
+	if doc.ServePredict != nil {
+		fmt.Printf("serve_predict: %.2fM predictions/s over %d connections\n",
+			doc.ServePredict.PredictionsPerSec/1e6, doc.ServePredict.Conns)
+	}
 
 	// The regression gate runs after the artifact is written so a failing
 	// run still leaves the numbers on disk for diagnosis.
@@ -190,6 +237,17 @@ func main() {
 			failed = true
 		}
 		if failed {
+			os.Exit(1)
+		}
+	}
+	if *minServe > 0 {
+		if doc.ServePredict == nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -min-serve-throughput set but the serve measurement was skipped\n")
+			os.Exit(1)
+		}
+		if doc.ServePredict.PredictionsPerSec < *minServe {
+			fmt.Fprintf(os.Stderr, "benchjson: serving throughput %.0f predictions/s below gate %.0f\n",
+				doc.ServePredict.PredictionsPerSec, *minServe)
 			os.Exit(1)
 		}
 	}

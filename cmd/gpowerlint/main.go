@@ -27,7 +27,9 @@
 //	                  os.UserCacheDir()/gpowerlint); unchanged packages are
 //	                  replayed from disk without re-type-checking
 //	-no-cache         ignore and do not write the facts cache
-//	-cache-stats      print hit/miss counts to stderr after the run
+//	-cache-stats      print hit/miss and GC counts to stderr after the run
+//	-cache-gc-age     evict entries not written for this long (default 168h)
+//	-cache-gc-max-mb  then evict oldest-first down to this size (default 64)
 //
 // Exit status: 0 clean, 1 diagnostics (or bad //lint:ignore directives)
 // found, 2 usage, load or type-check failure. Findings are suppressed
@@ -41,6 +43,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"time"
 
 	"gpupower/internal/lint"
 	"gpupower/internal/lint/analyzers"
@@ -56,6 +59,8 @@ func main() {
 	factsDir := flag.String("facts-dir", "", "per-package result cache directory (default: os.UserCacheDir()/gpowerlint)")
 	noCache := flag.Bool("no-cache", false, "ignore and do not write the facts cache")
 	cacheStats := flag.Bool("cache-stats", false, "print cache hit/miss counts to stderr")
+	gcAge := flag.Duration("cache-gc-age", 168*time.Hour, "evict cache entries not written for this long (0 disables the age bound)")
+	gcMaxMB := flag.Int64("cache-gc-max-mb", 64, "evict oldest cache entries until the cache fits this many MiB (0 disables the size bound)")
 	flag.Parse()
 
 	as := analyzers.All()
@@ -124,6 +129,15 @@ func main() {
 		}
 		if *cacheStats {
 			fmt.Fprintf(os.Stderr, "gpowerlint: cache %s\n", stats)
+		}
+		// Bounded cache: every source edit orphans an entry under its old
+		// content key, so long-lived machines need eviction. GC failures
+		// are non-fatal — the cache can be slow to shrink, never break a run.
+		gcStats, gcErr := cache.GC(dir, cache.GCOptions{MaxAge: *gcAge, MaxBytes: *gcMaxMB << 20})
+		if gcErr != nil {
+			fmt.Fprintf(os.Stderr, "gpowerlint: %v\n", gcErr)
+		} else if *cacheStats {
+			fmt.Fprintf(os.Stderr, "gpowerlint: %s\n", gcStats)
 		}
 	}
 	if *changed != "" {

@@ -244,12 +244,16 @@ func (m *Model) Decompose(u Utilization, cfg hw.Config) (*Breakdown, error) {
 
 // Predict returns the total predicted power of an application with
 // utilization u at configuration cfg.
+//
+// This is a serving hot path (every gpowerd prediction that misses the
+// surface cache lands here), so it evaluates on flattened utilization and
+// coefficient blocks instead of building a Breakdown: zero allocations in
+// the steady state, and bitwise-identical to Decompose().Total() — the
+// surface tests pin the equality of the two paths.
 func (m *Model) Predict(u Utilization, cfg hw.Config) (float64, error) {
-	b, err := m.Decompose(u, cfg)
-	if err != nil {
-		return 0, err
-	}
-	return b.Total(), nil
+	uf := flattenUtil(u)
+	om := m.flatOmega()
+	return m.predictFlat(&uf, &om, cfg)
 }
 
 // PredictedCoreVoltage returns the estimated V̄core ladder at a memory

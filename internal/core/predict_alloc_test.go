@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gpupower/internal/hw"
+	"gpupower/internal/stats"
+)
+
+// TestPredictMatchesDecompose pins the allocation-free Predict fast path to
+// the map-walking Decompose().Total() reference bitwise. Predict used to be
+// literally Decompose+Total; since it now evaluates on flattened blocks,
+// this test is what keeps "total of the breakdown" and "predicted power"
+// the same number to the last bit.
+func TestPredictMatchesDecompose(t *testing.T) {
+	for _, dev := range hw.AllDevices() {
+		m := surfaceTestModel(dev, 11)
+		rng := stats.NewRNG(12)
+		for trial := 0; trial < 20; trial++ {
+			u := randomUtil(rng)
+			for _, cfg := range dev.AllConfigs() {
+				got, err := m.Predict(u, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := m.Decompose(u, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Float64bits(got) != math.Float64bits(b.Total()) {
+					t.Fatalf("%s trial %d cfg %v: Predict %x, Decompose.Total %x (not bitwise equal)",
+						dev.Name, trial, cfg, got, b.Total())
+				}
+			}
+		}
+	}
+}
+
+// TestPredictAllocFree is the allocation regression test for the warm
+// single-prediction path — a gpowerd serving hot path. The flattening of
+// the utilization and coefficient maps happens into stack arrays, so a
+// steady-state Predict must not allocate at all (it was 3 allocs/op when it
+// went through Decompose).
+func TestPredictAllocFree(t *testing.T) {
+	dev := hw.GTXTitanX()
+	m := surfaceTestModel(dev, 13)
+	u := Utilization{hw.SP: 0.8, hw.DRAM: 0.4, hw.L2: 0.2, hw.Int: 0.1}
+	cfg := hw.Config{CoreMHz: 595, MemMHz: 810}
+	if _, err := m.Predict(u, cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := m.Predict(u, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Model.Predict allocates %.1f times per call, want 0", allocs)
+	}
+}

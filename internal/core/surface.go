@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"gpupower/internal/backend"
 	"gpupower/internal/hw"
@@ -256,6 +257,12 @@ type surfaceShard struct {
 type SurfaceCache struct {
 	shards   [surfaceShards]surfaceShard
 	capacity int
+
+	// hits and misses count warm and cold Get calls across all shards; the
+	// serving layer's /metrics endpoint exports them. A concurrent
+	// double-compute counts as one miss per computing caller.
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // NewSurfaceCache returns a cache bounded to perShardCapacity entries per
@@ -291,8 +298,10 @@ func (c *SurfaceCache) Get(ctx context.Context, m *Model, dev *hw.Device, ref hw
 	s := sh.entries[key]
 	sh.mu.RUnlock()
 	if s != nil {
+		c.hits.Add(1)
 		return s, nil
 	}
+	c.misses.Add(1)
 	s, err := computeSurface(ctx, m, dev, ref, &key.util)
 	if err != nil {
 		return nil, err
@@ -341,6 +350,12 @@ func (c *SurfaceCache) Predict(ctx context.Context, m *Model, dev *hw.Device, re
 			cfg.CoreMHz, cfg.MemMHz, dev.Name)
 	}
 	return s.PowerW[i], nil
+}
+
+// Stats reports the cumulative warm (hit) and cold (miss) Get counts —
+// the cache-effectiveness signal the metrics layer exports.
+func (c *SurfaceCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
 }
 
 // Len reports the total number of cached surfaces (diagnostics).

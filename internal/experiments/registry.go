@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"gpupower/internal/microbench"
 )
@@ -152,6 +153,13 @@ var registry = map[string]Runner{
 		}
 		return emit(w, r, plot)
 	},
+	"serve": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
+		r, err := RunServeLoad(ctx, seed, 2*time.Second, 4)
+		if err != nil {
+			return err
+		}
+		return emit(w, r, plot)
+	},
 	"robustness": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
 		r, err := RunRobustness(ctx, []uint64{seed, seed + 1, seed + 2, seed + 3, seed + 4})
 		if err != nil {
@@ -208,7 +216,7 @@ func Names() []string {
 func AllNames() []string {
 	var out []string
 	for _, n := range Names() {
-		if n == "robustness" || n == "sources" || n == "speedup" || n == "fleet" {
+		if n == "robustness" || n == "sources" || n == "speedup" || n == "fleet" || n == "serve" {
 			continue
 		}
 		out = append(out, n)

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"gpupower/internal/core"
+	"gpupower/internal/hw"
+	"gpupower/internal/parallel"
+	modelreg "gpupower/internal/registry"
+	"gpupower/internal/serve"
+	"gpupower/internal/stats"
+)
+
+// Serve-load harness parameters. 256 full-ladder items per request on the
+// GTX Titan X (16×4 ladder) is 16384 predictions per round trip — batchy
+// enough that HTTP overhead doesn't dominate, small enough that a request
+// finishes in single-digit milliseconds on one core.
+const (
+	serveItemsPerRequest = 256
+	serveDistinctUtils   = 64
+)
+
+// ServeLoadResult is the gpowerd serving-throughput measurement: a real
+// HTTP server on a loopback listener, hammered by concurrent keep-alive
+// clients with batch /v1/predict requests, after a pre-flight pass that
+// verifies every served prediction bitwise against direct Model.Predict.
+type ServeLoadResult struct {
+	Seed   uint64
+	Device string
+	// Conns is the number of concurrent client connections.
+	Conns int
+	// ItemsPerRequest × ConfigsPerItem is the predictions per round trip.
+	ItemsPerRequest int
+	ConfigsPerItem  int
+	// Verified reports the pre-flight bitwise check passed (it is an error
+	// for it to fail, so a returned result always has true here).
+	Verified bool
+
+	DurationNs  float64
+	Requests    int64
+	Predictions int64
+	// PredictionsPerSec is the headline number (the ISSUE gate wants ≥1M/s).
+	PredictionsPerSec float64
+	RequestsPerSec    float64
+}
+
+// predictWireResponse mirrors serve's /v1/predict response for decoding.
+type predictWireResponse struct {
+	Device     string `json:"device"`
+	Generation uint64 `json:"generation"`
+	Results    []struct {
+		Watts []float64 `json:"watts"`
+	} `json:"results"`
+	Predictions int `json:"predictions"`
+}
+
+// serveLoadUtils derives the rotating utilization vectors deterministically
+// from seed. Warm-path realism: the vectors repeat across requests, so
+// full-ladder items hit the prediction-surface cache the way a governor's
+// steady state does.
+func serveLoadUtils(seed uint64) []core.Utilization {
+	rng := stats.NewRNG(seed ^ 0x5e12e10ad)
+	utils := make([]core.Utilization, serveDistinctUtils)
+	for i := range utils {
+		u := core.Utilization{}
+		for _, c := range hw.Components {
+			u[c] = rng.Float64()
+		}
+		utils[i] = u
+	}
+	return utils
+}
+
+// RunServeLoad measures gpowerd serving throughput end to end. It fits the
+// GTX Titan X (shared rig), registers it, serves it over a real loopback
+// HTTP listener, verifies every distinct request body's predictions are
+// bitwise-identical to direct Model.Predict (Go's JSON float encoding is
+// shortest-round-trip, so bit equality survives the wire), then drives the
+// load phase with conns keep-alive clients for the given duration.
+func RunServeLoad(ctx context.Context, seed uint64, duration time.Duration, conns int) (*ServeLoadResult, error) {
+	if conns < 1 {
+		conns = 1
+	}
+	rig, err := SharedRig("GTX Titan X", seed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := rig.Model(ctx)
+	if err != nil {
+		return nil, err
+	}
+	meta := modelreg.FitMeta{
+		Iterations: m.Iterations, Converged: m.Converged,
+		FittedAt: time.Now(), Source: "simulator",
+	}
+	entry, err := modelreg.NewEntry(rig.Device.Name, rig.Device, rig.Backend, rig.Profiler, m, meta)
+	if err != nil {
+		return nil, err
+	}
+	reg := modelreg.New()
+	if err := reg.Add(entry); err != nil {
+		return nil, err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: serve.New(reg, nil)}
+	serveErr := make(chan error, 1)
+	//lint:ignore gonosync HTTP accept loop: net/http owns the connection goroutines; joined via srv.Close + serveErr before return
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		<-serveErr
+	}()
+	base := "http://" + ln.Addr().String()
+
+	// Pre-build the rotating request bodies once; the load loop only writes
+	// them to sockets.
+	utils := serveLoadUtils(seed)
+	bodies, expected, err := buildServeBodies(rig.Device, utils)
+	if err != nil {
+		return nil, err
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: conns + 2,
+	}}
+	defer client.CloseIdleConnections()
+
+	// Pre-flight: every distinct body round-trips bitwise.
+	for bi, body := range bodies {
+		resp, err := postPredict(ctx, client, base, body)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: serve preflight: %w", err)
+		}
+		if err := verifyServeResponse(m, resp, expected[bi]); err != nil {
+			return nil, fmt.Errorf("experiments: serve preflight body %d: %w", bi, err)
+		}
+	}
+
+	// Load phase: conns clients rotate through the bodies until deadline.
+	var requests, predictions atomic.Int64
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	err = parallel.NewPool(conns).ForEach(conns, func(worker int) error {
+		bi := worker % len(bodies)
+		for time.Now().Before(deadline) {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			resp, err := postPredict(ctx, client, base, bodies[bi])
+			if err != nil {
+				return err
+			}
+			requests.Add(1)
+			predictions.Add(int64(resp.Predictions))
+			bi = (bi + 1) % len(bodies)
+		}
+		return nil
+	})
+	wall := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ServeLoadResult{
+		Seed:            seed,
+		Device:          rig.Device.Name,
+		Conns:           conns,
+		ItemsPerRequest: serveItemsPerRequest,
+		ConfigsPerItem:  rig.Device.NumConfigs(),
+		Verified:        true,
+		DurationNs:      float64(wall.Nanoseconds()),
+		Requests:        requests.Load(),
+		Predictions:     predictions.Load(),
+	}
+	if wall > 0 {
+		out.PredictionsPerSec = float64(out.Predictions) / wall.Seconds()
+		out.RequestsPerSec = float64(out.Requests) / wall.Seconds()
+	}
+	return out, nil
+}
+
+// buildServeBodies renders the rotating /v1/predict request bodies (each
+// serveItemsPerRequest full-ladder items cycling through utils) and the
+// per-body expected prediction matrix from direct Model evaluation order.
+func buildServeBodies(dev *hw.Device, utils []core.Utilization) (bodies [][]byte, expected [][]core.Utilization, err error) {
+	// Four bodies with different phase shifts through the utilization set
+	// keep concurrent workers from lock-stepping on one byte slice.
+	const nBodies = 4
+	for b := 0; b < nBodies; b++ {
+		type wireItem struct {
+			Utilization map[string]float64 `json:"utilization"`
+		}
+		items := make([]wireItem, serveItemsPerRequest)
+		order := make([]core.Utilization, serveItemsPerRequest)
+		for i := range items {
+			u := utils[(b*serveItemsPerRequest/nBodies+i)%len(utils)]
+			order[i] = u
+			wire := make(map[string]float64, len(u))
+			for _, c := range hw.Components {
+				wire[c.String()] = u[c]
+			}
+			items[i] = wireItem{Utilization: wire}
+		}
+		body, err := json.Marshal(map[string]any{
+			"device": dev.Name,
+			"items":  items,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		bodies = append(bodies, body)
+		expected = append(expected, order)
+	}
+	return bodies, expected, nil
+}
+
+// postPredict posts one prebuilt body and decodes the response.
+func postPredict(ctx context.Context, client *http.Client, base string, body []byte) (*predictWireResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/predict", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpResp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
+		return nil, fmt.Errorf("predict: HTTP %d: %s", httpResp.StatusCode, msg)
+	}
+	var resp predictWireResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// verifyServeResponse checks a served batch bitwise against direct
+// Model.Predict over the full ladder, item by item.
+func verifyServeResponse(m *core.Model, resp *predictWireResponse, order []core.Utilization) error {
+	if len(resp.Results) != len(order) {
+		return fmt.Errorf("got %d results, want %d", len(resp.Results), len(order))
+	}
+	dev, err := hw.DeviceByName(m.DeviceName)
+	if err != nil {
+		return err
+	}
+	configs := dev.AllConfigs()
+	for i, r := range resp.Results {
+		if len(r.Watts) != len(configs) {
+			return fmt.Errorf("item %d: got %d watts, want %d", i, len(r.Watts), len(configs))
+		}
+		for j, cfg := range configs {
+			want, err := m.Predict(order[i], cfg)
+			if err != nil {
+				return err
+			}
+			if math.Float64bits(r.Watts[j]) != math.Float64bits(want) {
+				return fmt.Errorf("item %d config %v: served %x, direct Predict %x (not bitwise equal)",
+					i, cfg, r.Watts[j], want)
+			}
+		}
+	}
+	return nil
+}
+
+func (r *ServeLoadResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "gpowerd serving throughput (%s, seed %d)\n", r.Device, r.Seed)
+	fmt.Fprintf(&sb, "  clients:     %d keep-alive connections\n", r.Conns)
+	fmt.Fprintf(&sb, "  batch:       %d items x %d configs = %d predictions/request\n",
+		r.ItemsPerRequest, r.ConfigsPerItem, r.ItemsPerRequest*r.ConfigsPerItem)
+	fmt.Fprintf(&sb, "  verified:    bitwise vs direct Model.Predict\n")
+	fmt.Fprintf(&sb, "  duration:    %.2f s, %d requests (%.0f req/s)\n",
+		r.DurationNs/1e9, r.Requests, r.RequestsPerSec)
+	fmt.Fprintf(&sb, "  throughput:  %.2fM predictions/s\n", r.PredictionsPerSec/1e6)
+	return sb.String()
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"time"
 
+	"gpupower/internal/backend"
 	"gpupower/internal/backend/simbk"
 	"gpupower/internal/core"
 	"gpupower/internal/hw"
@@ -51,10 +52,62 @@ func Registry(n int, baseSeed uint64) []Spec {
 	return specs
 }
 
-// Fit is one member's fitted result.
+// Member is one opened fleet member: the device description plus the
+// long-lived measurement stack (backend, profiler) the serving registry
+// keeps after fitting. Measurements on one member are single-goroutine
+// (the rig concurrency contract); members are independent.
+type Member struct {
+	Spec     Spec
+	Device   *hw.Device
+	Backend  backend.Backend
+	Profiler *profiler.Profiler
+}
+
+// OpenMember opens the simulator-backed measurement stack for one spec.
+func OpenMember(spec Spec) (*Member, error) {
+	dev, err := hw.DeviceByName(spec.Device)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(dev, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	b, err := simbk.New(s)
+	if err != nil {
+		return nil, err
+	}
+	p, err := profiler.New(b)
+	if err != nil {
+		return nil, err
+	}
+	return &Member{Spec: spec, Device: dev, Backend: b, Profiler: p}, nil
+}
+
+// OpenMembers opens every spec concurrently; slot i belongs to specs[i].
+func OpenMembers(specs []Spec) ([]*Member, error) {
+	return parallel.Map(len(specs), func(i int) (*Member, error) {
+		return OpenMember(specs[i])
+	})
+}
+
+// BuildDataset measures the member's full training dataset (83
+// microbenchmarks at every ladder configuration) through its own profiler.
+func (m *Member) BuildDataset(ctx context.Context) (*core.Dataset, error) {
+	d, err := core.BuildDataset(ctx, m.Profiler, microbench.Suite(), m.Device.DefaultConfig(), m.Device.AllConfigs())
+	if err != nil {
+		return nil, fmt.Errorf("fleet: dataset for %s: %w", m.Spec, err)
+	}
+	return d, nil
+}
+
+// Fit is one member's fitted result. Member carries the measurement stack
+// the fit ran over, so a fleet fit hands the serving registry everything a
+// per-device entry needs — not just a bare model.
 type Fit struct {
-	Spec  Spec
-	Model *core.Model
+	Spec   Spec
+	Member *Member
+	Model  *core.Model
 }
 
 // Result is a fleet fit: one Fit per input spec, in spec order, plus the
@@ -75,27 +128,19 @@ type Result struct {
 // per the rig concurrency contract). Result slot i belongs to specs[i].
 func BuildDatasets(ctx context.Context, specs []Spec) ([]*core.Dataset, error) {
 	return parallel.Map(len(specs), func(i int) (*core.Dataset, error) {
-		dev, err := hw.DeviceByName(specs[i].Device)
+		m, err := OpenMember(specs[i])
 		if err != nil {
 			return nil, err
 		}
-		s, err := sim.New(dev, specs[i].Seed)
-		if err != nil {
-			return nil, err
-		}
-		b, err := simbk.New(s)
-		if err != nil {
-			return nil, err
-		}
-		p, err := profiler.New(b)
-		if err != nil {
-			return nil, err
-		}
-		d, err := core.BuildDataset(ctx, p, microbench.Suite(), dev.DefaultConfig(), dev.AllConfigs())
-		if err != nil {
-			return nil, fmt.Errorf("fleet: dataset for %s: %w", specs[i], err)
-		}
-		return d, nil
+		return m.BuildDataset(ctx)
+	})
+}
+
+// BuildMemberDatasets measures one training dataset per already-open member,
+// fanning out across members. Result slot i belongs to members[i].
+func BuildMemberDatasets(ctx context.Context, members []*Member) ([]*core.Dataset, error) {
+	return parallel.Map(len(members), func(i int) (*core.Dataset, error) {
+		return members[i].BuildDataset(ctx)
 	})
 }
 
@@ -126,7 +171,11 @@ func FitDatasets(ctx context.Context, datasets []*core.Dataset, opts *core.Estim
 // concurrent fitting phase, timed, with the models-fitted-per-minute
 // throughput in the result.
 func FitAll(ctx context.Context, specs []Spec, opts *core.EstimatorOptions) (*Result, error) {
-	datasets, err := BuildDatasets(ctx, specs)
+	members, err := OpenMembers(specs)
+	if err != nil {
+		return nil, err
+	}
+	datasets, err := BuildMemberDatasets(ctx, members)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +191,7 @@ func FitAll(ctx context.Context, specs []Spec, opts *core.EstimatorOptions) (*Re
 		Workers: parallel.Workers(),
 	}
 	for i := range specs {
-		res.Fits[i] = Fit{Spec: specs[i], Model: models[i]}
+		res.Fits[i] = Fit{Spec: specs[i], Member: members[i], Model: models[i]}
 	}
 	if wall > 0 {
 		res.ModelsPerMinute = float64(len(specs)) / wall.Minutes()

@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 
 	"gpupower/internal/backend"
 	"gpupower/internal/core"
@@ -50,6 +51,32 @@ func (p Policy) String() string {
 		// Exhaustive default: an out-of-range value still prints something
 		// diagnosable rather than an empty string.
 		return fmt.Sprintf("unknown(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a policy's String() form (case-insensitive) back to the
+// Policy — the serving layer's wire format for /v1/govern requests.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range []Policy{MinEnergy, MinEDP, MaxPerfUnderCap} {
+		if strings.EqualFold(s, p.String()) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("governor: unknown policy %q (want min-energy, min-EDP or max-perf-under-cap)", s)
+}
+
+// Score evaluates one ladder point (predicted power, relative time) under
+// the policy; lower is better.
+func (p Policy) Score(power, relTime float64) (float64, error) {
+	switch p {
+	case MinEnergy:
+		return power * relTime, nil
+	case MinEDP:
+		return power * relTime * relTime, nil
+	case MaxPerfUnderCap:
+		return relTime, nil
+	default:
+		return 0, fmt.Errorf("governor: unknown policy %v", p)
 	}
 }
 
@@ -92,28 +119,39 @@ func (g *Governor) Decide(u core.Utilization) (hw.Config, error) {
 	return g.DecideContext(context.Background(), u) //lint:ignore ctxflow non-cancellable convenience wrapper; the *Context sibling is the cancellable API
 }
 
-// DecideContext is Decide under a context. The per-configuration power and
-// relative-time columns come from the process-wide prediction-surface
-// cache: the first decision for a kernel's utilization computes the ladder
-// once, and every subsequent decision — repeated Step calls, policy
-// re-evaluation — reduces to one cache lookup plus a linear scan. The scan
-// order and the strict `score < best` comparison are those of the
-// historical per-point loop, so the chosen configuration is byte-identical.
+// DecideContext is Decide under a context. It delegates to the free Decide
+// function — the shared decision engine behind both the in-process governor
+// and gpowerd's /v1/govern endpoint.
 func (g *Governor) DecideContext(ctx context.Context, u core.Utilization) (hw.Config, error) {
-	dev := g.prof.HW()
-	ref := g.model.Ref
-	cap := g.PowerCap
+	return Decide(ctx, g.model, g.prof.HW(), g.policy, g.PowerCap, u)
+}
+
+// Decide returns the policy-optimal configuration for a kernel with known
+// utilization on dev under a fitted model — the standalone decision engine
+// the serving layer calls without holding a profiler. A powerCap ≤ 0 means
+// the device TDP.
+//
+// The per-configuration power and relative-time columns come from the
+// process-wide prediction-surface cache: the first decision for a
+// utilization vector computes the ladder once, and every subsequent
+// decision — repeated Step calls, policy re-evaluation, govern requests —
+// reduces to one cache lookup plus a linear scan. The scan order and the
+// strict `score < best` comparison are those of the historical per-point
+// loop, so the chosen configuration is byte-identical.
+func Decide(ctx context.Context, m *core.Model, dev *hw.Device, policy Policy, powerCap float64, u core.Utilization) (hw.Config, error) {
+	ref := m.Ref
+	cap := powerCap
 	if cap <= 0 {
 		cap = dev.TDP
 	}
-	s, err := core.Surfaces.Get(ctx, g.model, dev, ref, u)
+	s, err := core.Surfaces.Get(ctx, m, dev, ref, u)
 	if err != nil {
 		var npe *core.NonPositiveRefPowerError
 		if errors.As(err, &npe) {
 			// The cap filter below decides feasibility; a non-positive
 			// reference power only invalidates the energy normalization,
 			// which the governor's scores never use. Recompute without it.
-			return g.decideUncached(u, dev, cap)
+			return decideUncached(m, dev, policy, cap, u)
 		}
 		return hw.Config{}, err
 	}
@@ -125,7 +163,7 @@ func (g *Governor) DecideContext(ctx context.Context, u core.Utilization) (hw.Co
 			continue
 		}
 		rt := s.RelTime[i]
-		score, err := g.score(p, rt)
+		score, err := policy.Score(p, rt)
 		if err != nil {
 			return hw.Config{}, err
 		}
@@ -139,30 +177,16 @@ func (g *Governor) DecideContext(ctx context.Context, u core.Utilization) (hw.Co
 	return best, nil
 }
 
-// score evaluates one ladder point under the active policy.
-func (g *Governor) score(p, rt float64) (float64, error) {
-	switch g.policy {
-	case MinEnergy:
-		return p * rt, nil
-	case MinEDP:
-		return p * rt * rt, nil
-	case MaxPerfUnderCap:
-		return rt, nil
-	default:
-		return 0, fmt.Errorf("governor: unknown policy %v", g.policy)
-	}
-}
-
 // decideUncached is the historical per-point loop, retained for profiles
 // whose reference power prediction is non-positive (the surface layer
 // refuses to build relative-energy columns for those, but the governor's
 // scores are cap-filtered absolutes and remain well-defined).
-func (g *Governor) decideUncached(u core.Utilization, dev *hw.Device, cap float64) (hw.Config, error) {
-	ref := g.model.Ref
+func decideUncached(m *core.Model, dev *hw.Device, policy Policy, cap float64, u core.Utilization) (hw.Config, error) {
+	ref := m.Ref
 	best := ref
 	bestScore, haveBest := 0.0, false
 	for _, cfg := range dev.AllConfigs() {
-		p, err := g.model.Predict(u, cfg)
+		p, err := m.Predict(u, cfg)
 		if err != nil {
 			return hw.Config{}, err
 		}
@@ -170,7 +194,7 @@ func (g *Governor) decideUncached(u core.Utilization, dev *hw.Device, cap float6
 			continue
 		}
 		rt := core.EstimateRelativeTime(u, ref, cfg)
-		score, err := g.score(p, rt)
+		score, err := policy.Score(p, rt)
 		if err != nil {
 			return hw.Config{}, err
 		}

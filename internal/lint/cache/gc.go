@@ -1,0 +1,130 @@
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// GCOptions bounds the on-disk cache. Every source edit strands the old
+// entry under its previous key (keys are content hashes, so an entry is
+// never overwritten, only orphaned), which makes the directory grow
+// without bound on a long-lived machine; GC is what reclaims it.
+type GCOptions struct {
+	// MaxAge evicts entries not written for longer than this.
+	// Zero disables the age bound.
+	MaxAge time.Duration
+	// MaxBytes evicts oldest-first until the directory's entry bytes fit.
+	// Zero disables the size bound.
+	MaxBytes int64
+}
+
+// GCStats reports what one GC pass did.
+type GCStats struct {
+	Scanned      int   // entry files considered
+	RemovedAge   int   // removed by the age bound
+	RemovedSize  int   // removed by the size bound
+	RemovedTemp  int   // stale .tmp-* files from crashed writers
+	RemainBytes  int64 // entry bytes left on disk
+	RemainCount  int   // entry files left on disk
+	ReclaimBytes int64 // bytes freed
+}
+
+func (s GCStats) String() string {
+	return fmt.Sprintf("gc: %d scanned, %d expired, %d over budget, %d stale temp, %d entries (%d KiB) kept",
+		s.Scanned, s.RemovedAge, s.RemovedSize, s.RemovedTemp, s.RemainCount, s.RemainBytes/1024)
+}
+
+// gcFile is one candidate entry during a pass.
+type gcFile struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// GC prunes the cache directory: stale temp files from crashed writers go
+// unconditionally, entries older than MaxAge go next, then oldest-first
+// eviction until the remaining entry bytes fit MaxBytes. A missing
+// directory is a no-op. Removal races with concurrent lint runs are
+// benign — a removed entry is simply a future miss — so GC never locks
+// anything.
+func GC(dir string, opts GCOptions) (GCStats, error) {
+	var stats GCStats
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return stats, nil
+		}
+		return stats, fmt.Errorf("lint cache gc: %w", err)
+	}
+	now := time.Now()
+	cutoff := time.Time{}
+	if opts.MaxAge > 0 {
+		cutoff = now.Add(-opts.MaxAge)
+	}
+
+	var live []gcFile
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with another remover; nothing to do
+		}
+		if strings.HasPrefix(name, ".tmp-") {
+			// A writer's window between CreateTemp and Rename is
+			// milliseconds; anything older than a minute is a crash leftover.
+			if info.ModTime().Before(now.Add(-time.Minute)) {
+				if os.Remove(full) == nil {
+					stats.RemovedTemp++
+					stats.ReclaimBytes += info.Size()
+				}
+			}
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		stats.Scanned++
+		if !cutoff.IsZero() && info.ModTime().Before(cutoff) {
+			if os.Remove(full) == nil {
+				stats.RemovedAge++
+				stats.ReclaimBytes += info.Size()
+				continue
+			}
+		}
+		live = append(live, gcFile{path: full, size: info.Size(), mtime: info.ModTime()})
+	}
+
+	var total int64
+	for _, f := range live {
+		total += f.size
+	}
+	if opts.MaxBytes > 0 && total > opts.MaxBytes {
+		// Oldest first; ties break on path so the pass is deterministic.
+		sort.Slice(live, func(i, j int) bool {
+			if !live[i].mtime.Equal(live[j].mtime) {
+				return live[i].mtime.Before(live[j].mtime)
+			}
+			return live[i].path < live[j].path
+		})
+		for len(live) > 0 && total > opts.MaxBytes {
+			f := live[0]
+			live = live[1:]
+			if os.Remove(f.path) == nil {
+				stats.RemovedSize++
+				stats.ReclaimBytes += f.size
+				total -= f.size
+			}
+		}
+	}
+	stats.RemainCount = len(live)
+	stats.RemainBytes = total
+	return stats, nil
+}

@@ -1,0 +1,117 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeGCFile drops a file of n bytes with the given age into dir.
+func writeGCFile(t *testing.T, dir, name string, n int, age time.Duration) string {
+	t.Helper()
+	full := filepath.Join(dir, name)
+	if err := os.WriteFile(full, make([]byte, n), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mt := time.Now().Add(-age)
+	if err := os.Chtimes(full, mt, mt); err != nil {
+		t.Fatal(err)
+	}
+	return full
+}
+
+func TestGCMissingDirIsNoop(t *testing.T) {
+	stats, err := GC(filepath.Join(t.TempDir(), "nope"), GCOptions{MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scanned != 0 || stats.ReclaimBytes != 0 {
+		t.Fatalf("missing dir should be a no-op, got %+v", stats)
+	}
+}
+
+func TestGCAgeBound(t *testing.T) {
+	dir := t.TempDir()
+	old := writeGCFile(t, dir, "pkg-a-000000000000000000000000.json", 100, 48*time.Hour)
+	fresh := writeGCFile(t, dir, "pkg-b-111111111111111111111111.json", 100, time.Minute)
+
+	stats, err := GC(dir, GCOptions{MaxAge: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RemovedAge != 1 || stats.RemainCount != 1 {
+		t.Fatalf("want 1 expired + 1 kept, got %+v", stats)
+	}
+	if _, err := os.Stat(old); !os.IsNotExist(err) {
+		t.Fatalf("expired entry %s should be gone", old)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh entry should survive: %v", err)
+	}
+}
+
+func TestGCSizeBoundEvictsOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	oldest := writeGCFile(t, dir, "pkg-a-000000000000000000000000.json", 400, 3*time.Hour)
+	middle := writeGCFile(t, dir, "pkg-b-111111111111111111111111.json", 400, 2*time.Hour)
+	newest := writeGCFile(t, dir, "pkg-c-222222222222222222222222.json", 400, time.Hour)
+
+	stats, err := GC(dir, GCOptions{MaxBytes: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RemovedSize != 1 {
+		t.Fatalf("want exactly the oldest evicted, got %+v", stats)
+	}
+	if _, err := os.Stat(oldest); !os.IsNotExist(err) {
+		t.Fatalf("oldest entry should be gone")
+	}
+	for _, keep := range []string{middle, newest} {
+		if _, err := os.Stat(keep); err != nil {
+			t.Fatalf("%s should survive: %v", keep, err)
+		}
+	}
+	if stats.RemainBytes != 800 || stats.RemainCount != 2 {
+		t.Fatalf("want 800 B in 2 entries left, got %+v", stats)
+	}
+}
+
+func TestGCRemovesStaleTempsKeepsFreshOnes(t *testing.T) {
+	dir := t.TempDir()
+	stale := writeGCFile(t, dir, ".tmp-12345", 50, time.Hour)
+	inFlight := writeGCFile(t, dir, ".tmp-67890", 50, 0)
+	entry := writeGCFile(t, dir, "pkg-a-000000000000000000000000.json", 100, time.Minute)
+
+	stats, err := GC(dir, GCOptions{MaxAge: 24 * time.Hour, MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RemovedTemp != 1 {
+		t.Fatalf("want the stale temp removed, got %+v", stats)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp should be gone")
+	}
+	if _, err := os.Stat(inFlight); err != nil {
+		t.Fatalf("in-flight temp should survive: %v", err)
+	}
+	if _, err := os.Stat(entry); err != nil {
+		t.Fatalf("entry should survive: %v", err)
+	}
+}
+
+func TestGCIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	foreign := writeGCFile(t, dir, "README.txt", 10, 100*24*time.Hour)
+	stats, err := GC(dir, GCOptions{MaxAge: time.Hour, MaxBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scanned != 0 {
+		t.Fatalf("non-entry files must not be scanned, got %+v", stats)
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Fatalf("foreign file must never be touched: %v", err)
+	}
+}

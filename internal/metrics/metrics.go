@@ -1,0 +1,403 @@
+// Package metrics is a dependency-free Prometheus text-exposition
+// registry for gpowerd: counters, gauges and histograms with label
+// vectors, plus scrape-time collector functions for values that live
+// elsewhere (surface-cache statistics, registry generations).
+//
+// Only the pieces gpowerd needs are implemented, but the output follows
+// the Prometheus text format (version 0.0.4): one `# HELP` and `# TYPE`
+// line per family, children sorted by label values so the exposition is
+// deterministic, floats rendered with Go's shortest round-trip formatting.
+// Updates are lock-free (atomics); child creation takes a per-family
+// mutex once and callers are expected to cache the returned child.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can go up and down. The value is stored
+// as IEEE-754 bits in an atomic word.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into cumulative-le buckets, with an exact
+// running sum. Bucket bounds are fixed at construction.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, +Inf implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// Buckets are cumulative in the exposition; store per-bucket counts
+	// here and accumulate at scrape time. SearchFloat64s finds the first
+	// bound >= v, i.e. the tightest le-bucket; i == len(bounds) means only
+	// the implicit +Inf bucket (the trailing slot) holds it.
+	h.buckets[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// kind is the family's exposition TYPE.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("unknown(%d)", int(k))
+	}
+}
+
+// child is one labeled instance inside a family.
+type child struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+	// fn, when set, is sampled at scrape time instead of reading a stored
+	// value (collector-style children).
+	fn func() float64
+}
+
+// family is one metric name with HELP/TYPE and its labeled children.
+type family struct {
+	name      string
+	help      string
+	kind      kind
+	labels    []string
+	bounds    []float64 // histogram families only
+	mu        sync.Mutex
+	children  map[string]*child
+	order     []string // sorted lazily at scrape
+	unsorted  bool
+	singleton *child // for label-less families
+}
+
+func (f *family) get(labelValues []string) *child {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d",
+			f.name, len(f.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := &child{labelValues: append([]string(nil), labelValues...)}
+	switch f.kind {
+	case kindCounter:
+		c.counter = &Counter{}
+	case kindGauge:
+		c.gauge = &Gauge{}
+	case kindHistogram:
+		c.hist = &Histogram{
+			bounds:  f.bounds,
+			buckets: make([]atomic.Uint64, len(f.bounds)+1),
+		}
+	}
+	f.children[key] = c
+	f.order = append(f.order, key)
+	f.unsorted = true
+	return c
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With returns (creating if needed) the child for the label values.
+func (v *CounterVec) With(labelValues ...string) *Counter { return v.f.get(labelValues).counter }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns (creating if needed) the child for the label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge { return v.f.get(labelValues).gauge }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns (creating if needed) the child for the label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram { return v.f.get(labelValues).hist }
+
+// Registry is an ordered collection of metric families. Registration
+// happens at startup (panics on duplicate names, like prometheus/client_golang);
+// scraping is concurrency-safe with updates.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+func (r *Registry) register(name, help string, k kind, labels []string, bounds []float64) *family {
+	if name == "" {
+		panic("metrics: empty family name")
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     k,
+		labels:   append([]string(nil), labels...),
+		bounds:   append([]float64(nil), bounds...),
+		children: map[string]*child{},
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate family %q", name))
+	}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// NewCounterVec registers a counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil)}
+}
+
+// NewGaugeVec registers a gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil)}
+}
+
+// NewHistogramVec registers a histogram family with the given ascending
+// upper bucket bounds (+Inf is implicit).
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("metrics: histogram %q bounds not ascending", name))
+	}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, bounds)}
+}
+
+// NewGaugeFunc registers a label-less gauge whose value is sampled at
+// scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindGauge, nil, nil)
+	f.singleton = &child{fn: fn}
+}
+
+// NewCounterFunc registers a label-less counter whose value is sampled at
+// scrape time (the function must be monotonically non-decreasing).
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindCounter, nil, nil)
+	f.singleton = &child{fn: fn}
+}
+
+// GaugeFuncVec is a gauge family whose children are scrape-time functions.
+type GaugeFuncVec struct{ f *family }
+
+// NewGaugeFuncVec registers a labeled gauge family with function children.
+func (r *Registry) NewGaugeFuncVec(name, help string, labels ...string) *GaugeFuncVec {
+	return &GaugeFuncVec{f: r.register(name, help, kindGauge, labels, nil)}
+}
+
+// With installs fn as the child for the label values (idempotent: the
+// first registration wins).
+func (v *GaugeFuncVec) With(fn func() float64, labelValues ...string) {
+	c := v.f.get(labelValues)
+	if c.fn == nil {
+		c.fn = fn
+	}
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest round-trip decimal, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// escapeLabel escapes a label value per the text format (backslash,
+// double-quote, newline).
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// labelString renders {k="v",...} for the family's labels plus any extra
+// pairs (used for histogram `le`). Empty when there are no labels.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus writes the full exposition. Families appear in
+// registration order; children within a family are sorted by label
+// values, so the output is deterministic for a fixed set of samples.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if err := writeFamily(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFamily(w io.Writer, f *family) error {
+	var children []*child
+	if f.singleton != nil {
+		children = []*child{f.singleton}
+	} else {
+		f.mu.Lock()
+		if f.unsorted {
+			sort.Strings(f.order)
+			f.unsorted = false
+		}
+		children = make([]*child, 0, len(f.order))
+		for _, key := range f.order {
+			children = append(children, f.children[key])
+		}
+		f.mu.Unlock()
+	}
+	if len(children) == 0 {
+		return nil
+	}
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	for _, c := range children {
+		if err := writeChild(w, f, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeChild(w io.Writer, f *family, c *child) error {
+	ls := labelString(f.labels, c.labelValues, "", "")
+	switch {
+	case c.fn != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, ls, formatFloat(c.fn()))
+		return err
+	case f.kind == kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, ls, c.counter.Value())
+		return err
+	case f.kind == kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, ls, formatFloat(c.gauge.Value()))
+		return err
+	case f.kind == kindHistogram:
+		var cum uint64
+		for i, bound := range c.hist.bounds {
+			cum += c.hist.buckets[i].Load()
+			bls := labelString(f.labels, c.labelValues, "le", formatFloat(bound))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bls, cum); err != nil {
+				return err
+			}
+		}
+		// The +Inf bucket equals the total count by definition; use the
+		// count so the invariant holds even mid-scrape.
+		count := c.hist.Count()
+		bls := labelString(f.labels, c.labelValues, "le", "+Inf")
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bls, count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, ls, formatFloat(c.hist.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, ls, count)
+		return err
+	default:
+		return fmt.Errorf("metrics: family %q has unknown kind %v", f.name, f.kind)
+	}
+}

@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func expose(t *testing.T, r *Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestCounterExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounterVec("requests_total", "Requests served.", "path", "code")
+	c.With("/v1/predict", "200").Add(3)
+	c.With("/healthz", "200").Inc()
+
+	text := expose(t, r)
+	for _, want := range []string{
+		"# HELP requests_total Requests served.\n",
+		"# TYPE requests_total counter\n",
+		`requests_total{path="/healthz",code="200"} 1` + "\n",
+		`requests_total{path="/v1/predict",code="200"} 3` + "\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	// Children are sorted, so /healthz precedes /v1/predict regardless of
+	// creation order.
+	if strings.Index(text, "/healthz") > strings.Index(text, "/v1/predict") {
+		t.Error("children must be emitted in sorted label order")
+	}
+}
+
+func TestExpositionDeterministic(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGaugeVec("temp", "Temperature.", "zone")
+	for _, z := range []string{"c", "a", "b"} {
+		g.With(z).Set(1)
+	}
+	first := expose(t, r)
+	for i := 0; i < 5; i++ {
+		if got := expose(t, r); got != first {
+			t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", got, first)
+		}
+	}
+	a, b, c := strings.Index(first, `zone="a"`), strings.Index(first, `zone="b"`), strings.Index(first, `zone="c"`)
+	if a < 0 || b < 0 || c < 0 || !(a < b && b < c) {
+		t.Fatalf("children not sorted:\n%s", first)
+	}
+}
+
+func TestGaugeSetAndFuncs(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGaugeVec("watts", "Power.", "device")
+	g.With("k40").Set(161.25)
+	g.With("k40").Set(42.5) // last write wins
+	n := 0.0
+	r.NewGaugeFunc("live_value", "Sampled at scrape.", func() float64 { n++; return n })
+	r.NewCounterFunc("live_total", "Sampled at scrape.", func() float64 { return 7 })
+
+	text := expose(t, r)
+	for _, want := range []string{
+		`watts{device="k40"} 42.5`,
+		"# TYPE live_value gauge",
+		"live_value 1\n",
+		"# TYPE live_total counter",
+		"live_total 7\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	// The func is called once per scrape.
+	if !strings.Contains(expose(t, r), "live_value 2\n") {
+		t.Error("GaugeFunc must be re-sampled at each scrape")
+	}
+}
+
+func TestGaugeFuncVecIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeFuncVec("model_generation", "Gen.", "device")
+	calls := 0
+	v.With(func() float64 { calls++; return 5 }, "k40")
+	v.With(func() float64 { return 99 }, "k40") // duplicate labels: first wins
+	text := expose(t, r)
+	if !strings.Contains(text, `model_generation{device="k40"} 5`) {
+		t.Fatalf("first registration must win:\n%s", text)
+	}
+	if calls != 1 {
+		t.Fatalf("func called %d times during one scrape", calls)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogramVec("latency_seconds", "Latency.", []float64{0.01, 0.1, 1}, "path")
+	child := h.With("/v1/predict")
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		child.Observe(v)
+	}
+
+	text := expose(t, r)
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram\n",
+		`latency_seconds_bucket{path="/v1/predict",le="0.01"} 1` + "\n",
+		`latency_seconds_bucket{path="/v1/predict",le="0.1"} 3` + "\n",
+		`latency_seconds_bucket{path="/v1/predict",le="1"} 4` + "\n",
+		`latency_seconds_bucket{path="/v1/predict",le="+Inf"} 5` + "\n",
+		`latency_seconds_sum{path="/v1/predict"} 5.605` + "\n",
+		`latency_seconds_count{path="/v1/predict"} 5` + "\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestHistogramBoundaryLandsInLowerBucket(t *testing.T) {
+	// Prometheus buckets are le (less-or-equal): an observation exactly on
+	// a bound belongs to that bound's bucket.
+	r := NewRegistry()
+	h := r.NewHistogramVec("b_seconds", "Boundary.", []float64{1, 2}, "k")
+	h.With("x").Observe(1)
+	text := expose(t, r)
+	if !strings.Contains(text, `b_seconds_bucket{k="x",le="1"} 1`+"\n") {
+		t.Fatalf("observation on a bound must land in that bucket:\n%s", text)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGaugeVec("esc", "Escapes.", "name")
+	g.With("a\"b\\c\nd").Set(1)
+	text := expose(t, r)
+	want := `esc{name="a\"b\\c\nd"} 1` + "\n"
+	if !strings.Contains(text, want) {
+		t.Fatalf("missing %q in:\n%s", want, text)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGaugeVec("f", "Floats.", "k")
+	g.With("pi").Set(3.141592653589793)
+	g.With("inf").Set(math.Inf(1))
+	g.With("ninf").Set(math.Inf(-1))
+	g.With("nan").Set(math.NaN())
+	text := expose(t, r)
+	for _, want := range []string{
+		`f{k="pi"} 3.141592653589793` + "\n",
+		`f{k="inf"} +Inf` + "\n",
+		`f{k="ninf"} -Inf` + "\n",
+		`f{k="nan"} NaN` + "\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestDuplicateFamilyPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("dup_total", "One.", "k")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate family name must panic")
+		}
+	}()
+	r.NewGaugeVec("dup_total", "Two.", "k")
+}
+
+func TestFamiliesEmittedInRegistrationOrder(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("zzz_total", "Last name, first registered.", "k").With("a").Inc()
+	r.NewCounterVec("aaa_total", "First name, last registered.", "k").With("a").Inc()
+	text := expose(t, r)
+	if strings.Index(text, "zzz_total") > strings.Index(text, "aaa_total") {
+		t.Fatalf("families must keep registration order:\n%s", text)
+	}
+}

@@ -1,0 +1,288 @@
+// Package registry holds the fitted per-device power models a long-running
+// gpowerd process serves from: a concurrency-safe map of entries, each
+// pairing one device's measurement stack (backend, profiler) with the
+// current fitted *core.Model and its fit metadata.
+//
+// Entries support atomic model swap: a re-fit installs its new model with
+// one pointer store, so readers never observe a half-updated model and
+// never block on a fit in progress. Readers snapshot the model once per
+// batch of predictions, which makes every batch internally consistent —
+// entirely from the old generation or entirely from the new one, never a
+// mix (the registry swap tests pin this under the race detector). After a
+// swap, the outgoing model's memoized prediction surfaces are invalidated
+// (core.Model.InvalidateSurfaces), so the shared surface cache can shed
+// them and a stale generation can never answer for the new fit.
+package registry
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpupower/internal/backend"
+	"gpupower/internal/core"
+	"gpupower/internal/fleet"
+	"gpupower/internal/hw"
+	"gpupower/internal/microbench"
+	"gpupower/internal/profiler"
+)
+
+// FitMeta describes how an entry's current model was produced.
+type FitMeta struct {
+	// Generation mirrors the model's surface-cache generation at install
+	// time; a swap always changes it, so clients can detect model turnover.
+	Generation uint64
+	// Iterations and Converged report how the Section III-D loop ended.
+	Iterations int
+	Converged  bool
+	// FitWall is the wall-clock duration of the fitting phase.
+	FitWall time.Duration
+	// FittedAt is when the model was installed.
+	FittedAt time.Time
+	// Source describes where the training data came from
+	// ("simulator", "trace", ...).
+	Source string
+}
+
+// fitted is the atomically-swapped unit: a model and its metadata always
+// travel together, so a reader can never pair an old model with new
+// metadata.
+type fitted struct {
+	model *core.Model
+	meta  FitMeta
+}
+
+// Entry is one registered device: its descriptor, its (optional)
+// measurement stack, and the current fitted model behind an atomic pointer.
+type Entry struct {
+	name string
+	dev  *hw.Device
+
+	// bk and prof are the measurement stack the model was fitted over.
+	// They are nil for model-only entries (e.g. a model loaded from disk);
+	// Refit requires them.
+	bk   backend.Backend
+	prof *profiler.Profiler
+
+	cur atomic.Pointer[fitted]
+
+	// fitMu serializes re-fits (the measurement pipeline is
+	// single-goroutine); readers never take it.
+	fitMu sync.Mutex
+}
+
+// normalizeMeta forces the fields that must mirror the installed model:
+// metadata can never disagree with the model it describes.
+func normalizeMeta(meta FitMeta, m *core.Model) FitMeta {
+	meta.Generation = m.Generation()
+	meta.Iterations = m.Iterations
+	meta.Converged = m.Converged
+	return meta
+}
+
+// NewEntry builds an entry serving model m for the named device. The
+// backend and profiler may be nil for model-only entries. meta.Generation,
+// meta.Iterations and meta.Converged are forced from the model.
+func NewEntry(name string, dev *hw.Device, bk backend.Backend, prof *profiler.Profiler, m *core.Model, meta FitMeta) (*Entry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("registry: empty entry name")
+	}
+	if dev == nil || m == nil {
+		return nil, fmt.Errorf("registry: entry %q needs a device and a model", name)
+	}
+	if m.DeviceName != dev.Name {
+		return nil, fmt.Errorf("registry: entry %q: model fitted on %q, device is %q",
+			name, m.DeviceName, dev.Name)
+	}
+	e := &Entry{name: name, dev: dev, bk: bk, prof: prof}
+	e.cur.Store(&fitted{model: m, meta: normalizeMeta(meta, m)})
+	return e, nil
+}
+
+// Name returns the entry's registry key (e.g. "GTX Titan X#42").
+func (e *Entry) Name() string { return e.name }
+
+// Device returns the entry's device descriptor.
+func (e *Entry) Device() *hw.Device { return e.dev }
+
+// Model returns the current fitted model. Callers serving a batch of
+// predictions must call this once and use the snapshot for the whole
+// batch; that is what makes a batch atomic with respect to Swap.
+func (e *Entry) Model() *core.Model { return e.cur.Load().model }
+
+// Snapshot returns the current model and its metadata as one consistent
+// pair.
+func (e *Entry) Snapshot() (*core.Model, FitMeta) {
+	f := e.cur.Load()
+	return f.model, f.meta
+}
+
+// Swap atomically installs a new fitted model and returns the previous
+// one. The old model's memoized prediction surfaces are invalidated, so
+// the process-wide surface cache drops them on its next eviction scan and
+// in-flight readers finish their batches on the old snapshot without ever
+// mixing generations.
+func (e *Entry) Swap(m *core.Model, meta FitMeta) (*core.Model, error) {
+	if m == nil {
+		return nil, fmt.Errorf("registry: entry %q: nil model in swap", e.name)
+	}
+	if m.DeviceName != e.dev.Name {
+		return nil, fmt.Errorf("registry: entry %q: model fitted on %q, device is %q",
+			e.name, m.DeviceName, e.dev.Name)
+	}
+	old := e.cur.Swap(&fitted{model: m, meta: normalizeMeta(meta, m)})
+	old.model.InvalidateSurfaces()
+	return old.model, nil
+}
+
+// Refit measures a fresh training dataset through the entry's own
+// profiler, fits a new model, and atomically installs it. Concurrent
+// Refit calls on one entry serialize (the measurement pipeline is
+// single-goroutine); predictions continue on the old model until the
+// instant of the swap.
+func (e *Entry) Refit(ctx context.Context, opts *core.EstimatorOptions) (*core.Model, error) {
+	if e.prof == nil {
+		return nil, fmt.Errorf("registry: entry %q is model-only (no profiler); cannot refit", e.name)
+	}
+	e.fitMu.Lock()
+	defer e.fitMu.Unlock()
+	d, err := core.BuildDataset(ctx, e.prof, microbench.Suite(), e.dev.DefaultConfig(), e.dev.AllConfigs())
+	if err != nil {
+		return nil, fmt.Errorf("registry: refit %q: %w", e.name, err)
+	}
+	start := time.Now()
+	m, err := core.Estimate(ctx, d, opts)
+	if err != nil {
+		return nil, fmt.Errorf("registry: refit %q: %w", e.name, err)
+	}
+	_, oldMeta := e.Snapshot()
+	meta := FitMeta{
+		Iterations: m.Iterations,
+		Converged:  m.Converged,
+		FitWall:    time.Since(start),
+		FittedAt:   time.Now(),
+		Source:     oldMeta.Source,
+	}
+	if _, err := e.Swap(m, meta); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Registry is the concurrency-safe set of entries a gpowerd process
+// serves. Lookups take a read lock; entry model access is lock-free.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	order   []string // insertion order, for stable listings
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{entries: map[string]*Entry{}}
+}
+
+// Add registers an entry under its name. Duplicate names are an error —
+// replacing a model goes through Entry.Swap, not re-registration.
+func (r *Registry) Add(e *Entry) error {
+	if e == nil {
+		return fmt.Errorf("registry: nil entry")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[e.name]; dup {
+		return fmt.Errorf("registry: duplicate entry %q", e.name)
+	}
+	r.entries[e.name] = e
+	r.order = append(r.order, e.name)
+	return nil
+}
+
+// Lookup returns the named entry.
+func (r *Registry) Lookup(name string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Names returns the registered names in insertion order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+// Entries returns the entries in insertion order.
+func (r *Registry) Entries() []*Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	es := make([]*Entry, 0, len(r.order))
+	for _, n := range r.order {
+		es = append(es, r.entries[n])
+	}
+	return es
+}
+
+// Len returns the number of registered entries.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Build fits the whole fleet concurrently (fleet.FitAll: per-member
+// datasets, per-worker fit workspaces) and registers one entry per spec,
+// in spec order. Each entry keeps its member's backend and profiler, so
+// the registry can re-fit any device later without reopening anything.
+func Build(ctx context.Context, specs []fleet.Spec, opts *core.EstimatorOptions) (*Registry, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("registry: no specs")
+	}
+	if err := validateSpecs(specs); err != nil {
+		return nil, err
+	}
+	res, err := fleet.FitAll(ctx, specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	r := New()
+	now := time.Now()
+	perFit := res.Wall / time.Duration(len(res.Fits))
+	for _, f := range res.Fits {
+		meta := FitMeta{
+			Iterations: f.Model.Iterations,
+			Converged:  f.Model.Converged,
+			FitWall:    perFit,
+			FittedAt:   now,
+			Source:     "simulator",
+		}
+		e, err := NewEntry(f.Spec.String(), f.Member.Device, f.Member.Backend, f.Member.Profiler, f.Model, meta)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Add(e); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// validateSpecs rejects duplicate spec names before any measurement work
+// starts, so a doomed Build fails fast.
+func validateSpecs(specs []fleet.Spec) error {
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.String()
+	}
+	sort.Strings(names)
+	for i := 1; i < len(names); i++ {
+		if names[i] == names[i-1] {
+			return fmt.Errorf("registry: duplicate spec %q", names[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,355 @@
+package registry
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"gpupower/internal/core"
+	"gpupower/internal/fleet"
+	"gpupower/internal/hw"
+)
+
+// testModel builds a synthetic fitted model for dev. beta0 perturbs the
+// core static coefficient, so two models built with different beta0 are
+// distinguishable in every prediction.
+func testModel(t *testing.T, dev *hw.Device, beta0 float64) *core.Model {
+	t.Helper()
+	m := &core.Model{
+		DeviceName: dev.Name,
+		Ref:        dev.DefaultConfig(),
+		Beta:       [4]float64{beta0, 0.02, 10, 0.002},
+		OmegaCore: map[hw.Component]float64{
+			hw.Int: 0.011, hw.SP: 0.013, hw.DP: 0.017,
+			hw.SF: 0.007, hw.Shared: 0.005, hw.L2: 0.009,
+		},
+		OmegaMem:        0.004,
+		Voltages:        core.NewVoltageTable(dev.CoreFreqs, dev.MemFreqs),
+		L2BytesPerCycle: dev.L2BytesPerCycle,
+		Iterations:      3,
+		Converged:       true,
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("synthetic model invalid: %v", err)
+	}
+	return m
+}
+
+func TestNewEntryValidation(t *testing.T) {
+	dev := hw.TeslaK40c()
+	m := testModel(t, dev, 40)
+	if _, err := NewEntry("", dev, nil, nil, m, FitMeta{}); err == nil {
+		t.Fatal("empty name must be rejected")
+	}
+	if _, err := NewEntry("x", nil, nil, nil, m, FitMeta{}); err == nil {
+		t.Fatal("nil device must be rejected")
+	}
+	if _, err := NewEntry("x", dev, nil, nil, nil, FitMeta{}); err == nil {
+		t.Fatal("nil model must be rejected")
+	}
+	other := hw.GTXTitanX()
+	if _, err := NewEntry("x", other, nil, nil, m, FitMeta{}); err == nil {
+		t.Fatal("device/model mismatch must be rejected")
+	}
+	e, err := NewEntry("k40", dev, nil, nil, m, FitMeta{Source: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, meta := e.Snapshot()
+	if got != m {
+		t.Fatal("snapshot must return the installed model")
+	}
+	if meta.Generation != m.Generation() {
+		t.Fatalf("meta generation %d, model generation %d", meta.Generation, m.Generation())
+	}
+	if meta.Source != "test" {
+		t.Fatalf("source %q lost", meta.Source)
+	}
+}
+
+func TestSwapValidatesAndInvalidates(t *testing.T) {
+	dev := hw.TeslaK40c()
+	a := testModel(t, dev, 40)
+	b := testModel(t, dev, 55)
+	e, err := NewEntry("k40", dev, nil, nil, a, FitMeta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Swap(nil, FitMeta{}); err == nil {
+		t.Fatal("nil model swap must be rejected")
+	}
+	wrong := testModel(t, hw.GTXTitanX(), 40)
+	if _, err := e.Swap(wrong, FitMeta{}); err == nil {
+		t.Fatal("mismatched-device swap must be rejected")
+	}
+
+	genA := a.Generation()
+	old, err := e.Swap(b, FitMeta{Source: "refit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != a {
+		t.Fatal("swap must return the previous model")
+	}
+	if a.Generation() == genA {
+		t.Fatal("swap must invalidate the old model's surfaces (generation unchanged)")
+	}
+	m, meta := e.Snapshot()
+	if m != b || meta.Generation != b.Generation() {
+		t.Fatal("snapshot must be the new (model, meta) pair")
+	}
+}
+
+func TestRegistryAddLookupOrder(t *testing.T) {
+	dev := hw.TeslaK40c()
+	r := New()
+	if err := r.Add(nil); err == nil {
+		t.Fatal("nil entry must be rejected")
+	}
+	names := []string{"c", "a", "b"}
+	for _, n := range names {
+		e, err := NewEntry(n, dev, nil, nil, testModel(t, dev, 40), FitMeta{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dup, _ := NewEntry("a", dev, nil, nil, testModel(t, dev, 41), FitMeta{})
+	if err := r.Add(dup); err == nil {
+		t.Fatal("duplicate name must be rejected")
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	got := r.Names()
+	for i, n := range names {
+		if got[i] != n {
+			t.Fatalf("Names() = %v, want insertion order %v", got, names)
+		}
+		e, ok := r.Lookup(n)
+		if !ok || e.Name() != n {
+			t.Fatalf("Lookup(%q) failed", n)
+		}
+		if r.Entries()[i] != e {
+			t.Fatal("Entries() must mirror Names() order")
+		}
+	}
+	if _, ok := r.Lookup("nope"); ok {
+		t.Fatal("unknown name must miss")
+	}
+}
+
+func TestBuildFitsFleetIntoEntries(t *testing.T) {
+	ctx := context.Background()
+	specs := []fleet.Spec{
+		{Device: "Tesla K40c", Seed: 3},
+		{Device: "Tesla K40c", Seed: 4},
+	}
+	r, err := Build(ctx, specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != len(specs) {
+		t.Fatalf("registry has %d entries, want %d", r.Len(), len(specs))
+	}
+	for i, spec := range specs {
+		e, ok := r.Lookup(spec.String())
+		if !ok {
+			t.Fatalf("missing entry %q", spec.String())
+		}
+		if r.Names()[i] != spec.String() {
+			t.Fatal("entries must be registered in spec order")
+		}
+		m, meta := e.Snapshot()
+		if m.DeviceName != spec.Device {
+			t.Fatalf("entry %q model fitted on %q", spec.String(), m.DeviceName)
+		}
+		if meta.Source != "simulator" {
+			t.Fatalf("source %q, want simulator", meta.Source)
+		}
+		if meta.Generation != m.Generation() {
+			t.Fatal("meta generation must mirror the model")
+		}
+		// The entry keeps the measurement stack: refit must work.
+		if e.prof == nil || e.bk == nil {
+			t.Fatal("fleet-built entries must retain backend and profiler")
+		}
+	}
+
+	if _, err := Build(ctx, nil, nil); err == nil {
+		t.Fatal("empty specs must be rejected")
+	}
+	dupSpecs := []fleet.Spec{{Device: "Tesla K40c", Seed: 3}, {Device: "Tesla K40c", Seed: 3}}
+	if _, err := Build(ctx, dupSpecs, nil); err == nil {
+		t.Fatal("duplicate specs must be rejected before measurement")
+	}
+}
+
+func TestRefitSwapsNewModel(t *testing.T) {
+	ctx := context.Background()
+	member, err := fleet.OpenMember(fleet.Spec{Device: "Tesla K40c", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := member.BuildDataset(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0, err := core.Estimate(ctx, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEntry(member.Spec.String(), member.Device, member.Backend, member.Profiler, m0, FitMeta{Source: "simulator"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen0 := m0.Generation()
+	m1, err := e.Refit(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 == m0 {
+		t.Fatal("refit must install a fresh model instance")
+	}
+	cur, meta := e.Snapshot()
+	if cur != m1 {
+		t.Fatal("refit must swap the new model in")
+	}
+	if meta.Generation == gen0 {
+		t.Fatal("refit must change the generation")
+	}
+	if meta.Source != "simulator" {
+		t.Fatalf("refit must preserve the source label, got %q", meta.Source)
+	}
+	if meta.FitWall <= 0 {
+		t.Fatal("refit must record the fit wall clock")
+	}
+
+	// Model-only entries cannot refit.
+	bare, err := NewEntry("bare", member.Device, nil, nil, testModel(t, member.Device, 40), FitMeta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bare.Refit(ctx, nil); err == nil {
+		t.Fatal("model-only entry refit must error")
+	}
+}
+
+// TestSwapUnderConcurrentReaders is the registry's core serving guarantee
+// under the race detector: readers that snapshot the model once per batch
+// see batches that are bitwise-identical to the old fit or to the new fit,
+// never a mix, while a writer swaps the entry back and forth.
+func TestSwapUnderConcurrentReaders(t *testing.T) {
+	dev := hw.TeslaK40c()
+	a := testModel(t, dev, 40)
+	b := testModel(t, dev, 55)
+	configs := dev.AllConfigs()
+	u := core.Utilization{hw.SP: 0.8, hw.Int: 0.25, hw.L2: 0.4, hw.DRAM: 0.6}
+
+	expect := func(m *core.Model) []float64 {
+		out := make([]float64, len(configs))
+		if err := m.PredictAll(u, configs, out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	expectedA, expectedB := expect(a), expect(b)
+	for i := range expectedA {
+		if math.Float64bits(expectedA[i]) == math.Float64bits(expectedB[i]) {
+			t.Fatalf("config %d: models A and B predict identically; perturbation too weak", i)
+		}
+	}
+
+	e, err := NewEntry("k40", dev, nil, nil, a, FitMeta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		readers        = 4
+		swaps          = 300
+		batchesPerSwap = 2
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errc := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			batch := make([]float64, len(configs))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// The serving contract: one snapshot per batch.
+				m := e.Model()
+				if err := m.PredictAll(u, configs, batch); err != nil {
+					errc <- err
+					return
+				}
+				matchA, matchB := true, true
+				for i := range batch {
+					bits := math.Float64bits(batch[i])
+					if bits != math.Float64bits(expectedA[i]) {
+						matchA = false
+					}
+					if bits != math.Float64bits(expectedB[i]) {
+						matchB = false
+					}
+				}
+				if !matchA && !matchB {
+					errc <- errMixedBatch(batch, expectedA, expectedB)
+					return
+				}
+			}
+		}()
+	}
+
+	cur, next := a, b
+	for i := 0; i < swaps; i++ {
+		if _, err := e.Swap(next, FitMeta{}); err != nil {
+			t.Fatal(err)
+		}
+		cur, next = next, cur
+		// Let readers run a couple of batches between swaps.
+		for j := 0; j < batchesPerSwap; j++ {
+			m := e.Model()
+			scratch := make([]float64, len(configs))
+			if err := m.PredictAll(u, configs, scratch); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	_ = cur
+}
+
+// errMixedBatch formats the mixed-generation failure.
+type mixedBatchError struct{ got, a, b []float64 }
+
+func errMixedBatch(got, a, b []float64) error {
+	g := make([]float64, len(got))
+	copy(g, got)
+	return &mixedBatchError{got: g, a: a, b: b}
+}
+
+func (e *mixedBatchError) Error() string {
+	for i := range e.got {
+		gb := math.Float64bits(e.got[i])
+		if gb != math.Float64bits(e.a[i]) && gb != math.Float64bits(e.b[i]) {
+			return "batch matches neither generation (corrupt read)"
+		}
+	}
+	return "batch mixes generations: some points from the old model, some from the new"
+}
