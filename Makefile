@@ -14,15 +14,20 @@
 #                  any diagnostic. Mechanically enforces determinism
 #                  (maporder, floateq), cancellation (ctxflow), error
 #                  taxonomy (senterr), pooled-spawn (gonosync),
-#                  disjoint-write (disjointwrite), unit-provenance
-#                  (unitflow) and live-suppression (unusedignore)
-#                  invariants; must stay green on every PR. Incremental:
-#                  per-package results are cached under
-#                  $$(os.UserCacheDir())/gpowerlint (DESIGN.md §9.9), and
-#                  the target prints its wall time so cache regressions are
-#                  visible in CI logs.
-#   make lint-bench — cold-vs-warm cache timing into a fresh facts dir;
-#                  the numbers recorded in EXPERIMENTS.md come from here.
+#                  disjoint-write (disjointwrite, with method-mutation
+#                  summaries), unit-provenance (unitflow, with cross-package
+#                  facts), snapshot-coherence (atomicsnap), serving-boundary
+#                  (httpbound), wire-unit (dtounits) and live-suppression
+#                  (unusedignore) invariants; must stay green on every PR.
+#                  Incremental and parallel: per-package results are cached
+#                  under $$(os.UserCacheDir())/gpowerlint (DESIGN.md §9.9),
+#                  directory groups run on the internal/parallel pool with
+#                  byte-identical output (DESIGN.md §9.13), and the target
+#                  prints its wall time so cache regressions are visible in
+#                  CI logs.
+#   make lint-bench — cold-serial vs cold-parallel vs warm timing into fresh
+#                  facts dirs; the numbers recorded in EXPERIMENTS.md come
+#                  from here. GPUPOWER_SEQUENTIAL=1 pins the serial leg.
 #   make bench   — regenerate the paper's tables/figures (EXPERIMENTS.md numbers)
 #   make speedup — serial vs parallel Estimate comparison per device catalog
 #   make bench-json — run the perf-relevant Go benchmarks plus the speedup
@@ -83,19 +88,24 @@ lint:
 	echo "lint: $$(( (end - start) / 1000000 )) ms wall"; \
 	exit $$status
 
-# lint-bench times a cold run (fresh facts dir: full parse + type check of
-# the module) against a warm run over the identical tree, using a prebuilt
-# binary so `go run` compilation noise stays out of both measurements.
+# lint-bench times cold runs (fresh facts dir: full parse + type check of
+# the module) serial (GPUPOWER_SEQUENTIAL=1) and parallel, then a warm run
+# over the identical tree, using a prebuilt binary so `go run` compilation
+# noise stays out of the measurements. Output is byte-identical across all
+# three; only the wall clock moves.
 lint-bench:
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) build -o "$$tmp/gpowerlint" ./cmd/gpowerlint; \
+	start=$$(date +%s%N); \
+	GPUPOWER_SEQUENTIAL=1 "$$tmp/gpowerlint" -cache-stats -facts-dir "$$tmp/facts-serial" ./... || exit $$?; \
+	end=$$(date +%s%N); coldserial=$$(( (end - start) / 1000000 )); \
 	start=$$(date +%s%N); \
 	"$$tmp/gpowerlint" -cache-stats -facts-dir "$$tmp/facts" ./... || exit $$?; \
 	end=$$(date +%s%N); cold=$$(( (end - start) / 1000000 )); \
 	start=$$(date +%s%N); \
 	"$$tmp/gpowerlint" -cache-stats -facts-dir "$$tmp/facts" ./... || exit $$?; \
 	end=$$(date +%s%N); warm=$$(( (end - start) / 1000000 )); \
-	echo "lint-bench: cold $$cold ms, warm $$warm ms"
+	echo "lint-bench: cold-serial $$coldserial ms, cold-parallel $$cold ms, warm $$warm ms"
 
 cover:
 	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...

@@ -8,9 +8,21 @@
 //	ctxflow       dropped-context loops, mid-stack context.Background()/TODO()
 //	senterr       sentinel-error == / !=, fmt.Errorf wrapping without %w
 //	gonosync      naked go statements outside internal/parallel
-//	disjointwrite non-index-derived writes to captured state in parallel closures
-//	unitflow      MHz/volts/watts provenance conflicts in assignments and math
+//	disjointwrite non-index-derived writes to captured state in parallel
+//	              closures, including mutation one method call deep
+//	unitflow      MHz/volts/watts provenance conflicts in assignments and
+//	              math, with cross-package inference facts
+//	atomicsnap    torn atomic.Pointer snapshots: second Load in a scope,
+//	              inline Load().Field inside loops
+//	httpbound     handlers decoding r.Body without http.MaxBytesReader, or
+//	              minting context.Background() instead of r.Context()
+//	dtounits      DTO field names whose unit disagrees with their json tag
 //	unusedignore  //lint:ignore directives that suppressed zero diagnostics
+//
+// Directory groups are analyzed concurrently on the internal/parallel worker
+// pool; output is byte-identical to the serial order (diagnostics are merged
+// and sorted into a total order). Set GPUPOWER_SEQUENTIAL=1 to force the
+// serial path when isolating an engine issue or benchmarking the speedup.
 //
 // Usage:
 //

@@ -367,6 +367,7 @@ func (ws *estimatorWorkspace) solveVoltages(x []float64, volt *VoltageTable, opt
 	err := parallel.ForEach(len(d.Configs), func(fi int) error {
 		cfg := d.Configs[fi]
 		if cfg == d.Ref {
+			//lint:ignore disjointwrite iteration fi writes only cfg's own (mi,ci) slot; configs are unique (Dataset.Validate)
 			return volt.Set(cfg, 1, 1)
 		}
 		fc, fm := cfg.CoreMHz, cfg.MemMHz
@@ -399,6 +400,7 @@ func (ws *estimatorWorkspace) solveVoltages(x []float64, volt *VoltageTable, opt
 		if err != nil {
 			return err
 		}
+		//lint:ignore disjointwrite iteration fi writes only cfg's own (mi,ci) slot; configs are unique (Dataset.Validate)
 		return volt.Set(cfg, vc, vm)
 	})
 	if err != nil {

@@ -21,6 +21,9 @@ func All() []*lint.Analyzer {
 		GoNoSync,
 		DisjointWrite,
 		UnitFlow,
+		AtomicSnap,
+		HTTPBound,
+		DTOUnits,
 		UnusedIgnore,
 	}
 }
@@ -129,4 +132,46 @@ func identObj(info *types.Info, e ast.Expr) types.Object {
 		return obj
 	}
 	return info.Defs[id]
+}
+
+// --- cross-package declaration lookup (shared by the fact layers) ---
+
+// declScope resolves a *types.Package to the syntax and type facts it was
+// checked from: the current pass for the package under analysis, Pass.Dep
+// for in-module dependencies, nothing for foreign packages. The returned
+// pass is silent — fact derivation re-reads syntax for its value only.
+func declScope(pass *lint.Pass, pkg *types.Package) ([]*ast.File, *types.Info, *lint.Pass) {
+	if pkg == pass.Pkg {
+		return pass.Files, pass.Info, pass.Silent()
+	}
+	dep, ok := pass.Dep(pkg.Path())
+	if !ok || dep.Types != pkg {
+		return nil, nil, nil
+	}
+	return dep.Files, dep.Info, lint.ScratchPass(pass.Analyzer, dep)
+}
+
+// funcDeclOf locates the FuncDecl for an in-module function: in the current
+// package's files, or in a dependency package reached through Pass.Dep.
+// The returned pass is silent and scoped to the declaring package.
+func funcDeclOf(pass *lint.Pass, fn *types.Func) (*ast.FuncDecl, *lint.Pass) {
+	if fn.Pkg() == nil {
+		return nil, nil
+	}
+	files, info, declPass := declScope(pass, fn.Pkg())
+	if files == nil {
+		return nil, nil
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if info.Defs[fd.Name] == fn {
+				return fd, declPass
+			}
+		}
+	}
+	return nil, nil
 }

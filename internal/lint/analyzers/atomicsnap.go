@@ -1,0 +1,193 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gpupower/internal/lint"
+)
+
+// AtomicSnap enforces the registry's one-snapshot-per-scope contract on
+// atomic.Pointer[T]. internal/registry publishes each device's fitted model
+// through an atomic pointer that Refit swaps wholesale; a batch that calls
+// .Load() twice can observe two different fit generations and silently mix
+// their predictions — a bug class the -race detector cannot see (both loads
+// are perfectly synchronized) and that PR 7 could only guard with handwritten
+// equivalence tests.
+var AtomicSnap = &lint.Analyzer{
+	Name: "atomicsnap",
+	Doc: `flags repeated atomic.Pointer Load()s that can mix snapshot generations.
+
+Two checks, applied per function scope (function literals are their own
+scope). (1) A second .Load() of the same atomic.Pointer[T] within one scope
+is reported: a batch must take one snapshot and use it throughout, because a
+concurrent Swap between the two loads hands the scope two different
+generations. (2) An inline p.Load().Field / p.Load().Method() inside a
+for/range loop whose pointer is declared outside the loop is reported even
+when it is the only load: it re-snapshots every iteration, so the loop as a
+whole mixes generations. Binding one load to a variable before the loop (or
+one per iteration for deliberately generation-chasing loops) is the fix;
+compare-and-swap retry loops that re-load into a variable each attempt are
+not flagged.`,
+	Run: runAtomicSnap,
+}
+
+func runAtomicSnap(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue // tests deliberately race generations to prove invariants
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkSnapScope(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkSnapScope(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSnapScope applies both checks to one function body, not descending
+// into nested function literals (each is its own snapshot scope — a closure
+// handed to a worker pool takes its own snapshot by design).
+func checkSnapScope(pass *lint.Pass, body *ast.BlockStmt) {
+	reported := make(map[token.Pos]bool)
+
+	// Check 2 first so the loop-specific message wins when a load is both
+	// inside a loop and a second load of its pointer.
+	forEachInScope(body, func(n ast.Node) {
+		var loopBody *ast.BlockStmt
+		var loopPos, loopEnd token.Pos
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			loopBody, loopPos, loopEnd = l.Body, l.Pos(), l.End()
+		case *ast.RangeStmt:
+			loopBody, loopPos, loopEnd = l.Body, l.Pos(), l.End()
+		default:
+			return
+		}
+		forEachInScope(loopBody, func(n ast.Node) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			call, ok := ast.Unparen(sel.X).(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			recv, path := atomicPointerLoad(pass.Info, call)
+			if recv == nil {
+				return
+			}
+			// Only loop-invariant pointers: a pointer produced inside the
+			// loop body is a fresh snapshot source each iteration by
+			// construction.
+			if recv.Pos() >= loopPos && recv.Pos() < loopEnd {
+				return
+			}
+			if !reported[call.Pos()] {
+				reported[call.Pos()] = true
+				pass.Reportf(call.Pos(),
+					"inline %s.Load().%s inside a loop re-snapshots the atomic pointer every iteration: hoist one Load above the loop so every iteration sees the same generation",
+					path, sel.Sel.Name)
+			}
+		})
+	})
+
+	// Check 1: second load of the same pointer in this scope. The key pairs
+	// the anchoring object's identity with the printed receiver path, so
+	// e.cur and e.prev are distinct pointers on the same receiver while two
+	// spellings of the same field chain collide as they should.
+	type loadKey struct {
+		obj  types.Object
+		path string
+	}
+	seen := make(map[loadKey]token.Pos)
+	forEachInScope(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		recv, path := atomicPointerLoad(pass.Info, call)
+		if recv == nil {
+			return
+		}
+		key := loadKey{obj: recv, path: path}
+		if first, ok := seen[key]; ok {
+			if !reported[call.Pos()] {
+				reported[call.Pos()] = true
+				pass.Reportf(call.Pos(),
+					"second Load of %s in this scope (first at line %d): a concurrent Swap between the loads hands this scope two model generations — take one snapshot and use it throughout",
+					path, pass.Fset.Position(first).Line)
+			}
+			return
+		}
+		seen[key] = call.Pos()
+	})
+}
+
+// forEachInScope walks a body in source order, invoking fn for every node
+// but never descending into nested function literals.
+func forEachInScope(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// atomicPointerLoad reports whether call is a .Load() on a sync/atomic
+// Pointer[T] (any receiver form: value field, pointer field, local). It
+// returns the base object anchoring the receiver and the receiver's printed
+// path ("e.cur"), or (nil, "") when the call is something else.
+func atomicPointerLoad(info *types.Info, call *ast.CallExpr) (types.Object, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" {
+		return nil, ""
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return nil, ""
+	}
+	full := fn.FullName()
+	if !strings.HasPrefix(full, "(*sync/atomic.Pointer[") || !strings.HasSuffix(full, ".Load") {
+		return nil, ""
+	}
+	base := baseIdentObj(info, sel.X)
+	if base == nil {
+		return nil, ""
+	}
+	return base, types.ExprString(sel.X)
+}
+
+// baseIdentObj walks a receiver expression (e.cur, (&s.reg).cur, ptr) down
+// to its anchoring identifier's object.
+func baseIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return identObj(info, x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"gpupower/internal/lint/analyzers"
+	"gpupower/internal/lint/linttest"
+)
+
+func TestAtomicSnap(t *testing.T) {
+	linttest.Run(t, "testdata", analyzers.AtomicSnap, "atomicsnap")
+}

@@ -26,9 +26,15 @@ through locals assigned from them, e.g. r := i*stride; buf[r] = v), or memory
 reached through an alias obtained with an i-derived selection (row :=
 m.RowView(i); row[j] = v). Writes to whole captured variables, to captured
 maps (concurrent map writes race regardless of key), and to elements at
-indices unrelated to the loop parameters are reported. Mutation through
-method calls (mu.Lock, table.Set) is out of scope: guarded shared state must
-be annotated with //lint:ignore disjointwrite and a reason.`,
+indices unrelated to the loop parameters are reported. Method calls on
+shared receivers are checked through per-method mutation summaries: when an
+in-module method provably writes through its receiver (directly, or
+transitively via other receiver methods), calling it on captured state whose
+selection is not loop-derived is reported like the underlying write would
+be. Methods whose bodies are unavailable (stdlib, interfaces) summarize to
+non-mutating, so externally-synchronized state (mu.Lock) stays quiet at the
+call and must be annotated where its guarded writes occur, with
+//lint:ignore disjointwrite and a reason.`,
 	Run: runDisjointWrite,
 }
 
@@ -136,6 +142,7 @@ func (dw *disjointWriteCheck) run() {
 				// here would double-report its writes against the outer seeds.
 				return false
 			}
+			dw.checkMethodCall(inner)
 		}
 		switch st := n.(type) {
 		case *ast.AssignStmt:
@@ -301,6 +308,36 @@ func (dw *disjointWriteCheck) propagateRange(st *ast.RangeStmt) {
 	if st.Value != nil {
 		seed(st.Value)
 	}
+}
+
+// checkMethodCall consults the per-method mutation summary for calls whose
+// receiver reaches captured state without a loop-derived selection: t.Set(k,
+// v) on a captured table is the same race as t.m[k] = v, one call deeper.
+func (dw *disjointWriteCheck) checkMethodCall(call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(dw.pass.Info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	recv := sel.X
+	if !dw.mentionsShared(recv) || dw.mentionsDerived(recv) {
+		// Receiver is closure-owned, or was selected by a loop parameter
+		// (rows[i].Accumulate(v) targets iteration i's own slot).
+		return
+	}
+	if mutates, _ := methodMutates(dw.pass, fn, nil); !mutates {
+		return
+	}
+	dw.pass.Reportf(call.Pos(),
+		"call to %s.%s inside a parallel.%s closure mutates shared state through its receiver: the method's writes race across iterations exactly like direct assignments; target an index-owned slot or annotate the external synchronization (DESIGN.md §7)",
+		types.ExprString(recv), fn.Name(), dw.entry)
 }
 
 // checkAssign inspects every assigned lvalue. Pure definitions (:= creating

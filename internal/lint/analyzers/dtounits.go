@@ -1,0 +1,94 @@
+package analyzers
+
+import (
+	"go/ast"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"gpupower/internal/lint"
+)
+
+// DTOUnits guards the serving wire format: a JSON DTO field whose Go name
+// and json tag both claim a physical unit must claim the same one. The
+// hw.Config → governor → serve DTO chain re-states units twice — once in the
+// field name unitflow tracks, once in the snake_case tag clients parse — and
+// nothing else cross-checks the two, so a CoreMHz field tagged json:"volts"
+// ships a wrong-by-1000× API without failing a single test.
+var DTOUnits = &lint.Analyzer{
+	Name: "dtounits",
+	Doc: `flags struct fields whose name and json tag disagree on the unit.
+
+For every struct field carrying a json tag, the unit implied by the Go field
+name (the unitflow convention: ...MHz, ...Volts, ...Watts suffixes plus the
+catalog seed table) is compared with the unit implied by the wire name (a
+_mhz / _volts / _watts suffix, tag options ignored). Both known and
+different is a report; either side unit-less stays silent, so Constant
+watts-by-tag-only fields and unit-free names are fine. The check is the wire-
+format completion of unitflow: inside the process provenance flows by name,
+and the tag is where that name is translated for clients.`,
+	Run: runDTOUnits,
+}
+
+func runDTOUnits(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if field.Tag == nil || len(field.Names) == 0 {
+					continue
+				}
+				raw, err := strconv.Unquote(field.Tag.Value)
+				if err != nil {
+					continue
+				}
+				wire := reflect.StructTag(raw).Get("json")
+				if i := strings.Index(wire, ","); i >= 0 {
+					wire = wire[:i]
+				}
+				if wire == "" || wire == "-" {
+					continue
+				}
+				tu := unitFromTag(wire)
+				if tu == unitUnknown {
+					continue
+				}
+				for _, name := range field.Names {
+					nu := unitUnknown
+					if obj := pass.Info.Defs[name]; obj != nil {
+						nu = declaredUnit(obj)
+					}
+					if nu == unitUnknown {
+						nu = unitFromName(name.Name)
+					}
+					if nu != unitUnknown && nu != tu {
+						pass.Reportf(name.Pos(),
+							"field %s carries %s by name but its json tag %q says %s: clients will parse the wrong unit off the wire",
+							name.Name, nu, wire, tu)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// unitFromTag maps a wire name to the unit its snake_case suffix claims.
+func unitFromTag(wire string) unit {
+	switch {
+	case strings.HasSuffix(wire, "_mhz") || wire == "mhz":
+		return unitMHz
+	case strings.HasSuffix(wire, "_volts") || wire == "volts":
+		return unitVolts
+	case strings.HasSuffix(wire, "_watts") || wire == "watts":
+		return unitWatts
+	}
+	return unitUnknown
+}

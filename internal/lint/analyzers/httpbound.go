@@ -1,0 +1,194 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gpupower/internal/lint"
+)
+
+// HTTPBound enforces the serving hygiene contract from PR 7: every HTTP
+// handler bounds the request body before reading it and threads the
+// request's context — not a freshly minted one — into the work it starts.
+// gpowerd fronts a fleet surface; one unbounded POST body or one
+// uncancellable downstream call is all it takes to let a single client pin
+// memory or outlive its disconnect.
+var HTTPBound = &lint.Analyzer{
+	Name: "httpbound",
+	Doc: `flags unbounded r.Body reads and minted contexts in HTTP handlers.
+
+Applies to every function that takes an *http.Request (handlers, middleware,
+decode helpers). (1) Any use of the request's Body must be syntactically
+preceded, in the same function, by the bounding re-assignment
+r.Body = http.MaxBytesReader(w, r.Body, n); decoding an unbounded body lets
+one client exhaust server memory. Handlers that delegate body handling to a
+bounding helper (s.decodeBody(w, r, &req)) never touch r.Body themselves and
+are clean by construction. (2) context.Background() / context.TODO() inside
+such a function is reported: handler work must derive from r.Context() so a
+client disconnect cancels it. _test.go files are exempt.`,
+	Run: runHTTPBound,
+}
+
+func runHTTPBound(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ft, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ft, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			reqs := requestParams(pass.Info, ft)
+			if len(reqs) == 0 {
+				return true
+			}
+			checkHandler(pass, body, reqs)
+			return true
+		})
+	}
+	return nil
+}
+
+// requestParams returns the objects of the function's *http.Request
+// parameters.
+func requestParams(info *types.Info, ft *ast.FuncType) []types.Object {
+	var out []types.Object
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil || name.Name == "_" {
+				continue
+			}
+			ptr, ok := obj.Type().(*types.Pointer)
+			if !ok {
+				continue
+			}
+			named, ok := ptr.Elem().(*types.Named)
+			if !ok {
+				continue
+			}
+			tn := named.Obj()
+			if tn.Pkg() != nil && tn.Pkg().Path() == "net/http" && tn.Name() == "Request" {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// checkHandler applies both checks to one request-taking function. Nested
+// function literals are visited as part of the enclosing body here (not
+// skipped): a closure over r launched by the handler reads the same body
+// and owes the same bounds — but a nested literal that redeclares its own
+// *http.Request parameter is its own handler and is analyzed separately by
+// the outer walk, so its body is skipped to avoid double reports.
+func checkHandler(pass *lint.Pass, body *ast.BlockStmt, reqs []types.Object) {
+	// Pass 1: where (if anywhere) does each request's body get bounded, and
+	// which Body mentions belong to the bounding assignment itself?
+	wrapPos := make(map[types.Object]token.Pos)
+	exempt := make(map[token.Pos]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		req := bodySelectorOf(pass.Info, as.Lhs[0], reqs)
+		if req == nil {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || calleeFullName(pass.Info, call) != "net/http.MaxBytesReader" {
+			return true
+		}
+		if prev, ok := wrapPos[req]; !ok || as.End() < prev {
+			wrapPos[req] = as.End()
+		}
+		// The wrap's own r.Body mentions (lhs and the reader argument) are
+		// the sanctioned ones.
+		for _, e := range []ast.Expr{as.Lhs[0], as.Rhs[0]} {
+			ast.Inspect(e, func(m ast.Node) bool {
+				if sel, ok := m.(*ast.SelectorExpr); ok && bodySelectorOf(pass.Info, sel, reqs) != nil {
+					exempt[sel.Pos()] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	// Pass 2: every other Body use must come after the wrap.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && len(requestParams(pass.Info, lit.Type)) > 0 {
+			return false // a nested handler with its own *http.Request: analyzed on its own
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		req := bodySelectorOf(pass.Info, sel, reqs)
+		if req == nil || exempt[sel.Pos()] {
+			return true
+		}
+		wp, wrapped := wrapPos[req]
+		if !wrapped {
+			pass.Reportf(sel.Pos(),
+				"%s.Body is read without an http.MaxBytesReader bound: wrap it first (r.Body = http.MaxBytesReader(w, r.Body, n)) or one client's unbounded request exhausts server memory",
+				req.Name())
+		} else if sel.Pos() < wp {
+			pass.Reportf(sel.Pos(),
+				"%s.Body is read before the http.MaxBytesReader wrap at line %d: the bound must be in place before the first read",
+				req.Name(), pass.Fset.Position(wp).Line)
+		}
+		return true
+	})
+
+	// Check 2: no minted contexts where r.Context() is available.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && len(requestParams(pass.Info, lit.Type)) > 0 {
+			return false // analyzed as its own handler
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch name := calleeFullName(pass.Info, call); name {
+		case "context.Background", "context.TODO":
+			pass.Reportf(call.Pos(),
+				"%s inside a request handler: thread r.Context() instead, so a client disconnect cancels the work it started", name)
+		}
+		return true
+	})
+}
+
+// bodySelectorOf reports whether sel (or expr) is `req.Body` for one of the
+// handler's request params, returning that param's object.
+func bodySelectorOf(info *types.Info, e ast.Expr, reqs []types.Object) types.Object {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Body" {
+		return nil
+	}
+	obj := identObj(info, sel.X)
+	if obj == nil {
+		return nil
+	}
+	for _, req := range reqs {
+		if obj == req {
+			return req
+		}
+	}
+	return nil
+}

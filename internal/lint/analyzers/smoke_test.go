@@ -59,10 +59,51 @@ func swappedAnchor(cfg hw.Config) silicon.VoltagePoint {
 }
 `
 
+// seededDoubleLoad is planted INSIDE the copied internal/registry package (it
+// needs the unexported cur field): a method that pairs fields from two
+// Load() snapshots — the torn-read bug atomicsnap exists to catch.
+const seededDoubleLoad = `package registry
+
+// zzSnapshotSkew deliberately reads the model generation and the source from
+// two different snapshots; a concurrent Refit between the Loads makes them
+// describe different models. Smoke-test plant only.
+func (e *Entry) zzSnapshotSkew() (uint64, string) {
+	gen := e.cur.Load().meta.Generation
+	src := e.cur.Load().meta.Source
+	return gen, src
+}
+`
+
+// seededUnboundedHandler is planted inside the copied internal/serve package:
+// a handler that decodes the request body with no MaxBytesReader bound and
+// mints its own context instead of threading r.Context().
+const seededUnboundedHandler = `package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+)
+
+// zzHandleRaw is a deliberately unbounded handler. Smoke-test plant only.
+func zzHandleRaw(w http.ResponseWriter, r *http.Request) {
+	var req struct{ Device string }
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad body", http.StatusBadRequest)
+		return
+	}
+	ctx := context.Background()
+	_ = ctx
+	w.WriteHeader(http.StatusOK)
+}
+`
+
 // TestSeededMutationsCaught is the end-to-end smoke check promised by the
 // analyzer suite: the real repository is clean under the full registry, and
-// planting a non-indexed parallel write plus an MHz-into-volts flow into a
-// copy of it produces exactly the two expected diagnostics.
+// planting the classic violations into a copy of it — a non-indexed parallel
+// write, an MHz-into-volts flow, a double atomic-pointer Load inside the real
+// registry, and an unbounded request handler inside the real serve package —
+// produces exactly the expected diagnostics, each pinned to its plant.
 func TestSeededMutationsCaught(t *testing.T) {
 	src, modPath := linttest.ModuleRoot(t)
 	copyDir := t.TempDir()
@@ -78,31 +119,46 @@ func TestSeededMutationsCaught(t *testing.T) {
 	if err := os.MkdirAll(mutDir, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(mutDir, "seeded.go"), []byte(seededMutation), 0o644); err != nil {
-		t.Fatal(err)
+	plants := map[string]string{
+		filepath.Join(mutDir, "seeded.go"):                            seededMutation,
+		filepath.Join(copyDir, "internal", "registry", "zzseeded.go"): seededDoubleLoad,
+		filepath.Join(copyDir, "internal", "serve", "zzseeded.go"):    seededUnboundedHandler,
+	}
+	for path, content := range plants {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	mutated := runModule(t, copyDir, modPath)
-	wants := map[string]string{
-		"disjointwrite": `write to captured variable "sum" inside a parallel.ForEach closure`,
-		"unitflow":      `MHz-typed value assigned to volts-typed field "Volts"`,
+	wants := []struct {
+		analyzer string
+		fragment string
+		file     string
+	}{
+		{"disjointwrite", `write to captured variable "sum" inside a parallel.ForEach closure`, filepath.Join("zzseeded", "seeded.go")},
+		{"unitflow", `MHz-typed value assigned to volts-typed field "Volts"`, filepath.Join("zzseeded", "seeded.go")},
+		{"atomicsnap", `second Load of e.cur in this scope`, filepath.Join("registry", "zzseeded.go")},
+		{"httpbound", `r.Body is read without an http.MaxBytesReader bound`, filepath.Join("serve", "zzseeded.go")},
+		{"httpbound", `context.Background inside a request handler`, filepath.Join("serve", "zzseeded.go")},
 	}
-	for analyzer, fragment := range wants {
+	for _, want := range wants {
 		found := false
 		for _, d := range mutated.Diagnostics {
-			if d.Analyzer == analyzer && strings.Contains(d.Message, fragment) &&
-				strings.HasSuffix(d.Pos.Filename, filepath.Join("zzseeded", "seeded.go")) {
+			if d.Analyzer == want.analyzer && strings.Contains(d.Message, want.fragment) &&
+				strings.HasSuffix(d.Pos.Filename, want.file) {
 				found = true
 				break
 			}
 		}
 		if !found {
-			t.Errorf("seeded %s mutation not caught; report:\n%s", analyzer, linttest.Fprint(mutated.Diagnostics))
+			t.Errorf("seeded %s mutation (%s) not caught; report:\n%s",
+				want.analyzer, want.fragment, linttest.Fprint(mutated.Diagnostics))
 		}
 	}
 	for _, d := range mutated.Diagnostics {
 		if !strings.Contains(d.Pos.Filename, "zzseeded") {
-			t.Errorf("mutation leaked a diagnostic outside the seeded package: %s", d)
+			t.Errorf("mutation leaked a diagnostic outside the seeded files: %s", d)
 		}
 	}
 }

@@ -1,0 +1,108 @@
+// Fixture for the atomicsnap analyzer: repeated atomic.Pointer loads that
+// can observe two different swap generations in one scope.
+package atomicsnap
+
+import "sync/atomic"
+
+type fitted struct {
+	Gen   int
+	Scale float64
+}
+
+type entry struct {
+	cur  atomic.Pointer[fitted]
+	prev atomic.Pointer[fitted]
+}
+
+// DoubleLoad takes two snapshots of the same pointer in one scope: a Swap
+// between them mixes generations.
+func DoubleLoad(e *entry) (int, float64) {
+	gen := e.cur.Load().Gen
+	scale := e.cur.Load().Scale // want "second Load of e.cur in this scope"
+	return gen, scale
+}
+
+// DoubleLoadViaVars is the same bug through bound variables.
+func DoubleLoadViaVars(e *entry) float64 {
+	a := e.cur.Load()
+	b := e.cur.Load() // want "second Load of e.cur in this scope"
+	return a.Scale + b.Scale
+}
+
+// InlineLoadInLoop re-snapshots the loop-invariant pointer every iteration.
+func InlineLoadInLoop(e *entry, xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x * e.cur.Load().Scale // want "inline e.cur.Load\(\).Scale inside a loop"
+	}
+	return sum
+}
+
+// InlineLoadInForLoop is the plain-for variant.
+func InlineLoadInForLoop(e *entry) int {
+	total := 0
+	for i := 0; i < 3; i++ {
+		total += e.cur.Load().Gen // want "inline e.cur.Load\(\).Gen inside a loop"
+	}
+	return total
+}
+
+// Annotated is the sanctioned escape hatch for deliberately generation-
+// chasing code.
+func Annotated(e *entry) int {
+	first := e.cur.Load().Gen
+	second := e.cur.Load().Gen //lint:ignore atomicsnap drift probe: intentionally samples two generations to detect a swap
+	return second - first
+}
+
+// --- negative cases ---
+
+// OneSnapshot is the contract: one Load, used throughout.
+func OneSnapshot(e *entry, xs []float64) float64 {
+	m := e.cur.Load()
+	var sum float64
+	for _, x := range xs {
+		sum += x * m.Scale
+	}
+	return sum + float64(m.Gen)
+}
+
+// DistinctPointers may each be loaded once: cur and prev are different
+// pointers.
+func DistinctPointers(e *entry) int {
+	return e.cur.Load().Gen - e.prev.Load().Gen
+}
+
+// DistinctReceivers loads the same field of two different entries.
+func DistinctReceivers(a, b *entry) int {
+	return a.cur.Load().Gen - b.cur.Load().Gen
+}
+
+// ClosureScopes: each function literal is its own snapshot scope (a worker
+// closure takes its own snapshot by design).
+func ClosureScopes(e *entry) (int, int) {
+	f := func() int { return e.cur.Load().Gen }
+	g := func() int { return e.cur.Load().Gen }
+	return f(), g()
+}
+
+// CASRetry is the compare-and-swap idiom: one Load call site, bound to a
+// variable each attempt — not an inline field read.
+func CASRetry(e *entry, next *fitted) {
+	for {
+		old := e.cur.Load()
+		if e.cur.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// FreshPointerPerIteration: the pointer itself is produced inside the loop,
+// so each iteration's load is a distinct snapshot source.
+func FreshPointerPerIteration(es []*entry) int {
+	total := 0
+	for _, e := range es {
+		total += e.cur.Load().Gen
+	}
+	return total
+}

@@ -2,7 +2,12 @@
 // worker-pool closures must be confined to loop-parameter-derived slots.
 package disjointwrite
 
-import "disjointwrite/internal/parallel"
+import (
+	"sync"
+
+	"disjointwrite/internal/accum"
+	"disjointwrite/internal/parallel"
+)
 
 // Matrix mimics the linalg row-view surface the real tree aliases through.
 type Matrix struct{ data []float64 }
@@ -208,6 +213,142 @@ func Annotated(xs []float64) float64 {
 	var total float64
 	_ = parallel.ForEach(len(xs), func(i int) error {
 		total = xs[i] //lint:ignore disjointwrite fixture: pretend a mutex guards this write
+		return nil
+	})
+	return total
+}
+
+// --- method mutation summaries ---
+
+// Table hides its map write one call deep.
+type Table struct{ m map[string]float64 }
+
+// NewTable allocates an empty table.
+func NewTable() *Table { return &Table{m: make(map[string]float64)} }
+
+// Set writes through the receiver: the summary marks it mutating.
+func (t *Table) Set(k string, v float64) { t.m[k] = v }
+
+// Get only reads.
+func (t *Table) Get(k string) float64 { return t.m[k] }
+
+// Bump mutates transitively, through Set.
+func (t *Table) Bump(k string) { t.Set(k, t.Get(k)+1) }
+
+// Depth is recursive and read-only: the cycle summarizes to non-mutating.
+func (t *Table) Depth(k string) int {
+	if len(k) == 0 {
+		return 0
+	}
+	return 1 + t.Depth(k[1:])
+}
+
+// Grid has value-receiver methods; only writes that reach shared memory
+// through an index or deref step count as mutation.
+type Grid struct{ cells []float64 }
+
+// Put writes the shared backing array despite the value receiver.
+func (g Grid) Put(i int, v float64) { g.cells[i] = v }
+
+// Detach rebinds a field of the receiver copy: caller-invisible.
+func (g Grid) Detach() { g.cells = nil }
+
+// MethodMutation calls a mutating method on a captured receiver.
+func MethodMutation(names []string) *Table {
+	t := NewTable()
+	_ = parallel.ForEach(len(names), func(i int) error {
+		t.Set(names[i], 1) // want "call to t.Set inside a parallel.ForEach closure mutates shared state through its receiver"
+		return nil
+	})
+	return t
+}
+
+// TransitiveMethodMutation reaches the write through two method hops.
+func TransitiveMethodMutation(names []string) *Table {
+	t := NewTable()
+	_ = parallel.ForEach(len(names), func(i int) error {
+		t.Bump(names[i]) // want "call to t.Bump inside a parallel.ForEach closure mutates shared state through its receiver"
+		return nil
+	})
+	return t
+}
+
+// ValueReceiverMutation: a value receiver still mutates the shared backing
+// array when the write goes through an index step.
+func ValueReceiverMutation(g Grid, j int, n int) {
+	_ = parallel.ForEach(n, func(i int) error {
+		g.Put(j, 1) // want "call to g.Put inside a parallel.ForEach closure mutates shared state through its receiver"
+		return nil
+	})
+}
+
+// CrossPackageMethodMutation resolves the summary through Pass.Dep.
+func CrossPackageMethodMutation(xs []float64) int {
+	var c accum.Counter
+	_ = parallel.ForEach(len(xs), func(i int) error {
+		c.Add(1) // want "call to c.Add inside a parallel.ForEach closure mutates shared state through its receiver"
+		return nil
+	})
+	return c.Total()
+}
+
+// AnnotatedMethodMutation is the escape hatch at the call site.
+func AnnotatedMethodMutation(names []string) *Table {
+	t := NewTable()
+	_ = parallel.ForEach(len(names), func(i int) error {
+		t.Set(names[i], 1) //lint:ignore disjointwrite fixture: pretend Table.Set locks internally
+		return nil
+	})
+	return t
+}
+
+// --- method-summary negatives ---
+
+// MethodReadOnly calls only non-mutating methods on the shared receiver.
+func MethodReadOnly(t *Table, names []string, out []float64) {
+	_ = parallel.ForEach(len(names), func(i int) error {
+		out[i] = t.Get(names[i]) + float64(t.Depth(names[i]))
+		return nil
+	})
+}
+
+// DerivedReceiverMethod mutates a receiver selected by the loop parameter:
+// iteration i owns tables[i], so the call is disjoint.
+func DerivedReceiverMethod(tables []*Table, names []string) {
+	_ = parallel.ForEach(len(tables), func(i int) error {
+		tables[i].Set(names[0], 1)
+		return nil
+	})
+}
+
+// LocalReceiverMethod mutates a closure-owned receiver.
+func LocalReceiverMethod(names []string, out []float64) {
+	_ = parallel.ForEach(len(names), func(i int) error {
+		t := NewTable()
+		t.Set(names[i], 1)
+		out[i] = t.Get(names[i])
+		return nil
+	})
+}
+
+// CopyOnlyMethod writes a field of the receiver copy: no shared mutation.
+func CopyOnlyMethod(g Grid, n int) {
+	_ = parallel.ForEach(n, func(i int) error {
+		g.Detach()
+		return nil
+	})
+}
+
+// StdlibMethodQuiet: methods without syntax (sync.Mutex.Lock) summarize to
+// non-mutating, so the lock is quiet and the guarded write carries the
+// annotation, as before.
+func StdlibMethodQuiet(xs []float64) float64 {
+	var mu sync.Mutex
+	var total float64
+	_ = parallel.ForEach(len(xs), func(i int) error {
+		mu.Lock()
+		total += xs[i] //lint:ignore disjointwrite fixture: guarded by mu
+		mu.Unlock()
 		return nil
 	})
 	return total

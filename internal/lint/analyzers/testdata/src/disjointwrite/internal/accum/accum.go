@@ -1,0 +1,12 @@
+// Package accum gives the disjointwrite fixture a dependency whose mutating
+// method is only visible through the cross-package summary layer.
+package accum
+
+// Counter is a shared tally mutated one call deep.
+type Counter struct{ n int }
+
+// Add writes through the pointer receiver.
+func (c *Counter) Add(d int) { c.n += d }
+
+// Total only reads.
+func (c *Counter) Total() int { return c.n }

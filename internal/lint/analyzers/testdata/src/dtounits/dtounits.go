@@ -1,0 +1,36 @@
+// Fixture for the dtounits analyzer: JSON DTOs whose field names and wire
+// tags disagree about the physical unit.
+package dtounits
+
+// swappedDTO re-states each unit twice and gets two of them crossed.
+type swappedDTO struct {
+	CoreMHz  float64 `json:"core_volts"`        // want "field CoreMHz carries MHz by name but its json tag \"core_volts\" says volts"
+	VddVolts float64 `json:"vdd_mhz,omitempty"` // want "field VddVolts carries volts by name but its json tag \"vdd_mhz\" says MHz"
+	TDPWatts float64 `json:"tdp_mhz"`           // want "field TDPWatts carries watts by name but its json tag \"tdp_mhz\" says MHz"
+}
+
+// annotatedDTO is the escape hatch for deliberate legacy wire names.
+type annotatedDTO struct {
+	BusMHz float64 `json:"bus_volts"` //lint:ignore dtounits legacy wire name frozen by the v0 API contract
+}
+
+// --- negative cases ---
+
+// agreeingDTO is the serve idiom: name and tag carry the same unit.
+type agreeingDTO struct {
+	CoreMHz    float64 `json:"core_mhz"`
+	MemMHz     float64 `json:"mem_mhz,omitempty"`
+	PowerWatts float64 `json:"power_watts"`
+	RailVolts  float64 `json:"rail_volts"`
+}
+
+// oneSidedDTO: either side unit-less stays silent — Constant is watts only
+// by tag (the serve breakdown idiom), Score carries no unit at all, and an
+// untagged united field has no wire name to disagree with.
+type oneSidedDTO struct {
+	Constant float64 `json:"constant_watts"`
+	Score    float64 `json:"score"`
+	IdleMHz  float64
+	Name     string  `json:"name"`
+	Skipped  float64 `json:"-"`
+}

@@ -1,0 +1,97 @@
+// Fixture for the httpbound analyzer: unbounded request-body reads and
+// minted contexts inside HTTP handlers.
+package httpbound
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+type payload struct {
+	CoreMHz float64 `json:"core_mhz"`
+}
+
+// UnboundedDecode reads the body with no MaxBytesReader anywhere.
+func UnboundedDecode(w http.ResponseWriter, r *http.Request) {
+	var p payload
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil { // want "r.Body is read without an http.MaxBytesReader bound"
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+// ReadBeforeWrap bounds the body, but only after already reading it.
+func ReadBeforeWrap(w http.ResponseWriter, r *http.Request) {
+	peek, _ := io.ReadAll(r.Body) // want "r.Body is read before the http.MaxBytesReader wrap"
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	_ = peek
+}
+
+// MintedContext threads a fresh context instead of the request's.
+func MintedContext(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want "context.Background inside a request handler"
+	doWork(ctx)
+}
+
+// MintedTODO is the TODO variant, inside a handler closure without its own
+// request parameter (it belongs to the enclosing handler's scope).
+func MintedTODO(w http.ResponseWriter, r *http.Request) {
+	run := func() {
+		doWork(context.TODO()) // want "context.TODO inside a request handler"
+	}
+	run()
+}
+
+// Annotated is the sanctioned escape hatch with a reason.
+func Annotated(w http.ResponseWriter, r *http.Request) {
+	var p payload
+	dec := json.NewDecoder(r.Body) //lint:ignore httpbound trusted internal socket: bounded by the reverse proxy in front
+	_ = dec.Decode(&p)
+}
+
+// --- negative cases ---
+
+// BoundedDecode is the contract: wrap first, then read.
+func BoundedDecode(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var p payload
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+	doWork(r.Context())
+}
+
+// DelegatingHandler never touches r.Body itself; the helper bounds it.
+func DelegatingHandler(w http.ResponseWriter, r *http.Request) {
+	var p payload
+	if !decodeBody(w, r, &p) {
+		return
+	}
+	doWork(r.Context())
+}
+
+// decodeBody is the shared bounding helper (the internal/serve idiom).
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// NoBodyNoContext handlers (health checks, GETs) owe nothing.
+func NoBodyNoContext(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+}
+
+// NotAHandler: minting a context outside any request-taking function is
+// ctxflow's business, not httpbound's.
+func NotAHandler() {
+	doWork(context.Background())
+}
+
+func doWork(ctx context.Context) { _ = ctx }

@@ -1,0 +1,61 @@
+// Cross-package unit-inference cases: the hw → governor → DTO flow where
+// the unit is established in one package and misused in another.
+package unitflow
+
+import (
+	"unitflow/internal/governor"
+	"unitflow/internal/hw"
+	"unitflow/internal/silicon"
+)
+
+// operatingDTO mirrors a serve wire struct: field names declare the units.
+type operatingDTO struct {
+	CoreMHz   float64
+	RailVolts float64
+}
+
+// CrossPackageFieldSwap routes an inferred-MHz governor result into the
+// volts slot of the DTO — the exact serving-arc bug class.
+func CrossPackageFieldSwap(c hw.Config) operatingDTO {
+	return operatingDTO{
+		CoreMHz:   governor.Target(c),
+		RailVolts: governor.Target(c), // want "MHz-typed value assigned to volts-typed field \"RailVolts\""
+	}
+}
+
+// CrossPackageArith adds an inferred-MHz value to a seeded-volts value.
+func CrossPackageArith(c hw.Config, pt silicon.VoltagePoint) float64 {
+	return governor.Target(c) + pt.Volts // want "cross-unit arithmetic: MHz-typed value \+ volts-typed value"
+}
+
+// VarFactMisuse reads the unit of a dependency's package-level var from its
+// initializer.
+func VarFactMisuse(pt silicon.VoltagePoint) bool {
+	return governor.Anchor < pt.Volts // want "cross-unit comparison: MHz-typed value < volts-typed value"
+}
+
+// ChainedInference follows facts through two in-module hops.
+func ChainedInference(c hw.Config, pt silicon.VoltagePoint) float64 {
+	return governor.Chained(c) - pt.Volts // want "cross-unit arithmetic: MHz-typed value - volts-typed value"
+}
+
+// MultiResultInference destructures a two-result inferred signature.
+func MultiResultInference(c hw.Config, pt silicon.VoltagePoint) float64 {
+	core, mem := governor.Split(c)
+	_ = mem
+	return core + pt.Volts // want "cross-unit arithmetic: MHz-typed value \+ volts-typed value"
+}
+
+// --- negative cases ---
+
+// CrossPackageAgreement uses the inferred values in unit-correct slots.
+func CrossPackageAgreement(c hw.Config) operatingDTO {
+	core, _ := governor.Split(c)
+	return operatingDTO{CoreMHz: core}
+}
+
+// BlendedStaysUnchecked: the callee's returns disagree, so no fact exists
+// and this deliberate mix is not (and cannot soundly be) reported.
+func BlendedStaysUnchecked(c hw.Config, d hw.Device, pt silicon.VoltagePoint) float64 {
+	return governor.Blended(c, d) + pt.Volts
+}

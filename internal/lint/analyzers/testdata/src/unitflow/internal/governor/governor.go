@@ -1,0 +1,40 @@
+// Package governor mirrors the serving-arc plumbing: values acquire their
+// unit here and flow out through neutrally-named APIs, so only the
+// cross-package inference facts can carry the provenance to callers.
+package governor
+
+import "unitflow/internal/hw"
+
+var defaultCfg = hw.Config{CoreMHz: 1911, MemMHz: 5505}
+
+// Anchor's unit is visible only in its initializer — a package-level var
+// fact.
+var Anchor = defaultCfg.CoreMHz
+
+// Target returns the governor's chosen core clock. Nothing in the name or
+// signature says MHz; the fact layer derives it from the return statements.
+func Target(c hw.Config) float64 {
+	if c.CoreMHz > 0 {
+		return c.CoreMHz
+	}
+	return defaultCfg.CoreMHz
+}
+
+// Split returns both clocks through a neutrally-named two-result signature.
+func Split(c hw.Config) (float64, float64) {
+	return c.CoreMHz, c.MemMHz
+}
+
+// Chained forwards another inferable function: facts compose transitively.
+func Chained(c hw.Config) float64 {
+	return Target(c)
+}
+
+// Blended disagrees with itself across returns (a frequency on one path, a
+// budget on the other), so no fact is derivable and callers stay unchecked.
+func Blended(c hw.Config, d hw.Device) float64 {
+	if c.CoreMHz > 0 {
+		return c.CoreMHz
+	}
+	return d.TDP
+}

@@ -141,11 +141,17 @@ func runUnitFlow(pass *lint.Pass) error {
 
 // unitFlowCheck holds the per-file inference state: env carries units
 // inferred for local objects, reported deduplicates diagnostics when the
-// same subtree is evaluated from more than one enclosing check.
+// same subtree is evaluated from more than one enclosing check. chain and
+// tainted belong to the cross-package fact layer (unitfacts.go): chain is
+// the set of objects whose units are being derived further up this
+// evaluation, and tainted marks a derivation that had to assume a unit for
+// a chain member and therefore must not be memoized.
 type unitFlowCheck struct {
 	pass     *lint.Pass
 	env      map[types.Object]unit
 	reported map[token.Pos]bool
+	chain    map[types.Object]bool
+	tainted  bool
 }
 
 func (uf *unitFlowCheck) reportOnce(pos token.Pos, format string, args ...any) {
@@ -173,6 +179,13 @@ func isFloatish(t types.Type) bool {
 			return false
 		}
 	}
+}
+
+// isPackageLevel reports whether a variable lives directly in its package
+// scope — the gate for initializer-based unit inference (locals are tracked
+// through env instead).
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
 }
 
 // declaredUnit resolves the unit a variable object is declared to carry:
@@ -205,11 +218,22 @@ func (uf *unitFlowCheck) unitOf(e ast.Expr) unit {
 		if u, ok := uf.env[obj]; ok && u != unitUnknown {
 			return u
 		}
-		return declaredUnit(obj)
+		if u := declaredUnit(obj); u != unitUnknown {
+			return u
+		}
+		if v, ok := obj.(*types.Var); ok && isPackageLevel(v) {
+			return uf.inferredVarUnit(v)
+		}
+		return unitUnknown
 	case *ast.SelectorExpr:
 		if obj := uf.pass.Info.Uses[x.Sel]; obj != nil {
-			if _, isVar := obj.(*types.Var); isVar {
-				return declaredUnit(obj)
+			if v, isVar := obj.(*types.Var); isVar {
+				if u := declaredUnit(obj); u != unitUnknown {
+					return u
+				}
+				if isPackageLevel(v) {
+					return uf.inferredVarUnit(v)
+				}
 			}
 		}
 		return unitUnknown
@@ -255,7 +279,10 @@ func (uf *unitFlowCheck) unitOf(e ast.Expr) unit {
 	return unitUnknown
 }
 
-// callResultUnits resolves the units of a call's results via the seed table.
+// callResultUnits resolves the units of a call's results: the seed table
+// first, then the naming conventions (function name, result names), then —
+// for in-module callees neither decides — the cross-package inference facts
+// derived from the callee's own return statements (unitfacts.go).
 func (uf *unitFlowCheck) callResultUnits(call *ast.CallExpr) []unit {
 	fn := calleeFunc(uf.pass.Info, call)
 	if fn == nil || fn.Pkg() == nil {
@@ -268,13 +295,29 @@ func (uf *unitFlowCheck) callResultUnits(call *ast.CallExpr) []unit {
 			}
 		}
 	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil
+	}
 	// Single-result functions named by the convention (e.g. coreMHz()).
-	if sig, ok := fn.Type().(*types.Signature); ok && sig.Results().Len() == 1 {
+	if sig.Results().Len() == 1 {
 		if u := unitFromName(fn.Name()); u != unitUnknown {
 			return []unit{u}
 		}
 	}
-	return nil
+	// Named results carrying the convention: func ladder() (fMHz, vVolts float64).
+	units := make([]unit, sig.Results().Len())
+	named := false
+	for i := 0; i < sig.Results().Len(); i++ {
+		if u := unitFromName(sig.Results().At(i).Name()); u != unitUnknown {
+			units[i] = u
+			named = true
+		}
+	}
+	if named {
+		return units
+	}
+	return uf.inferredResultUnits(fn)
 }
 
 // checkAssign verifies unit agreement across = / := and updates the local

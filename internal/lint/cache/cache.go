@@ -37,8 +37,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"gpupower/internal/lint"
+	"gpupower/internal/parallel"
 )
 
 // SchemaVersion invalidates every entry when the cache layout or the engine's
@@ -62,6 +64,16 @@ func (s Stats) String() string {
 // unchanged directory groups from dir. The returned result is identical to
 // runner.Run(loader.LoadAll()) — same diagnostics, same order — with
 // loader.TypeCheckedPaths() staying empty for fully-warm runs.
+//
+// Groups are processed concurrently through internal/parallel: keys are
+// hashed up-front (serial — memoized across the shared import closure, and
+// cheap next to type-checking), then each group independently replays from
+// disk or analyzes from source, with its result landing in its own slot.
+// Slots merge in path order and sort once, so the report is byte-identical
+// to the sequential-mode run. Hit/miss/corrupt tallies go through atomic
+// counters (snapshotted into Stats at the end) and entry writes go through
+// write-then-rename, so concurrent groups can neither tear the counters nor
+// a cache file; distinct groups never share an entry file.
 func Run(loader *lint.Loader, runner *lint.Runner, dir string) (*lint.Result, *Stats, error) {
 	paths, err := loader.Discover()
 	if err != nil {
@@ -73,41 +85,64 @@ func Run(loader *lint.Loader, runner *lint.Runner, dir string) (*lint.Result, *S
 	h := &hasher{loader: loader, fset: token.NewFileSet(), keys: make(map[string]string), visiting: make(map[string]bool)}
 	fingerprint := runnerFingerprint(runner, loader.Tests)
 
-	stats := &Stats{}
-	res := &lint.Result{}
-	for _, path := range paths {
-		stats.Groups++
-		key, kerr := h.groupKey(path, fingerprint)
-		if kerr != nil {
+	// Phase 1 (serial): resolve every group's content key. The hasher memoizes
+	// per-path keys across the whole closure, so this is one pass over the
+	// sources with ImportsOnly parses — milliseconds against the seconds of
+	// type-checking it lets phase 2 skip or parallelize.
+	keys := make([]string, len(paths))
+	keyErrs := make([]error, len(paths))
+	for i, path := range paths {
+		keys[i], keyErrs[i] = h.groupKey(path, fingerprint)
+	}
+
+	var hits, misses, corrupt atomic.Int64
+	results := make([]*lint.Result, len(paths))
+	if err := parallel.ForEach(len(paths), func(i int) error {
+		path := paths[i]
+		if keyErrs[i] != nil {
 			// Hashing trouble (unreadable file, import cycle in a broken
 			// tree): run the group uncached; the loader will produce the
 			// authoritative error if there is one.
 			gr, err := runGroup(loader, runner, path)
 			if err != nil {
-				return nil, nil, err
+				return err
 			}
-			stats.Misses++
-			res.Merge(gr)
-			continue
+			misses.Add(1)
+			results[i] = gr
+			return nil
 		}
-		file := entryFile(dir, path, key)
-		if cached, ok := readEntry(file, key); ok {
-			stats.Hits++
-			res.Merge(cached.result(loader.RootDir))
-			continue
+		file := entryFile(dir, path, keys[i])
+		if cached, ok := readEntry(file, keys[i]); ok {
+			hits.Add(1)
+			results[i] = cached.result(loader.RootDir)
+			return nil
 		} else if _, statErr := os.Stat(file); statErr == nil {
-			stats.Corrupt++
+			corrupt.Add(1)
 			os.Remove(file)
 		}
 		gr, err := runGroup(loader, runner, path)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		stats.Misses++
-		res.Merge(gr)
+		misses.Add(1)
+		results[i] = gr
 		if len(gr.DirectiveErrors) == 0 {
-			writeEntry(file, newEntry(key, path, gr, loader.RootDir))
+			writeEntry(file, newEntry(keys[i], path, gr, loader.RootDir))
 		}
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	stats := &Stats{
+		Groups:  len(paths),
+		Hits:    int(hits.Load()),
+		Misses:  int(misses.Load()),
+		Corrupt: int(corrupt.Load()),
+	}
+	res := &lint.Result{}
+	for _, gr := range results {
+		res.Merge(gr)
 	}
 	lint.SortDiagnostics(res.Diagnostics)
 	return res, stats, nil

@@ -1,0 +1,105 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"gpupower/internal/lint"
+	"gpupower/internal/parallel"
+)
+
+// manyGroupTree synthesizes a module with n sibling packages, each carrying
+// one floateq finding, one suppressed finding and a stdlib import — enough
+// groups that the parallel engine actually fans out, with diagnostics whose
+// merged order would expose any scheduling leak.
+func manyGroupTree(n int) map[string]string {
+	tree := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		tree[fmt.Sprintf("p%02d/p.go", i)] = fmt.Sprintf(`package p%02d
+
+import "math"
+
+// Eq is this group's deliberate floateq finding.
+func Eq(x, y float64) bool { return x == y }
+
+// Near is the suppressed twin, so Suppressed counts must merge too.
+func Near(x, y float64) bool {
+	return math.Abs(x-y) == 0 //lint:ignore floateq parallel-engine test: suppression must merge deterministically
+}
+`, i)
+	}
+	return tree
+}
+
+// renderText renders a result exactly as the CLI would, so the comparison
+// below is over the bytes a user sees, not a lossy summary.
+func renderText(t *testing.T, res *lint.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := lint.WriteText(&buf, "", res.Diagnostics); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelOutputByteIdenticalToSerial is the engine-parallelism
+// acceptance gate: the parallel run's rendered report — for both the plain
+// Runner and the cached engine, cold and warm — must be byte-identical to
+// the sequential-mode run over the same tree.
+func TestParallelOutputByteIdenticalToSerial(t *testing.T) {
+	prevProcs := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prevProcs)
+
+	root := t.TempDir()
+	writeTree(t, root, manyGroupTree(12))
+
+	run := func(facts string) (plain, cold, warm *lint.Result) {
+		t.Helper()
+		loader := lint.NewLoader(root, "example.com/m")
+		pkgs, err := loader.LoadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err = newRunner().Run(pkgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, stats, _ := runCached(t, root, facts)
+		if stats.Misses != 12 || stats.Hits != 0 {
+			t.Fatalf("cold cached run: %+v, want 12 misses", *stats)
+		}
+		warm, stats, _ = runCached(t, root, facts)
+		if stats.Hits != 12 || stats.Misses != 0 || stats.Corrupt != 0 {
+			t.Fatalf("warm cached run: %+v, want 12 hits (atomic counters must not tear)", *stats)
+		}
+		return plain, cold, warm
+	}
+
+	prev := parallel.SetSequential(true)
+	serialPlain, serialCold, serialWarm := run(t.TempDir())
+	parallel.SetSequential(false)
+	parPlain, parCold, parWarm := run(t.TempDir())
+	parallel.SetSequential(prev)
+
+	if got := len(serialPlain.Diagnostics); got != 12 {
+		t.Fatalf("fixture produced %d diagnostics, want 12", got)
+	}
+	for _, c := range []struct {
+		label       string
+		serial, par *lint.Result
+	}{
+		{"plain Runner.Run", serialPlain, parPlain},
+		{"cache.Run cold", serialCold, parCold},
+		{"cache.Run warm", serialWarm, parWarm},
+	} {
+		sb, pb := renderText(t, c.serial), renderText(t, c.par)
+		if !bytes.Equal(sb, pb) {
+			t.Errorf("%s: parallel output differs from serial\nserial:\n%s\nparallel:\n%s", c.label, sb, pb)
+		}
+		if c.serial.Suppressed != c.par.Suppressed {
+			t.Errorf("%s: suppressed=%d parallel vs %d serial", c.label, c.par.Suppressed, c.serial.Suppressed)
+		}
+	}
+}

@@ -50,8 +50,52 @@ type Pass struct {
 	Pkg *types.Package
 	// Info holds the type-checker facts for Files.
 	Info *types.Info
+	// Deps resolves a local import path to the loaded package it names,
+	// searching this package's transitive in-module imports. The Runner wires
+	// it from the Loader; it is nil in hand-constructed passes, which Dep
+	// tolerates. Cross-package analyses (unitflow provenance facts,
+	// disjointwrite method summaries) use it to read dependency syntax —
+	// dependency packages are always fully loaded by the time this package
+	// type-checked, so resolution never triggers new work.
+	Deps func(path string) (*Package, bool)
 
 	diags *[]Diagnostic
+}
+
+// Dep resolves a local import path to its loaded dependency package, or
+// (nil, false) when the path is not an in-module dependency or the pass has
+// no loader behind it.
+func (p *Pass) Dep(path string) (*Package, bool) {
+	if p.Deps == nil {
+		return nil, false
+	}
+	return p.Deps(path)
+}
+
+// Silent returns a copy of the pass whose reports are discarded. Fact
+// derivation re-evaluates syntax (sometimes of dependency packages) purely
+// for its value; any diagnostics that evaluation would raise belong to the
+// package's own analysis run, not to the querying one.
+func (p *Pass) Silent() *Pass {
+	var discard []Diagnostic
+	q := *p
+	q.diags = &discard
+	return &q
+}
+
+// ScratchPass builds a report-discarding pass over a loaded package, for
+// analyzers that walk a dependency's syntax to derive cross-package facts.
+func ScratchPass(a *Analyzer, pkg *Package) *Pass {
+	var discard []Diagnostic
+	return &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		Deps:     pkg.Dep,
+		diags:    &discard,
+	}
 }
 
 // Reportf records a diagnostic at pos.

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package (plus, when the directory has
@@ -31,8 +32,42 @@ type Package struct {
 	// failed rather than clean.
 	TypeErrors []error
 
+	loader     *Loader     // back-link for Dep resolution
+	deps       []string    // local import paths, recorded at load time
 	xtestFiles []*ast.File // package foo_test files, hoisted into a sibling Package by LoadAll
+	xtestMu    sync.Mutex  // guards xtestPkg memoization under concurrent groups
 	xtestPkg   *Package    // memoized external-test sibling, built on first LoadPackages
+}
+
+// Dep resolves a local import path to its loaded package, searching the
+// package's direct imports first and then breadth-first through their
+// imports. Cross-package analyses (unitflow facts, disjointwrite method
+// summaries) use it to reach the syntax of the packages this one depends
+// on; it never triggers a new load — every reachable dependency was loaded
+// when this package type-checked.
+func (p *Package) Dep(path string) (*Package, bool) {
+	if p.loader == nil {
+		return nil, false
+	}
+	seen := map[string]bool{p.Path: true}
+	queue := append([]string(nil), p.deps...)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		dep, ok := p.loader.completed(cur)
+		if !ok {
+			continue
+		}
+		if cur == path {
+			return dep, true
+		}
+		queue = append(queue, dep.deps...)
+	}
+	return nil, false
 }
 
 // Loader parses and type-checks packages of a single module (or of a
@@ -40,6 +75,14 @@ type Package struct {
 // standard library. Local imports are resolved recursively from source;
 // everything else is delegated to importer.Default() with a source-importer
 // fallback.
+//
+// The loader is safe for concurrent use: each package is parsed and
+// type-checked exactly once (single-flight — concurrent requests for the
+// same path block on the first one), the shared stdlib importers are
+// serialized, and a wait-graph check turns a cross-goroutine import cycle
+// into the same "import cycle" error the recursive case produces instead
+// of a deadlock. token.FileSet is internally synchronized, so one position
+// table serves all goroutines.
 type Loader struct {
 	// RootDir is the directory tree containing the packages.
 	RootDir string
@@ -53,16 +96,34 @@ type Loader struct {
 	Tests bool
 
 	fset *token.FileSet
-	pkgs map[string]*Package
-	// loading guards against local import cycles, which go/types cannot
-	// represent and the recursive importer must therefore refuse.
-	loading map[string]bool
-	std     types.Importer
-	srcImp  types.Importer
-	// checked records every path handed to the type checker, in order. The
-	// fact cache's warm-run integration test asserts this stays empty when
-	// nothing changed.
-	checked []string
+
+	// mu guards entries and waits. Entries are claimed under mu and
+	// completed by closing their done channel; waits records, for each
+	// in-progress path, the path its owner goroutine is currently blocked
+	// on, so a would-be waiter can detect a cross-goroutine wait cycle.
+	mu      sync.Mutex
+	entries map[string]*pkgEntry
+	waits   map[string]string
+
+	// stdMu serializes the shared stdlib importers, which make no
+	// concurrency promises of their own.
+	stdMu  sync.Mutex
+	std    types.Importer
+	srcImp types.Importer
+
+	// checkedMu guards checked: every path handed to the type checker, in
+	// check order. The fact cache's warm-run integration test asserts this
+	// stays empty when nothing changed.
+	checkedMu sync.Mutex
+	checked   []string
+}
+
+// pkgEntry is the single-flight slot for one package: the goroutine that
+// claims it closes done after pkg/err are final; everyone else waits.
+type pkgEntry struct {
+	done chan struct{}
+	pkg  *Package
+	err  error
 }
 
 // NewLoader returns a loader over rootDir. rootPath is the module path prefix
@@ -73,8 +134,8 @@ func NewLoader(rootDir, rootPath string) *Loader {
 		RootPath: rootPath,
 		Tests:    true,
 		fset:     token.NewFileSet(),
-		pkgs:     make(map[string]*Package),
-		loading:  make(map[string]bool),
+		entries:  make(map[string]*pkgEntry),
+		waits:    make(map[string]string),
 	}
 }
 
@@ -153,14 +214,18 @@ func (l *Loader) LoadPackages(path string) ([]*Package, error) {
 	}
 	out := []*Package{pkg}
 	if len(pkg.xtestFiles) > 0 {
+		pkg.xtestMu.Lock()
 		if pkg.xtestPkg == nil {
 			xp, err := l.checkXTest(pkg)
 			if err != nil {
+				pkg.xtestMu.Unlock()
 				return nil, fmt.Errorf("lint: load %s external tests: %w", path, err)
 			}
 			pkg.xtestPkg = xp
 		}
-		out = append(out, pkg.xtestPkg)
+		xp := pkg.xtestPkg
+		pkg.xtestMu.Unlock()
+		out = append(out, xp)
 	}
 	return out, nil
 }
@@ -175,7 +240,29 @@ func (l *Loader) DirFor(path string) (string, bool) { return l.pathToDir(path) }
 // their "<path>_test" name). A warm cache run over an unchanged tree keeps
 // this empty — the property the incremental engine exists to provide.
 func (l *Loader) TypeCheckedPaths() []string {
+	l.checkedMu.Lock()
+	defer l.checkedMu.Unlock()
 	return append([]string(nil), l.checked...)
+}
+
+// completed returns the loaded package for path only if its load already
+// finished; it never blocks and never starts a load.
+func (l *Loader) completed(path string) (*Package, bool) {
+	l.mu.Lock()
+	e, ok := l.entries[path]
+	l.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-e.done:
+		if e.pkg == nil {
+			return nil, false
+		}
+		return e.pkg, true
+	default:
+		return nil, false
+	}
 }
 
 func (l *Loader) relToPath(rel string) string {
@@ -219,20 +306,75 @@ func (l *Loader) local(path string) bool {
 }
 
 // Load parses and type-checks the package at the given import path (module
-// packages only; stdlib goes through the importer delegation).
+// packages only; stdlib goes through the importer delegation). Safe for
+// concurrent use; concurrent loads of the same path coalesce into one.
 func (l *Loader) Load(path string) (*Package, error) {
-	if pkg, ok := l.pkgs[path]; ok {
-		if len(pkg.TypeErrors) > 0 {
-			return pkg, pkg.TypeErrors[0]
-		}
-		return pkg, nil
-	}
-	if l.loading[path] {
-		return nil, fmt.Errorf("import cycle through %q", path)
-	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
+	return l.load(path, nil)
+}
 
+// load is the single-flight core. stack is the chain of in-progress paths
+// on this goroutine (each one claimed by us), innermost last; it provides
+// same-goroutine cycle detection, and its top names the entry we own when
+// we must block on another goroutine's load.
+func (l *Loader) load(path string, stack []string) (*Package, error) {
+	for _, s := range stack {
+		if s == path {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+	}
+
+	l.mu.Lock()
+	if e, ok := l.entries[path]; ok {
+		select {
+		case <-e.done:
+			l.mu.Unlock()
+			return e.pkg, e.err
+		default:
+		}
+		// In progress on another goroutine (were it ours, path would be in
+		// stack). Before blocking, walk the wait graph: if the owner of
+		// this entry is (transitively) blocked on a path we own, waiting
+		// would deadlock — that shape only arises from an import cycle
+		// split across goroutines, so report it as one.
+		cur := path
+		for {
+			next, waiting := l.waits[cur]
+			if !waiting {
+				break
+			}
+			for _, s := range stack {
+				if s == next {
+					l.mu.Unlock()
+					return nil, fmt.Errorf("import cycle through %q", path)
+				}
+			}
+			cur = next
+		}
+		var top string
+		if len(stack) > 0 {
+			top = stack[len(stack)-1]
+			l.waits[top] = path
+		}
+		l.mu.Unlock()
+		<-e.done
+		if top != "" {
+			l.mu.Lock()
+			delete(l.waits, top)
+			l.mu.Unlock()
+		}
+		return e.pkg, e.err
+	}
+	e := &pkgEntry{done: make(chan struct{})}
+	l.entries[path] = e
+	l.mu.Unlock()
+
+	e.pkg, e.err = l.loadClaimed(path, append(stack, path))
+	close(e.done)
+	return e.pkg, e.err
+}
+
+// loadClaimed parses and type-checks one package; the caller owns its entry.
+func (l *Loader) loadClaimed(path string, stack []string) (*Package, error) {
 	dir, ok := l.pathToDir(path)
 	if !ok {
 		return nil, fmt.Errorf("no package directory for %q under %s", path, l.RootDir)
@@ -264,18 +406,40 @@ func (l *Loader) Load(path string) (*Package, error) {
 		return nil, fmt.Errorf("no buildable go files in %s", dir)
 	}
 
-	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, xtestFiles: xtest}
-	l.pkgs[path] = pkg
-	pkg.Types, pkg.Info, pkg.TypeErrors = l.check(path, files)
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, loader: l, xtestFiles: xtest}
+	pkg.deps = l.localImports(path, files)
+	pkg.Types, pkg.Info, pkg.TypeErrors = l.check(path, files, stack)
 	if len(pkg.TypeErrors) > 0 {
 		return pkg, pkg.TypeErrors[0]
 	}
 	return pkg, nil
 }
 
+// localImports collects the in-module import paths of a file set, sorted and
+// deduplicated — the Dep search space for cross-package analyses.
+func (l *Loader) localImports(path string, files []*ast.File) []string {
+	set := make(map[string]bool)
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if p != path && l.local(p) {
+				set[p] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // check type-checks one set of files as the package named by path.
-func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.Info, []error) {
+func (l *Loader) check(path string, files []*ast.File, stack []string) (*types.Package, *types.Info, []error) {
+	l.checkedMu.Lock()
 	l.checked = append(l.checked, path)
+	l.checkedMu.Unlock()
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -286,8 +450,10 @@ func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.I
 	}
 	var errs []error
 	conf := &types.Config{
-		Importer: importerFunc(l.importPkg),
-		Error:    func(err error) { errs = append(errs, err) },
+		Importer: importerFunc(func(p string) (*types.Package, error) {
+			return l.importPkg(p, stack)
+		}),
+		Error: func(err error) { errs = append(errs, err) },
 	}
 	tpkg, _ := conf.Check(path, l.fset, files, info)
 	return tpkg, info, errs
@@ -298,8 +464,9 @@ func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.I
 // in-package object (which includes export_test.go declarations, matching the
 // go toolchain's test-binary semantics).
 func (l *Loader) checkXTest(pkg *Package) (*Package, error) {
-	xp := &Package{Path: pkg.Path + "_test", Dir: pkg.Dir, Fset: l.fset, Files: pkg.xtestFiles}
-	xp.Types, xp.Info, xp.TypeErrors = l.check(xp.Path, pkg.xtestFiles)
+	xp := &Package{Path: pkg.Path + "_test", Dir: pkg.Dir, Fset: l.fset, Files: pkg.xtestFiles, loader: l}
+	xp.deps = l.localImports(xp.Path, pkg.xtestFiles)
+	xp.Types, xp.Info, xp.TypeErrors = l.check(xp.Path, pkg.xtestFiles, []string{xp.Path})
 	if len(xp.TypeErrors) > 0 {
 		return xp, xp.TypeErrors[0]
 	}
@@ -307,20 +474,23 @@ func (l *Loader) checkXTest(pkg *Package) (*Package, error) {
 }
 
 // importPkg is the recursive in-module importer: local packages are loaded
-// from source (memoized), "unsafe" maps to types.Unsafe, and everything else
-// — the standard library — is delegated to importer.Default(), falling back
-// to the slower source importer when no export data is available.
-func (l *Loader) importPkg(path string) (*types.Package, error) {
+// from source (single-flight memoized), "unsafe" maps to types.Unsafe, and
+// everything else — the standard library — is delegated to
+// importer.Default(), falling back to the slower source importer when no
+// export data is available.
+func (l *Loader) importPkg(path string, stack []string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
 	if l.local(path) {
-		pkg, err := l.Load(path)
+		pkg, err := l.load(path, stack)
 		if err != nil {
 			return nil, err
 		}
 		return pkg.Types, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	if l.std == nil {
 		l.std = importer.Default()
 	}

@@ -2,8 +2,11 @@ package lint
 
 import (
 	"go/token"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 // TestImporterChain type-checks a cycle-free local-import chain
@@ -28,7 +31,7 @@ func TestImporterChain(t *testing.T) {
 
 	// The chain must have pulled b and c in transitively, memoized.
 	for _, dep := range []string{"chainmod/b", "chainmod/c"} {
-		cached, ok := l.pkgs[dep]
+		cached, ok := l.completed(dep)
 		if !ok {
 			t.Fatalf("transitive dependency %s was not loaded", dep)
 		}
@@ -114,6 +117,87 @@ func TestLoadAllModule(t *testing.T) {
 	// The external test packages ride along as "_test" siblings.
 	if !seen["gpupower_test"] {
 		t.Error("root external test package was not hoisted")
+	}
+}
+
+// TestConcurrentLoadSingleFlight hammers one loader from many goroutines and
+// asserts single-flight semantics: every goroutine gets the same *Package
+// object per path (object identity is what cross-package facts key on) and
+// each path reaches the type checker exactly once.
+func TestConcurrentLoadSingleFlight(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	l := NewLoader("testdata/chain", "chainmod")
+	paths := []string{"chainmod/a", "chainmod/b", "chainmod/c"}
+	const goroutines = 12
+	got := make([]*Package, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := l.Load(paths[i%len(paths)])
+			if err != nil {
+				t.Errorf("concurrent load %s: %v", paths[i%len(paths)], err)
+				return
+			}
+			got[i] = p
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < goroutines; i++ {
+		if got[i] == nil {
+			t.Fatalf("goroutine %d got no package", i)
+		}
+		if prior := got[i%len(paths)]; got[i] != prior {
+			t.Errorf("goroutine %d got a distinct *Package for %s — load was not single-flight", i, paths[i%len(paths)])
+		}
+	}
+	counts := make(map[string]int)
+	for _, p := range l.TypeCheckedPaths() {
+		counts[p]++
+	}
+	for _, p := range paths {
+		if counts[p] != 1 {
+			t.Errorf("%s type-checked %d times, want exactly 1", p, counts[p])
+		}
+	}
+}
+
+// TestConcurrentCycleLoadErrorsNotDeadlocks loads the two halves of the
+// cyclemod import cycle from separate goroutines simultaneously, repeatedly.
+// Without the wait-graph check the two single-flight owners block on each
+// other forever; the contract is that every goroutine returns, and at least
+// one sees a cycle error.
+func TestConcurrentCycleLoadErrorsNotDeadlocks(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	for round := 0; round < 20; round++ {
+		l := NewLoader("testdata/cycle", "cyclemod")
+		errs := make(chan error, 2)
+		for _, p := range []string{"cyclemod/x", "cyclemod/y"} {
+			go func(p string) {
+				_, err := l.Load(p)
+				errs <- err
+			}(p)
+		}
+		sawCycle := false
+		for i := 0; i < 2; i++ {
+			select {
+			case err := <-errs:
+				if err != nil && strings.Contains(err.Error(), "cycle") {
+					sawCycle = true
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatalf("round %d: concurrent cycle load deadlocked", round)
+			}
+		}
+		if !sawCycle {
+			t.Fatalf("round %d: no goroutine reported the import cycle", round)
+		}
 	}
 }
 

@@ -3,6 +3,8 @@ package lint
 import (
 	"fmt"
 	"sort"
+
+	"gpupower/internal/parallel"
 )
 
 // UnusedIgnoreName is the name of the engine-level analyzer that reports
@@ -72,17 +74,29 @@ func (r *Runner) validate() (map[string]bool, error) {
 // external-test sibling share a directory), each of which is self-contained:
 // //lint:ignore directives only ever suppress diagnostics in their own file,
 // so no suppression crosses a group boundary. This is the property the
-// fact cache (internal/lint/cache) relies on to replay groups independently.
+// fact cache (internal/lint/cache) relies on to replay groups independently —
+// and the property that lets groups run concurrently here: they are fanned
+// through internal/parallel with each group's result landing in its own
+// slot, merged in index order and sorted once, so the report is
+// byte-identical to the sequential-mode run regardless of scheduling.
 func (r *Runner) Run(pkgs []*Package) (*Result, error) {
 	if _, err := r.validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{}
-	for _, group := range GroupByDir(pkgs) {
-		gr, err := r.RunGroup(group)
+	groups := GroupByDir(pkgs)
+	results := make([]*Result, len(groups))
+	if err := parallel.ForEach(len(groups), func(i int) error {
+		gr, err := r.RunGroup(groups[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = gr
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, gr := range results {
 		res.Merge(gr)
 	}
 	SortDiagnostics(res.Diagnostics)
@@ -144,6 +158,7 @@ func (r *Runner) RunGroup(pkgs []*Package) (*Result, error) {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Deps:     pkg.Dep,
 				diags:    &all,
 			}
 			if err := a.Run(pass); err != nil {
