@@ -148,7 +148,7 @@ func declScope(pass *lint.Pass, pkg *types.Package) ([]*ast.File, *types.Info, *
 	if !ok || dep.Types != pkg {
 		return nil, nil, nil
 	}
-	return dep.Files, dep.Info, lint.ScratchPass(pass.Analyzer, dep)
+	return dep.Files, dep.Info, pass.Scratch(dep)
 }
 
 // funcDeclOf locates the FuncDecl for an in-module function: in the current

@@ -26,7 +26,13 @@ one client exhaust server memory. Handlers that delegate body handling to a
 bounding helper (s.decodeBody(w, r, &req)) never touch r.Body themselves and
 are clean by construction. (2) context.Background() / context.TODO() inside
 such a function is reported: handler work must derive from r.Context() so a
-client disconnect cancels it. _test.go files are exempt.`,
+client disconnect cancels it. _test.go files are exempt.
+
+Known limitation: "preceded" is syntactic (source position), not
+control-flow-aware — a wrap buried in one conditional branch sanctions every
+later read, including on paths that never execute the wrap. Keep the
+MaxBytesReader wrap an unconditional statement at the top of the handler;
+the analyzer cannot catch a conditional wrap that misses a path.`,
 	Run: runHTTPBound,
 }
 
@@ -130,7 +136,10 @@ func checkHandler(pass *lint.Pass, body *ast.BlockStmt, reqs []types.Object) {
 		return true
 	})
 
-	// Pass 2: every other Body use must come after the wrap.
+	// Pass 2: every other Body use must come after the wrap. "After" is
+	// source position, not dominance — a conditional wrap sanctions reads on
+	// paths that skip it (see the Doc's known-limitation note); the payoff is
+	// zero false positives on the unconditional top-of-handler idiom.
 	ast.Inspect(body, func(n ast.Node) bool {
 		if lit, ok := n.(*ast.FuncLit); ok && len(requestParams(pass.Info, lit.Type)) > 0 {
 			return false // a nested handler with its own *http.Request: analyzed on its own

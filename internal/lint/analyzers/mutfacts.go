@@ -4,7 +4,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sync"
 
 	"gpupower/internal/lint"
 )
@@ -22,27 +21,25 @@ import (
 // mutating": the check stays strictly under-approximate, so every report is
 // a real receiver mutation.
 //
-// The store follows the unitFacts discipline (see unitfacts.go): process-
-// global, mutex-guarded, keyed by object identity (sound because the Loader
-// type-checks each package exactly once), and a summary computed under an
-// in-progress-cycle assumption is tainted and never memoized, keeping cache
-// contents independent of parallel group scheduling.
-var mutFacts = struct {
-	mu sync.Mutex
-	m  map[*types.Func]bool
-}{m: make(map[*types.Func]bool)}
+// The store follows the unit-facts discipline (see unitfacts.go): the
+// run-scoped lint.FactStore carried by the Pass, mutex-guarded, keyed by
+// object identity (sound because each run's Loader type-checks each package
+// exactly once, and the store does not outlive that Loader's type graph).
+// A summary computed under an in-progress-cycle assumption is tainted and
+// never memoized, keeping store contents independent of parallel group
+// scheduling.
+type mutFactKey struct{ fn *types.Func }
 
-func cachedMutFact(fn *types.Func) (bool, bool) {
-	mutFacts.mu.Lock()
-	defer mutFacts.mu.Unlock()
-	v, ok := mutFacts.m[fn]
-	return v, ok
+func cachedMutFact(pass *lint.Pass, fn *types.Func) (bool, bool) {
+	v, ok := pass.Facts().Load(mutFactKey{fn})
+	if !ok {
+		return false, false
+	}
+	return v.(bool), true
 }
 
-func storeMutFact(fn *types.Func, v bool) {
-	mutFacts.mu.Lock()
-	defer mutFacts.mu.Unlock()
-	mutFacts.m[fn] = v
+func storeMutFact(pass *lint.Pass, fn *types.Func, v bool) {
+	pass.Facts().Store(mutFactKey{fn}, v)
 }
 
 // methodMutates reports whether calling fn provably mutates memory reachable
@@ -51,7 +48,7 @@ func storeMutFact(fn *types.Func, v bool) {
 // flag — true when the verdict leaned on an in-progress assumption and must
 // not be memoized by the caller.
 func methodMutates(pass *lint.Pass, fn *types.Func, chain map[*types.Func]bool) (bool, bool) {
-	if v, ok := cachedMutFact(fn); ok {
+	if v, ok := cachedMutFact(pass, fn); ok {
 		return v, false
 	}
 	if chain[fn] {
@@ -61,24 +58,24 @@ func methodMutates(pass *lint.Pass, fn *types.Func, chain map[*types.Func]bool) 
 	}
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
-		storeMutFact(fn, false)
+		storeMutFact(pass, fn, false)
 		return false, false
 	}
 	fd, declPass := funcDeclOf(pass, fn)
 	if fd == nil || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
 		// No syntax (stdlib, cgo, foreign module): not provably mutating.
-		storeMutFact(fn, false)
+		storeMutFact(pass, fn, false)
 		return false, false
 	}
 	recvField := fd.Recv.List[0]
 	if len(recvField.Names) == 0 || recvField.Names[0].Name == "_" {
 		// An unnamed receiver cannot be written through.
-		storeMutFact(fn, false)
+		storeMutFact(pass, fn, false)
 		return false, false
 	}
 	recvObj := declPass.Info.Defs[recvField.Names[0]]
 	if recvObj == nil {
-		storeMutFact(fn, false)
+		storeMutFact(pass, fn, false)
 		return false, false
 	}
 	_, ptrRecv := sig.Recv().Type().Underlying().(*types.Pointer)
@@ -138,7 +135,7 @@ func methodMutates(pass *lint.Pass, fn *types.Func, chain map[*types.Func]bool) 
 		// The "no mutation" verdict leaned on a cycle assumption; don't cache.
 		return false, true
 	}
-	storeMutFact(fn, mutates)
+	storeMutFact(pass, fn, mutates)
 	return mutates, false
 }
 

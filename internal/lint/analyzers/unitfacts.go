@@ -4,7 +4,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sync"
 
 	"gpupower/internal/lint"
 )
@@ -21,54 +20,49 @@ import (
 // verdict per *types.Func. Package-level vars get the same treatment via
 // their initializers.
 //
-// Facts are memoized in a process-global store keyed by object identity —
-// sound because the concurrency-safe Loader type-checks each package exactly
-// once, so every directory group sees the same *types.Func for the same
-// function. The store is mutex-guarded for the parallel engine; determinism
-// under concurrent groups holds because an inference that had to assume a
-// unit for an in-progress (cyclic) callee is "tainted" and never memoized —
-// every cached fact is chain-independent, so the cache's contents cannot
+// Facts are memoized in the run-scoped lint.FactStore carried by the Pass,
+// keyed by object identity — sound because each run's concurrency-safe
+// Loader type-checks each package exactly once, so every directory group of
+// that run sees the same *types.Func for the same function (and the store
+// dies with the run, so it never pins a retired Loader's type graph). The
+// store is mutex-guarded for the parallel engine; determinism under
+// concurrent groups holds because an inference that had to assume a unit
+// for an in-progress (cyclic) callee is "tainted" and never memoized —
+// every cached fact is chain-independent, so the store's contents cannot
 // depend on group scheduling.
-var unitFacts = struct {
-	mu      sync.Mutex
-	results map[*types.Func][]unit
-	vars    map[*types.Var]unit
-}{
-	results: make(map[*types.Func][]unit),
-	vars:    make(map[*types.Var]unit),
+type resultFactKey struct{ fn *types.Func }
+
+type varFactKey struct{ v *types.Var }
+
+func cachedResultFact(pass *lint.Pass, fn *types.Func) ([]unit, bool) {
+	v, ok := pass.Facts().Load(resultFactKey{fn})
+	if !ok {
+		return nil, false
+	}
+	return v.([]unit), true
 }
 
-func cachedResultFact(fn *types.Func) ([]unit, bool) {
-	unitFacts.mu.Lock()
-	defer unitFacts.mu.Unlock()
-	us, ok := unitFacts.results[fn]
-	return us, ok
+func storeResultFact(pass *lint.Pass, fn *types.Func, us []unit) {
+	pass.Facts().Store(resultFactKey{fn}, us)
 }
 
-func storeResultFact(fn *types.Func, us []unit) {
-	unitFacts.mu.Lock()
-	defer unitFacts.mu.Unlock()
-	unitFacts.results[fn] = us
+func cachedVarFact(pass *lint.Pass, v *types.Var) (unit, bool) {
+	u, ok := pass.Facts().Load(varFactKey{v})
+	if !ok {
+		return unitUnknown, false
+	}
+	return u.(unit), true
 }
 
-func cachedVarFact(v *types.Var) (unit, bool) {
-	unitFacts.mu.Lock()
-	defer unitFacts.mu.Unlock()
-	u, ok := unitFacts.vars[v]
-	return u, ok
-}
-
-func storeVarFact(v *types.Var, u unit) {
-	unitFacts.mu.Lock()
-	defer unitFacts.mu.Unlock()
-	unitFacts.vars[v] = u
+func storeVarFact(pass *lint.Pass, v *types.Var, u unit) {
+	pass.Facts().Store(varFactKey{v}, u)
 }
 
 // inferredResultUnits derives the per-result units of an in-module function
 // from its return statements, or nil when no verdict is possible (foreign
 // package, no syntax, conflicting returns).
 func (uf *unitFlowCheck) inferredResultUnits(fn *types.Func) []unit {
-	if us, ok := cachedResultFact(fn); ok {
+	if us, ok := cachedResultFact(uf.pass, fn); ok {
 		return us
 	}
 	if uf.chain[fn] {
@@ -80,7 +74,7 @@ func (uf *unitFlowCheck) inferredResultUnits(fn *types.Func) []unit {
 	}
 	fd, pkgPass := uf.declOf(fn)
 	if fd == nil || fd.Body == nil || fd.Type.Results == nil {
-		storeResultFact(fn, nil) // settled: no syntax to learn from
+		storeResultFact(uf.pass, fn, nil) // settled: no syntax to learn from
 		return nil
 	}
 	sub := uf.subCheck(pkgPass, fn)
@@ -89,7 +83,7 @@ func (uf *unitFlowCheck) inferredResultUnits(fn *types.Func) []unit {
 		uf.tainted = true
 		return us
 	}
-	storeResultFact(fn, us)
+	storeResultFact(uf.pass, fn, us)
 	return us
 }
 
@@ -99,7 +93,7 @@ func (uf *unitFlowCheck) inferredVarUnit(v *types.Var) unit {
 	if v.Type() == nil || !isFloatish(v.Type()) {
 		return unitUnknown
 	}
-	if u, ok := cachedVarFact(v); ok {
+	if u, ok := cachedVarFact(uf.pass, v); ok {
 		return u
 	}
 	if uf.chain[v] {
@@ -108,7 +102,7 @@ func (uf *unitFlowCheck) inferredVarUnit(v *types.Var) unit {
 	}
 	spec, idx, pkgPass := uf.varSpecOf(v)
 	if spec == nil || len(spec.Values) != len(spec.Names) {
-		storeVarFact(v, unitUnknown)
+		storeVarFact(uf.pass, v, unitUnknown)
 		return unitUnknown
 	}
 	sub := uf.subCheck(pkgPass, v)
@@ -117,7 +111,7 @@ func (uf *unitFlowCheck) inferredVarUnit(v *types.Var) unit {
 		uf.tainted = true
 		return u
 	}
-	storeVarFact(v, u)
+	storeVarFact(uf.pass, v, u)
 	return u
 }
 

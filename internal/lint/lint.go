@@ -24,7 +24,42 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+	"sync"
 )
+
+// FactStore memoizes cross-package analysis facts (unitflow result/var units,
+// disjointwrite method-mutation summaries) for one engine run. Keys are
+// small comparable structs wrapping type-checker objects, so identity keying
+// is sound exactly as long as the store lives no longer than the Loader whose
+// type graph produced the objects — which is why the store hangs off the
+// Runner (one per run) rather than off the analyzers package: a process that
+// runs the engine repeatedly (tests, a long-running embedding) must not pin
+// every run's type graph and ASTs for its lifetime. The store is
+// mutex-guarded for the parallel engine; determinism under concurrent groups
+// is the analyzers' responsibility (chain-dependent "tainted" verdicts are
+// never stored).
+type FactStore struct {
+	mu sync.Mutex
+	m  map[any]any
+}
+
+// NewFactStore returns an empty fact store.
+func NewFactStore() *FactStore { return &FactStore{m: make(map[any]any)} }
+
+// Load returns the fact stored under key, if any.
+func (s *FactStore) Load(key any) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[key]
+	return v, ok
+}
+
+// Store records a fact under key.
+func (s *FactStore) Store(key, val any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = val
+}
 
 // Analyzer is one static check. Analyzers are stateless: Run is invoked once
 // per type-checked package and reports findings through the Pass.
@@ -60,6 +95,7 @@ type Pass struct {
 	Deps func(path string) (*Package, bool)
 
 	diags *[]Diagnostic
+	facts *FactStore
 }
 
 // Dep resolves a local import path to its loaded dependency package, or
@@ -72,29 +108,43 @@ func (p *Pass) Dep(path string) (*Package, bool) {
 	return p.Deps(path)
 }
 
+// Facts returns the run-scoped fact store shared by every pass of one
+// Runner run (the Runner wires it in; hand-constructed passes get a private
+// store on first use, allocated lazily so zero-value passes keep working).
+func (p *Pass) Facts() *FactStore {
+	if p.facts == nil {
+		p.facts = NewFactStore()
+	}
+	return p.facts
+}
+
 // Silent returns a copy of the pass whose reports are discarded. Fact
 // derivation re-evaluates syntax (sometimes of dependency packages) purely
 // for its value; any diagnostics that evaluation would raise belong to the
-// package's own analysis run, not to the querying one.
+// package's own analysis run, not to the querying one. The fact store is
+// shared: silent derivations feed the same run-scoped memoization.
 func (p *Pass) Silent() *Pass {
 	var discard []Diagnostic
 	q := *p
+	q.facts = p.Facts()
 	q.diags = &discard
 	return &q
 }
 
-// ScratchPass builds a report-discarding pass over a loaded package, for
-// analyzers that walk a dependency's syntax to derive cross-package facts.
-func ScratchPass(a *Analyzer, pkg *Package) *Pass {
+// Scratch builds a report-discarding pass over a loaded dependency package,
+// for analyzers that walk its syntax to derive cross-package facts. It
+// shares the parent pass's fact store, keeping memoization run-scoped.
+func (p *Pass) Scratch(pkg *Package) *Pass {
 	var discard []Diagnostic
 	return &Pass{
-		Analyzer: a,
+		Analyzer: p.Analyzer,
 		Fset:     pkg.Fset,
 		Files:    pkg.Files,
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
 		Deps:     pkg.Dep,
 		diags:    &discard,
+		facts:    p.Facts(),
 	}
 }
 

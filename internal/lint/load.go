@@ -98,9 +98,11 @@ type Loader struct {
 	fset *token.FileSet
 
 	// mu guards entries and waits. Entries are claimed under mu and
-	// completed by closing their done channel; waits records, for each
-	// in-progress path, the path its owner goroutine is currently blocked
-	// on, so a would-be waiter can detect a cross-goroutine wait cycle.
+	// completed by closing their done channel; waits records, for EVERY
+	// in-progress path a blocked goroutine has claimed (its whole load
+	// stack, not just the innermost entry), the path that goroutine is
+	// currently blocked on, so a would-be waiter on any of those entries
+	// can detect a cross-goroutine wait cycle.
 	mu      sync.Mutex
 	entries map[string]*pkgEntry
 	waits   map[string]string
@@ -335,9 +337,13 @@ func (l *Loader) load(path string, stack []string) (*Package, error) {
 		// stack). Before blocking, walk the wait graph: if the owner of
 		// this entry is (transitively) blocked on a path we own, waiting
 		// would deadlock — that shape only arises from an import cycle
-		// split across goroutines, so report it as one.
+		// split across goroutines, so report it as one. The visited set
+		// bounds the walk: a closed ring among *other* goroutines' waits
+		// (none of them ours) must not spin us forever under mu.
 		cur := path
-		for {
+		visited := map[string]bool{}
+		for !visited[cur] {
+			visited[cur] = true
 			next, waiting := l.waits[cur]
 			if !waiting {
 				break
@@ -350,16 +356,22 @@ func (l *Loader) load(path string, stack []string) (*Package, error) {
 			}
 			cur = next
 		}
-		var top string
-		if len(stack) > 0 {
-			top = stack[len(stack)-1]
-			l.waits[top] = path
+		// Record the edge for every entry we own, not just the innermost:
+		// a goroutine blocked here is what's stalling ALL of its claimed
+		// in-progress loads, and a waiter can arrive at any one of them. The
+		// check-then-record is atomic under mu, so of two goroutines whose
+		// waits would close a cycle, the later one always sees the earlier
+		// one's edges and errors out instead of blocking.
+		for _, s := range stack {
+			l.waits[s] = path
 		}
 		l.mu.Unlock()
 		<-e.done
-		if top != "" {
+		if len(stack) > 0 {
 			l.mu.Lock()
-			delete(l.waits, top)
+			for _, s := range stack {
+				delete(l.waits, s)
+			}
 			l.mu.Unlock()
 		}
 		return e.pkg, e.err

@@ -201,6 +201,48 @@ func TestConcurrentCycleLoadErrorsNotDeadlocks(t *testing.T) {
 	}
 }
 
+// TestConcurrentThreePackageCycle loads the a→b→c→a cycle concurrently from
+// every root. This is the shape the top-of-stack wait keying deadlocked on:
+// a goroutine that claimed a and b before blocking on c recorded only its
+// innermost edge, so a waiter arriving at a found no edge in the wait graph
+// and blocked forever. The contract is the same as the two-package case —
+// every goroutine returns, at least one with a cycle error.
+func TestConcurrentThreePackageCycle(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	roots := []string{"cycle3mod/a", "cycle3mod/b", "cycle3mod/c"}
+	for round := 0; round < 30; round++ {
+		// Vary which subset of roots loads concurrently: the reviewer's
+		// reproduction was roots {a, c}, but any pair or the full triple
+		// must be deadlock-free.
+		for _, pick := range [][]string{{roots[0], roots[2]}, {roots[1], roots[0]}, roots} {
+			l := NewLoader("testdata/cycle3", "cycle3mod")
+			errs := make(chan error, len(pick))
+			for _, p := range pick {
+				go func(p string) {
+					_, err := l.Load(p)
+					errs <- err
+				}(p)
+			}
+			sawCycle := false
+			for i := 0; i < len(pick); i++ {
+				select {
+				case err := <-errs:
+					if err != nil && strings.Contains(err.Error(), "cycle") {
+						sawCycle = true
+					}
+				case <-time.After(30 * time.Second):
+					t.Fatalf("round %d roots %v: concurrent 3-package cycle load deadlocked", round, pick)
+				}
+			}
+			if !sawCycle {
+				t.Fatalf("round %d roots %v: no goroutine reported the import cycle", round, pick)
+			}
+		}
+	}
+}
+
 // TestPassIsTestFile covers the _test.go exemption plumbing analyzers rely on.
 func TestPassIsTestFile(t *testing.T) {
 	fset := token.NewFileSet()

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"gpupower/internal/parallel"
 )
@@ -26,6 +27,26 @@ type Runner struct {
 	// registry so directives for analyzers that merely did not run this time
 	// are not rejected as unknown.
 	Known map[string]bool
+
+	// factsMu guards facts, the cross-package fact store shared by every
+	// pass this Runner creates. Scoping the store to the Runner (rather
+	// than a process global) means its memory — which transitively pins the
+	// Loader's type graph and ASTs — is reclaimable once the run's results
+	// are merged.
+	factsMu sync.Mutex
+	facts   *FactStore
+}
+
+// factStore lazily creates the Runner's run-scoped fact store; RunGroup is
+// called concurrently by the parallel engine and the cache replayer, so the
+// first caller wins under the mutex.
+func (r *Runner) factStore() *FactStore {
+	r.factsMu.Lock()
+	defer r.factsMu.Unlock()
+	if r.facts == nil {
+		r.facts = NewFactStore()
+	}
+	return r.facts
 }
 
 // Result is the outcome of one lint run.
@@ -85,8 +106,12 @@ func (r *Runner) Run(pkgs []*Package) (*Result, error) {
 	}
 	groups := GroupByDir(pkgs)
 	results := make([]*Result, len(groups))
+	// Resolve the fact store before fanning out: the lazy init writes a
+	// Runner field, and the closure below must not mutate shared state
+	// through its receiver (disjointwrite's own rule, applied to the engine).
+	facts := r.factStore()
 	if err := parallel.ForEach(len(groups), func(i int) error {
-		gr, err := r.RunGroup(groups[i])
+		gr, err := r.runGroup(groups[i], facts)
 		if err != nil {
 			return err
 		}
@@ -122,6 +147,12 @@ func GroupByDir(pkgs []*Package) [][]*Package {
 // RunGroup analyzes one directory group (a package plus, possibly, its
 // external-test sibling) and returns a self-contained, sorted result.
 func (r *Runner) RunGroup(pkgs []*Package) (*Result, error) {
+	return r.runGroup(pkgs, r.factStore())
+}
+
+// runGroup is RunGroup with the fact store resolved by the caller; it never
+// writes Runner state, so Run's parallel fan-out can call it from closures.
+func (r *Runner) runGroup(pkgs []*Package, facts *FactStore) (*Result, error) {
 	known, err := r.validate()
 	if err != nil {
 		return nil, err
@@ -160,6 +191,7 @@ func (r *Runner) RunGroup(pkgs []*Package) (*Result, error) {
 				Info:     pkg.Info,
 				Deps:     pkg.Dep,
 				diags:    &all,
+				facts:    facts,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)

@@ -1,0 +1,9 @@
+// Package a opens a deliberate three-package import cycle (a → b → c → a),
+// the shape that exercises cross-goroutine cycle detection through an entry
+// that is not the blocked owner's innermost load.
+package a
+
+import "cycle3mod/b"
+
+// A calls into b.
+func A() int { return b.B() }

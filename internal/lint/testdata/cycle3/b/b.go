@@ -1,0 +1,7 @@
+// Package b is the middle hop of the three-package import cycle.
+package b
+
+import "cycle3mod/c"
+
+// B calls into c.
+func B() int { return c.C() }

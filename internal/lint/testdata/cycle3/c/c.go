@@ -1,0 +1,7 @@
+// Package c closes the three-package import cycle back to a.
+package c
+
+import "cycle3mod/a"
+
+// C calls back into a.
+func C() int { return a.A() }
