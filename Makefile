@@ -36,20 +36,25 @@
 #                  restructured estimate-fit factors, fleet models/min;
 #                  seed 42). Also drives the gpowerd HTTP load harness for
 #                  SERVE_DURATION over SERVE_CONNS keep-alive connections
-#                  and records the serve_predict row. Fails if a large-device
-#                  estimate-fit speedup drops below MIN_ESTIMATE_SPEEDUP
-#                  (default 2.0) or the served predictions/sec drop below
-#                  MIN_SERVE_THROUGHPUT (default 1,000,000; CI passes a
-#                  lower bar to tolerate shared runners). BENCHTIME=1x makes
-#                  it a smoke run (CI default here); raise it locally for
-#                  stable numbers.
+#                  (the serve_predict row) and the fleet discrete-event DVFS
+#                  simulation over CLUSTER_GPUS GPUs for CLUSTER_HORIZON
+#                  simulated seconds (the cluster_sim row: per-policy energy
+#                  and deadline outcomes plus single-core events/sec). Fails
+#                  if a large-device estimate-fit speedup drops below
+#                  MIN_ESTIMATE_SPEEDUP (default 2.0), the served
+#                  predictions/sec drop below MIN_SERVE_THROUGHPUT (default
+#                  1,000,000) or the cluster engine drops below
+#                  MIN_CLUSTER_EVENTS simulated events/sec (default
+#                  1,000,000; CI passes lower bars to tolerate shared
+#                  runners). BENCHTIME=1x makes it a smoke run (CI default
+#                  here); raise it locally for stable numbers.
 
 GO ?= go
 BENCHTIME ?= 1x
 
 # The benchmark subset bench-json records: the estimation and DVFS hot
 # paths this repo optimizes, not the full paper-figure regeneration suite.
-BENCH_JSON_PATTERN = 'Benchmark(Predict|NNLS(Cold)?|Isotonic|DVFSSearch|EvaluateOperatingPoints|FindBestConfigWarm|Estimate(Serial|Parallel|Reference)|FleetFit)$$'
+BENCH_JSON_PATTERN = 'Benchmark(Predict|NNLS(Cold)?|Isotonic|DVFSSearch|EvaluateOperatingPoints|FindBestConfigWarm|Estimate(Serial|Parallel|Reference)|FleetFit|ClusterEvents)$$'
 
 # bench-json regression gate: the estimate-fit speedup rows for the large
 # devices (Titan Xp, GTX Titan X) must stay at or above this factor, else
@@ -62,6 +67,15 @@ MIN_ESTIMATE_SPEEDUP ?= 2.0
 SERVE_DURATION ?= 2s
 SERVE_CONNS ?= 4
 MIN_SERVE_THROUGHPUT ?= 1000000
+
+# Cluster-simulation knobs for the cluster_sim row: fleet size, simulated
+# arrival horizon (seconds), and the single-core simulated-events/sec floor
+# (0 disables the gate; CLUSTER_GPUS=0 skips the simulation entirely). The
+# local target is >=1M events/sec for a 1,000-GPU fleet; CI passes a lower
+# floor and a shorter horizon to tolerate shared runners.
+CLUSTER_GPUS ?= 1000
+CLUSTER_HORIZON ?= 20
+MIN_CLUSTER_EVENTS ?= 1000000
 
 .PHONY: all build test verify vet race lint lint-bench cover bench speedup bench-json clean
 
@@ -122,7 +136,9 @@ bench-json:
 	$(GO) run ./cmd/benchjson -bench bench_raw.txt -o BENCH_results.json \
 		-min-estimate-speedup $(MIN_ESTIMATE_SPEEDUP) \
 		-serve-duration $(SERVE_DURATION) -serve-conns $(SERVE_CONNS) \
-		-min-serve-throughput $(MIN_SERVE_THROUGHPUT)
+		-min-serve-throughput $(MIN_SERVE_THROUGHPUT) \
+		-cluster-gpus $(CLUSTER_GPUS) -cluster-horizon $(CLUSTER_HORIZON) \
+		-min-cluster-events $(MIN_CLUSTER_EVENTS)
 	@rm -f bench_raw.txt
 
 clean:

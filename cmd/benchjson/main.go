@@ -5,14 +5,17 @@
 //	benchjson -bench bench_raw.txt -o BENCH_results.json
 //
 // It parses the standard `go test -bench -benchmem` output (ns/op, B/op,
-// allocs/op per benchmark) and runs the speedup, fleet-fit and
-// serving-throughput experiments (cold vs warm prediction surfaces,
-// reference vs restructured estimation engine, fleet fitting throughput,
-// gpowerd /v1/predict over loopback HTTP) in-process, then writes
-// everything as one JSON document. `make bench-json` is the supported entry point; CI
+// allocs/op per benchmark) and runs the speedup, fleet-fit,
+// serving-throughput and cluster-simulation experiments (cold vs warm
+// prediction surfaces, reference vs restructured estimation engine, fleet
+// fitting throughput, gpowerd /v1/predict over loopback HTTP, and the
+// fleet discrete-event DVFS simulator) in-process, then writes everything
+// as one JSON document. `make bench-json` is the supported entry point; CI
 // uploads the resulting BENCH_results.json as a build artifact and gates on
-// -min-estimate-speedup: the estimate-fit rows for the large devices must
-// not regress below the given factor.
+// -min-estimate-speedup (the estimate-fit rows for the large devices must
+// not regress below the given factor), -min-serve-throughput and
+// -min-cluster-events (the single-core event throughput of the cluster
+// engine, recorded as the cluster_sim row).
 package main
 
 import (
@@ -75,6 +78,32 @@ type ServePredictEntry struct {
 	Verified          bool    `json:"verified_bitwise"`
 }
 
+// ClusterPolicyEntry is one DVFS policy's fleet outcome on the common
+// seeded traffic trace.
+type ClusterPolicyEntry struct {
+	Policy         string  `json:"policy"`
+	Jobs           int64   `json:"jobs"`
+	MissPct        float64 `json:"deadline_miss_pct"`
+	EnergyJ        float64 `json:"energy_j"`
+	AvgPowerW      float64 `json:"avg_power_w"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	EnergySavedPct float64 `json:"energy_saved_pct"`
+}
+
+// ClusterSimEntry records the fleet discrete-event simulation: per-policy
+// outcomes plus the engine's raw single-core event throughput (the number
+// -min-cluster-events gates).
+type ClusterSimEntry struct {
+	GPUs           int                  `json:"gpus"`
+	HorizonSeconds float64              `json:"horizon_seconds"`
+	Devices        []string             `json:"devices"`
+	Classes        []string             `json:"classes"`
+	Policies       []ClusterPolicyEntry `json:"policies"`
+	EventsPerRun   int64                `json:"events_per_run"`
+	EventsPerSec   float64              `json:"events_per_sec"`
+}
+
 // Document is the BENCH_results.json schema.
 type Document struct {
 	Seed         uint64             `json:"seed"`
@@ -82,6 +111,7 @@ type Document struct {
 	Speedups     []SpeedupEntry     `json:"speedups"`
 	FleetFit     *FleetFitEntry     `json:"fleet_fit,omitempty"`
 	ServePredict *ServePredictEntry `json:"serve_predict,omitempty"`
+	ClusterSim   *ClusterSimEntry   `json:"cluster_sim,omitempty"`
 }
 
 // benchLine matches e.g.
@@ -131,6 +161,10 @@ func main() {
 	serveConns := flag.Int("serve-conns", 4, "concurrent client connections for the serving-throughput measurement")
 	minServe := flag.Float64("min-serve-throughput", 0,
 		"fail (exit 1) if the serving throughput falls below this many predictions/sec (0 disables the gate)")
+	clusterGPUs := flag.Int("cluster-gpus", 1000, "fleet size for the cluster simulation (0 skips it)")
+	clusterHorizon := flag.Float64("cluster-horizon", 20, "simulated arrival horizon for the cluster simulation, seconds")
+	minCluster := flag.Float64("min-cluster-events", 0,
+		"fail (exit 1) if the single-core cluster engine falls below this many simulated events/sec (0 disables the gate)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -195,6 +229,35 @@ func main() {
 		}
 	}
 
+	if *clusterGPUs > 0 {
+		cl, err := experiments.RunCluster(ctx, *seed, *clusterGPUs, *clusterHorizon)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: cluster experiment: %v\n", err)
+			os.Exit(1)
+		}
+		entry := &ClusterSimEntry{
+			GPUs:           cl.GPUs,
+			HorizonSeconds: cl.HorizonSeconds,
+			Devices:        cl.Devices,
+			Classes:        cl.Classes,
+			EventsPerRun:   cl.Events,
+			EventsPerSec:   cl.EventsPerSec,
+		}
+		for _, row := range cl.Rows {
+			entry.Policies = append(entry.Policies, ClusterPolicyEntry{
+				Policy:         row.Policy,
+				Jobs:           row.Jobs,
+				MissPct:        row.MissPct,
+				EnergyJ:        row.EnergyJ,
+				AvgPowerW:      row.AvgPowerW,
+				P50Ms:          row.P50Ms,
+				P99Ms:          row.P99Ms,
+				EnergySavedPct: row.EnergySavedPct,
+			})
+		}
+		doc.ClusterSim = entry
+	}
+
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -210,6 +273,10 @@ func main() {
 	if doc.ServePredict != nil {
 		fmt.Printf("serve_predict: %.2fM predictions/s over %d connections\n",
 			doc.ServePredict.PredictionsPerSec/1e6, doc.ServePredict.Conns)
+	}
+	if doc.ClusterSim != nil {
+		fmt.Printf("cluster_sim: %.2fM events/s single-core, %d-GPU fleet\n",
+			doc.ClusterSim.EventsPerSec/1e6, doc.ClusterSim.GPUs)
 	}
 
 	// The regression gate runs after the artifact is written so a failing
@@ -248,6 +315,17 @@ func main() {
 		if doc.ServePredict.PredictionsPerSec < *minServe {
 			fmt.Fprintf(os.Stderr, "benchjson: serving throughput %.0f predictions/s below gate %.0f\n",
 				doc.ServePredict.PredictionsPerSec, *minServe)
+			os.Exit(1)
+		}
+	}
+	if *minCluster > 0 {
+		if doc.ClusterSim == nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -min-cluster-events set but the cluster simulation was skipped\n")
+			os.Exit(1)
+		}
+		if doc.ClusterSim.EventsPerSec < *minCluster {
+			fmt.Fprintf(os.Stderr, "benchjson: cluster engine %.0f events/s below gate %.0f\n",
+				doc.ClusterSim.EventsPerSec, *minCluster)
 			os.Exit(1)
 		}
 	}

@@ -1,0 +1,164 @@
+package cluster
+
+// The event layer of the discrete-event engine: pooled, intrusively-linked
+// event records ordered by an indexed binary heap.
+//
+// Throughput discipline (DESIGN.md §12): the event loop is the hot path of
+// every fleet question this repo can now ask, so the queue is engineered
+// for zero steady-state allocations. Event records come from a free list
+// threaded through the records themselves (the `next` pointer is the
+// intrusive link); the heap stores record pointers and each record carries
+// its own heap index, so membership updates are O(1) and a future
+// cancel/reschedule never needs a search. A shard never holds more than
+// one arrival plus one completion per GPU, so both the pool and the heap
+// reach their high-water mark during warm-up and are quiescent after.
+
+// eventKind discriminates the two event types of the M/G/1-per-GPU model.
+type eventKind uint8
+
+const (
+	// evArrival is the next job arrival of one GPU's workload stream.
+	evArrival eventKind = iota
+	// evCompletion is the in-service job finishing on one GPU.
+	evCompletion
+)
+
+// event is one pooled event record. While pooled it is linked through next;
+// while queued it carries its heap position in hi.
+type event struct {
+	at   float64 // simulated seconds
+	gpu  int32   // index into the shard's GPU slice
+	kind eventKind
+
+	// job payload (arrival: the arriving job; completion: the job in
+	// service, denormalized so completion handling never touches the queue).
+	class    int32
+	arrival  float64 // job arrival time, seconds
+	deadline float64 // absolute deadline, seconds
+
+	hi   int    // current heap index, -1 when not queued
+	next *event // free-list link
+}
+
+// eventPool is the intrusive free list. Records are recycled immediately
+// after dispatch, so a run allocates at most poolHighWater records total.
+type eventPool struct {
+	free *event
+}
+
+// get returns a recycled record, or a fresh one when the pool is dry
+// (warm-up only, in steady state every get is preceded by a put).
+func (p *eventPool) get() *event {
+	if e := p.free; e != nil {
+		p.free = e.next
+		e.next = nil
+		return e
+	}
+	return &event{hi: -1}
+}
+
+// put recycles a record.
+func (p *eventPool) put(e *event) {
+	e.next = p.free
+	e.hi = -1
+	p.free = e
+}
+
+// eventHeap is an indexed binary min-heap over event records. The ordering
+// is the engine's total event order: time first, then GPU index, then kind
+// (completions before arrivals at identical timestamps, so a job frees its
+// GPU before the next job lands on the queue). The GPU tie-break keeps the
+// pop sequence a strict total order within a shard — per-GPU results never
+// depend on it (GPUs are independent), but a deterministic heap keeps the
+// serial event trace reproducible byte for byte.
+type eventHeap struct {
+	items []*event
+}
+
+// less is the total event order.
+func (h *eventHeap) less(a, b *event) bool {
+	if a.at != b.at { //lint:ignore floateq total-order tie-break: only bitwise-equal timestamps may fall through to the GPU/kind tie-break, or the event order loses reproducibility
+		return a.at < b.at
+	}
+	if a.gpu != b.gpu {
+		return a.gpu < b.gpu
+	}
+	return a.kind > b.kind // evCompletion (1) dispatches before evArrival (0)
+}
+
+// push queues e.
+func (h *eventHeap) push(e *event) {
+	e.hi = len(h.items)
+	h.items = append(h.items, e)
+	h.siftUp(e.hi)
+}
+
+// pop removes and returns the minimum event, or nil when empty.
+func (h *eventHeap) pop() *event {
+	n := len(h.items)
+	if n == 0 {
+		return nil
+	}
+	top := h.items[0]
+	last := h.items[n-1]
+	h.items = h.items[:n-1]
+	if n > 1 {
+		h.items[0] = last
+		last.hi = 0
+		h.siftDown(0)
+	}
+	top.hi = -1
+	return top
+}
+
+// len reports the queue length.
+func (h *eventHeap) len() int { return len(h.items) }
+
+// grow pre-sizes the backing array so steady-state pushes never reallocate.
+func (h *eventHeap) grow(capacity int) {
+	if cap(h.items) < capacity {
+		items := make([]*event, len(h.items), capacity)
+		copy(items, h.items)
+		h.items = items
+	}
+}
+
+func (h *eventHeap) siftUp(i int) {
+	e := h.items[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := h.items[parent]
+		if !h.less(e, p) {
+			break
+		}
+		h.items[i] = p
+		p.hi = i
+		i = parent
+	}
+	h.items[i] = e
+	e.hi = i
+}
+
+func (h *eventHeap) siftDown(i int) {
+	e := h.items[i]
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && h.less(h.items[right], h.items[left]) {
+			child = right
+		}
+		c := h.items[child]
+		if !h.less(c, e) {
+			break
+		}
+		h.items[i] = c
+		c.hi = i
+		i = child
+	}
+	h.items[i] = e
+	e.hi = i
+}

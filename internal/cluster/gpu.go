@@ -1,0 +1,200 @@
+package cluster
+
+import "math"
+
+// Per-GPU simulation state: a single-server FIFO queue (M/G/1 shape, with
+// the service law set by the active DVFS policy), plus the accumulators the
+// fleet fold consumes. Everything in this file is owned by exactly one shard
+// during a run — no field is shared across workers.
+
+// job is one queued request: a kernel-class index plus its arrival time and
+// absolute deadline.
+type job struct {
+	class    int32
+	arrival  float64
+	deadline float64
+}
+
+// jobRing is a growable FIFO ring buffer of jobs. It grows only while a
+// GPU's backlog sets a new high-water mark; in steady state push/pop touch
+// the backing array in place.
+type jobRing struct {
+	buf  []job
+	head int
+	n    int
+}
+
+// push appends j.
+func (r *jobRing) push(j job) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = j
+	r.n++
+}
+
+// pop removes and returns the oldest job; callers check emptiness via n.
+func (r *jobRing) pop() job {
+	j := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return j
+}
+
+// grow doubles the ring, unrolling the wrapped contents.
+func (r *jobRing) grow() {
+	capacity := 2 * len(r.buf)
+	if capacity < 8 {
+		capacity = 8
+	}
+	buf := make([]job, capacity)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
+// Latency histogram: fixed-size log-spaced bins addressed straight from the
+// float64 bit pattern — histSub sub-bins per power of two, no Log calls on
+// the event path. Percentiles are read from the merged fleet histogram; the
+// reported quantile is the lower edge of the bin holding the rank, i.e.
+// exact to within one sub-bin (≤ ~19% with 4 sub-bins per octave), which is
+// ample for p50/p99 of a latency distribution spanning decades.
+
+const (
+	// histSubBits sub-bin bits per octave: 2 → 4 sub-bins per power of two.
+	histSubBits = 2
+	histSub     = 1 << histSubBits
+	// histMinExp is the lowest resolved biased exponent: 2^(975-1023) =
+	// 2^-48 ≈ 3.6e-15 s. Everything below (including zero and subnormals)
+	// lands in bin 0.
+	histMinExp = 975
+	// histBins covers 96 octaves above histMinExp — up to 2^48 s — before
+	// clamping to the top bin.
+	histBins = 96 * histSub
+)
+
+// latHist is one latency histogram. Bin counts are plain int64s; merging is
+// element-wise addition, so the fleet fold is associative and exact.
+type latHist struct {
+	bins  [histBins]int64
+	count int64
+}
+
+// add records one latency sample, in seconds.
+func (h *latHist) add(seconds float64) {
+	bits := math.Float64bits(seconds)
+	exp := int(bits >> 52 & 0x7ff)
+	idx := 0
+	if exp >= histMinExp {
+		sub := int(bits >> (52 - histSubBits) & (histSub - 1))
+		idx = (exp-histMinExp)<<histSubBits + sub
+		if idx >= histBins {
+			idx = histBins - 1
+		}
+	}
+	h.bins[idx]++
+	h.count++
+}
+
+// merge folds other into h (element-wise).
+func (h *latHist) merge(other *latHist) {
+	for i := range h.bins {
+		h.bins[i] += other.bins[i]
+	}
+	h.count += other.count
+}
+
+// quantile returns the lower edge of the bin containing the q-quantile
+// (0 < q ≤ 1), or 0 for an empty histogram.
+func (h *latHist) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.bins {
+		cum += c
+		if cum >= rank {
+			return binLowerEdge(i)
+		}
+	}
+	return binLowerEdge(histBins - 1)
+}
+
+// binLowerEdge reconstructs the lower edge of bin i: 2^(e-1023)·(1+sub/histSub).
+func binLowerEdge(i int) float64 {
+	if i == 0 {
+		return 0
+	}
+	exp := uint64(histMinExp + i>>histSubBits)
+	sub := uint64(i & (histSub - 1))
+	bits := exp<<52 | sub<<(52-histSubBits)
+	return math.Float64frombits(bits)
+}
+
+// FNV-1a trace hashing. Every GPU folds its own dispatch history into a
+// 64-bit digest; the fleet digest chains the per-GPU digests in GPU index
+// order. Two runs agree on the digest iff they dispatched the same events at
+// the bitwise-same times in the same per-GPU order — the property the
+// serial-vs-parallel and seed-reproducibility tests pin.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix folds one 64-bit word into an FNV-1a digest, byte by byte.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v >> (8 * i) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// gpuMetrics are one GPU's run accumulators. They are folded into fleet
+// Metrics in GPU index order, identically in serial and parallel runs.
+type gpuMetrics struct {
+	events    int64
+	jobs      int64
+	missed    int64
+	energyJ   float64
+	busySec   float64
+	endAt     float64 // completion time of the GPU's last job
+	hist      latHist
+	traceHash uint64
+}
+
+// gpuState is one simulated GPU: its device-model binding, its private
+// random stream, the FIFO backlog, and the job in service.
+type gpuState struct {
+	idx int32 // index within the owning shard's GPU slice
+	rt  *deviceRuntime
+	rng prng
+
+	queue jobRing
+	busy  bool
+
+	// Job in service (valid while busy): its power draw and service length
+	// are fixed at dispatch, so completion handling is pure accounting.
+	curPowerW  float64
+	curService float64
+
+	m gpuMetrics
+}
+
+// reset returns the GPU to its pre-run state, keeping grown buffers so a
+// reused engine reaches zero steady-state allocations.
+func (g *gpuState) reset(rt *deviceRuntime, seed uint64, id int) {
+	g.rt = rt
+	g.rng = newPRNG(seed, uint64(id))
+	g.queue.head, g.queue.n = 0, 0
+	g.busy = false
+	g.curPowerW, g.curService = 0, 0
+	g.m = gpuMetrics{traceHash: fnvOffset64}
+}

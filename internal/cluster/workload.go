@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Workload generation: reproducible per-GPU arrival streams.
+//
+// Every GPU owns a splitmix64 stream seeded from (fleet seed, GPU index),
+// so a GPU's entire random history — interarrival gaps, kernel classes,
+// deadline slacks — is a pure function of the seed and the GPU index,
+// independent of how GPUs are sharded across workers. That independence is
+// what makes the parallel engine bitwise-identical to the serial one: the
+// schedule can interleave GPUs any way it likes without perturbing a single
+// draw.
+
+// prng is a splitmix64 generator — 64-bit state, one multiply-xor-shift
+// avalanche per draw, passes the usual batteries and costs ~1 ns. It is
+// deliberately not math/rand: the stream must be stable across Go releases
+// for the committed experiment numbers to stay reproducible.
+type prng struct {
+	state uint64
+}
+
+// newPRNG derives the stream for one GPU. The golden-ratio increment keeps
+// adjacent GPU indices in distant regions of the state space.
+func newPRNG(seed, stream uint64) prng {
+	p := prng{state: seed ^ (stream+1)*0x9e3779b97f4a7c15}
+	// One warm-up draw decorrelates streams whose xor'd seeds are close.
+	p.next()
+	return p
+}
+
+func (p *prng) next() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (p *prng) float64() float64 {
+	return float64(p.next()>>11) / (1 << 53)
+}
+
+// uniform returns a uniform draw in [lo, hi).
+func (p *prng) uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*p.float64()
+}
+
+// exp returns an exponential draw with the given rate (mean 1/rate).
+func (p *prng) exp(rate float64) float64 {
+	// 1-u keeps the argument in (0, 1] so Log never sees zero.
+	return -math.Log(1-p.float64()) / rate
+}
+
+// norm returns a standard normal draw (Marsaglia polar method). The
+// rejection loop is deterministic: it consumes draws from this stream only.
+func (p *prng) norm() float64 {
+	for {
+		u := 2*p.float64() - 1
+		v := 2*p.float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 { //lint:ignore floateq rejection guard: s==0 only for the exact double-zero draw, where the polar transform is undefined
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// gamma returns a Gamma(shape, scale) draw (Marsaglia–Tsang, with the
+// standard boost for shape < 1).
+func (p *prng) gamma(shape, scale float64) float64 {
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) · U^{1/a}.
+		u := p.float64()
+		return p.gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := p.norm()
+		t := 1 + c*x
+		if t <= 0 {
+			continue
+		}
+		v := t * t * t
+		u := p.float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// Process selects the arrival process of the workload stream.
+type Process int
+
+const (
+	// Poisson arrivals: exponential interarrival gaps at RatePerGPU.
+	Poisson Process = iota
+	// GammaArrivals: Gamma-renewal interarrival gaps with coefficient of
+	// variation CV (CV > 1 is burstier than Poisson, CV < 1 smoother;
+	// CV = 1 degenerates to Poisson).
+	GammaArrivals
+	// Diurnal: a nonhomogeneous Poisson stream whose rate swings
+	// sinusoidally around RatePerGPU — the day/night traffic shape —
+	// realized by thinning against the peak rate.
+	Diurnal
+)
+
+func (p Process) String() string {
+	switch p {
+	case Poisson:
+		return "poisson"
+	case GammaArrivals:
+		return "gamma"
+	case Diurnal:
+		return "diurnal"
+	default:
+		// Exhaustive default: an out-of-range value still prints something
+		// diagnosable rather than an empty string.
+		return fmt.Sprintf("unknown(%d)", int(p))
+	}
+}
+
+// Workload describes one GPU's job stream. Every GPU in the fleet draws an
+// independent stream with these parameters from its own seeded substream.
+type Workload struct {
+	Process Process
+
+	// RatePerGPU is the mean arrival rate per GPU, jobs/second.
+	RatePerGPU float64
+
+	// CV is the interarrival coefficient of variation for GammaArrivals
+	// (ignored otherwise). 1 reproduces Poisson.
+	CV float64
+
+	// DiurnalAmplitude (0 ≤ A < 1) and DiurnalPeriod (seconds) shape the
+	// Diurnal rate λ(t) = RatePerGPU · (1 + A·sin(2πt/Period)).
+	DiurnalAmplitude float64
+	DiurnalPeriod    float64
+
+	// SlackMin/SlackMax bound the per-job deadline slack: the deadline is
+	// arrival + slack × (reference service time of the job's class on its
+	// GPU), slack drawn uniformly. SlackMin must exceed 1 or every job is
+	// born late even on an idle fleet.
+	SlackMin float64
+	SlackMax float64
+}
+
+// validate checks the workload parameters.
+func (w *Workload) validate() error {
+	if w.RatePerGPU <= 0 {
+		return fmt.Errorf("cluster: RatePerGPU %g must be positive", w.RatePerGPU)
+	}
+	if w.Process == GammaArrivals && w.CV <= 0 {
+		return fmt.Errorf("cluster: gamma arrivals need CV > 0, got %g", w.CV)
+	}
+	if w.Process == Diurnal {
+		if w.DiurnalAmplitude < 0 || w.DiurnalAmplitude >= 1 {
+			return fmt.Errorf("cluster: diurnal amplitude %g outside [0, 1)", w.DiurnalAmplitude)
+		}
+		if w.DiurnalPeriod <= 0 {
+			return fmt.Errorf("cluster: diurnal period %g must be positive", w.DiurnalPeriod)
+		}
+	}
+	if w.SlackMin <= 1 || w.SlackMax < w.SlackMin {
+		return fmt.Errorf("cluster: deadline slack [%g, %g] must satisfy 1 < min <= max", w.SlackMin, w.SlackMax)
+	}
+	return nil
+}
+
+// nextArrival draws the next arrival time after now from one GPU's stream.
+func (w *Workload) nextArrival(r *prng, now float64) float64 {
+	switch w.Process {
+	case GammaArrivals:
+		// Shape k = 1/CV², scale θ = CV²/rate keeps the mean at 1/rate.
+		k := 1 / (w.CV * w.CV)
+		return now + r.gamma(k, w.CV*w.CV/w.RatePerGPU)
+	case Diurnal:
+		// Thinning (Lewis–Shedler): candidates at the peak rate, accepted
+		// with probability λ(t)/λmax. Draw order is fixed (gap, then
+		// accept), so the stream is reproducible.
+		peak := w.RatePerGPU * (1 + w.DiurnalAmplitude)
+		t := now
+		for {
+			t += r.exp(peak)
+			rate := w.RatePerGPU * (1 + w.DiurnalAmplitude*math.Sin(2*math.Pi*t/w.DiurnalPeriod))
+			if r.float64()*peak <= rate {
+				return t
+			}
+		}
+	default: // Poisson
+		return now + r.exp(w.RatePerGPU)
+	}
+}
+
+// drawClass picks a kernel class index by cumulative weight (cum is the
+// prefix-sum of Options.Classes weights, fixed in class order).
+func drawClass(r *prng, cum []float64) int32 {
+	u := r.float64() * cum[len(cum)-1]
+	for i, c := range cum {
+		if u < c {
+			return int32(i)
+		}
+	}
+	return int32(len(cum) - 1)
+}

@@ -133,10 +133,17 @@ func (e *NonPositiveRefPowerError) Error() string {
 // derived relative-time/energy/EDP columns the DVFS consumers need. All
 // slices share ladder order (index i ↔ Configs[i]) and are read-only after
 // construction — a Surface is shared across goroutines by the cache.
+//
+// Gen is the generation of the model the surface was computed from
+// (Model.Generation() at computation time). Derived per-surface caches —
+// the cluster simulator's governor-decision cache is the canonical one —
+// key their entries by it, so a refit or an InvalidateSurfaces call
+// orphans the derived results exactly when it orphans the surface.
 type Surface struct {
 	Device   string
 	Ref      hw.Config
 	RefPower float64
+	Gen      uint64
 
 	Configs   []hw.Config
 	PowerW    []float64
@@ -144,21 +151,28 @@ type Surface struct {
 	RelEnergy []float64
 	RelEDP    []float64
 
-	index map[hw.Config]int
+	dev *hw.Device
 }
 
 // Len returns the number of ladder points.
 func (s *Surface) Len() int { return len(s.Configs) }
 
 // Point returns the ladder index of cfg, or false when cfg is not a ladder
-// configuration of the surface's device.
+// configuration of the surface's device. The lookup rides the device's
+// memoized ladder index, so building a surface allocates no per-surface map.
 func (s *Surface) Point(cfg hw.Config) (int, bool) {
-	i, ok := s.index[cfg]
-	return i, ok
+	return s.dev.LadderIndex(cfg)
 }
 
 // computeSurface evaluates the full ladder. Cancellation is checked per
 // configuration, so a canceled fit aborts promptly even on large ladders.
+//
+// Cold-path allocation budget: the ladder enumeration and its index are the
+// device's memoized Ladder()/LadderIndex (shared, read-only), and the four
+// float columns are views into one backing array — a cold surface costs two
+// allocations (the Surface and the backing), down from the eleven the
+// per-call AllConfigs + four makes + index map used to take. The cluster
+// simulator's decision-cache misses land exactly here.
 func computeSurface(ctx context.Context, m *Model, dev *hw.Device, ref hw.Config, uf *flatUtil) (*Surface, error) {
 	om := m.flatOmega()
 	refPower, err := m.predictFlat(uf, &om, ref)
@@ -168,18 +182,19 @@ func computeSurface(ctx context.Context, m *Model, dev *hw.Device, ref hw.Config
 	if refPower <= 0 {
 		return nil, &NonPositiveRefPowerError{Power: refPower}
 	}
-	configs := dev.AllConfigs()
+	configs := dev.Ladder()
 	n := len(configs)
+	back := make([]float64, 4*n)
 	s := &Surface{
 		Device:    dev.Name,
 		Ref:       ref,
 		RefPower:  refPower,
 		Configs:   configs,
-		PowerW:    make([]float64, n),
-		RelTime:   make([]float64, n),
-		RelEnergy: make([]float64, n),
-		RelEDP:    make([]float64, n),
-		index:     make(map[hw.Config]int, n),
+		PowerW:    back[0*n : 1*n : 1*n],
+		RelTime:   back[1*n : 2*n : 2*n],
+		RelEnergy: back[2*n : 3*n : 3*n],
+		RelEDP:    back[3*n : 4*n : 4*n],
+		dev:       dev,
 	}
 	for i, cfg := range configs {
 		if err := backend.CheckContext(ctx, "core: prediction surface"); err != nil {
@@ -195,7 +210,6 @@ func computeSurface(ctx context.Context, m *Model, dev *hw.Device, ref hw.Config
 		s.RelTime[i] = rt
 		s.RelEnergy[i] = relEnergy
 		s.RelEDP[i] = relEnergy * rt
-		s.index[cfg] = i
 	}
 	return s, nil
 }
@@ -306,6 +320,7 @@ func (c *SurfaceCache) Get(ctx context.Context, m *Model, dev *hw.Device, ref hw
 	if err != nil {
 		return nil, err
 	}
+	s.Gen = key.gen
 	sh.mu.Lock()
 	if cur, ok := sh.entries[key]; ok {
 		// A concurrent caller computed the same surface first; adopt theirs

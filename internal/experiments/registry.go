@@ -160,6 +160,13 @@ var registry = map[string]Runner{
 		}
 		return emit(w, r, plot)
 	},
+	"cluster": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
+		r, err := RunCluster(ctx, seed, 500, 20)
+		if err != nil {
+			return err
+		}
+		return emit(w, r, plot)
+	},
 	"robustness": func(ctx context.Context, w io.Writer, seed uint64, plot bool) error {
 		r, err := RunRobustness(ctx, []uint64{seed, seed + 1, seed + 2, seed + 3, seed + 4})
 		if err != nil {
@@ -211,12 +218,12 @@ func Names() []string {
 }
 
 // AllNames is the set run by "-exp all" (excludes the expensive seed sweep,
-// the verbose source listing, and the wall-clock-dependent speedup and
-// fleet-throughput timings).
+// the verbose source listing, and the wall-clock-dependent speedup,
+// fleet-throughput, serving and cluster-simulation timings).
 func AllNames() []string {
 	var out []string
 	for _, n := range Names() {
-		if n == "robustness" || n == "sources" || n == "speedup" || n == "fleet" || n == "serve" {
+		if n == "robustness" || n == "sources" || n == "speedup" || n == "fleet" || n == "serve" || n == "cluster" {
 			continue
 		}
 		out = append(out, n)

@@ -74,8 +74,10 @@ func speedupRow(ctx context.Context, name, baseLabel, optLabel string, baseIters
 //   - dvfs-search: a governor decision over the full V-F ladder, cold
 //     (surface recomputed per call, the historical per-call cost) vs warm
 //     (served from the memoized prediction surface).
-//   - cached-predict: one model evaluation through the surface cache vs the
-//     map-walking Model.Predict it is pinned bitwise against.
+//   - single-predict: one model evaluation through the allocation-free
+//     direct Model.Predict vs the single-point surface-cache lookup it
+//     replaced for single-config requests (the two are pinned bitwise
+//     against each other by the surface tests).
 //   - estimate-fit (per device): the Section III-D alternation through the
 //     restructured engine (per-worker workspaces, blocked QR, compiled
 //     quartic step-2 objectives) vs the preserved reference engine it
@@ -127,15 +129,23 @@ func RunSpeedup(ctx context.Context, seed uint64) (*SpeedupResult, error) {
 	}
 	out.Rows = append(out.Rows, row)
 
-	// Row 2: single-point prediction, direct model walk vs cached surface.
-	cfg := r.Device.AllConfigs()[0]
-	row, err = speedupRow(ctx, "cached-predict", "Model.Predict", "surface cache", 20000, 20000,
+	// Row 2: single-point prediction. PR 7's allocation-free warm
+	// Model.Predict (~72 ns) now beats a single-point SurfaceCache lookup
+	// (~468 ns: the shard read-lock and map probe dominate one flattened
+	// evaluation), so the direct path is the optimized side and the cache
+	// lookup is the baseline it replaces — the row used to be written the
+	// other way round and reported an inverted 0.15x "speedup". The cache
+	// still wins wherever a whole ladder is consumed per decision (the
+	// dvfs-search row above); single-config requests in internal/serve
+	// already route through the direct PredictAll path for the same reason.
+	cfg := r.Device.Ladder()[0]
+	row, err = speedupRow(ctx, "single-predict", "surface-cache point lookup", "warm Model.Predict", 20000, 20000,
 		func() error {
-			_, err := m.Predict(u, cfg)
+			_, err := core.Surfaces.Predict(ctx, m, r.Device, m.Ref, u, cfg)
 			return err
 		},
 		func() error {
-			_, err := core.Surfaces.Predict(ctx, m, r.Device, m.Ref, u, cfg)
+			_, err := m.Predict(u, cfg)
 			return err
 		})
 	if err != nil {

@@ -155,24 +155,55 @@ func Decide(ctx context.Context, m *core.Model, dev *hw.Device, policy Policy, p
 		}
 		return hw.Config{}, err
 	}
-	best := ref
-	bestScore, haveBest := 0.0, false
+	i, err := DecideOnSurface(s, policy, cap)
+	if err != nil {
+		return hw.Config{}, err
+	}
+	return s.Configs[i], nil
+}
+
+// DecideOnSurface returns the ladder index of the policy-optimal point on a
+// memoized prediction surface: the lowest-score point whose predicted power
+// stays at or below powerCap (which must already be resolved; callers pass
+// the device TDP for "no cap"). It is the scan both Decide and the cluster
+// simulator's decision cache share — the strict `score < best` comparison
+// and the ladder order are the historical per-point loop's, so the chosen
+// configuration is byte-identical to the pre-surface governor.
+func DecideOnSurface(s *core.Surface, policy Policy, powerCap float64) (int, error) {
+	return DecideOnSurfaceBounded(s, policy, powerCap, 0)
+}
+
+// DecideOnSurfaceBounded is DecideOnSurface with an optional execution-time
+// bound: when maxRelTime > 0, ladder points whose predicted relative time
+// exceeds it are rejected before scoring. This is the deadline-aware
+// variant the cluster simulator decides with — "the cheapest configuration
+// that cannot stretch a job past its slack" — and it degrades to the plain
+// scan when the bound is zero.
+func DecideOnSurfaceBounded(s *core.Surface, policy Policy, powerCap, maxRelTime float64) (int, error) {
+	best := -1
+	bestScore := 0.0
 	for i := 0; i < s.Len(); i++ {
 		p := s.PowerW[i]
-		if p > cap {
+		if p > powerCap {
 			continue
 		}
 		rt := s.RelTime[i]
+		if maxRelTime > 0 && rt > maxRelTime {
+			continue
+		}
 		score, err := policy.Score(p, rt)
 		if err != nil {
-			return hw.Config{}, err
+			return -1, err
 		}
-		if !haveBest || score < bestScore {
-			best, bestScore, haveBest = s.Configs[i], score, true
+		if best < 0 || score < bestScore {
+			best, bestScore = i, score
 		}
 	}
-	if !haveBest {
-		return hw.Config{}, fmt.Errorf("governor: no configuration satisfies the %g W cap", cap)
+	if best < 0 {
+		if maxRelTime > 0 {
+			return -1, fmt.Errorf("governor: no configuration satisfies the %g W cap within %gx relative time", powerCap, maxRelTime)
+		}
+		return -1, fmt.Errorf("governor: no configuration satisfies the %g W cap", powerCap)
 	}
 	return best, nil
 }

@@ -2,6 +2,7 @@ package hw
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -56,6 +57,15 @@ type Device struct {
 	// SensorRefresh is the NVML power-reading refresh period observed in the
 	// paper's Section V-A (35 ms Titan Xp, 100 ms GTX Titan X, 15 ms K40c).
 	SensorRefresh time.Duration
+
+	// ladderOnce guards the memoized V-F enumeration below. The ladders are
+	// immutable once a Device is published, so the enumeration and its index
+	// are computed at most once per instance and shared read-only by every
+	// hot path (prediction surfaces, the serving ladder walk, the cluster
+	// simulator's decision tables).
+	ladderOnce sync.Once
+	ladder     []Config
+	ladderIdx  map[Config]int
 }
 
 // Validate checks internal consistency of the device description.
@@ -148,6 +158,34 @@ func (d *Device) AllConfigs() []Config {
 
 // NumConfigs returns the size of the configuration space.
 func (d *Device) NumConfigs() int { return len(d.CoreFreqs) * len(d.MemFreqs) }
+
+// Ladder returns the memoized V-F enumeration in AllConfigs order. Unlike
+// AllConfigs it does not copy: the returned slice is shared and must be
+// treated as read-only. Hot paths that walk the ladder per call (cold
+// prediction surfaces, per-request serving sweeps) use it to stay
+// allocation-free.
+func (d *Device) Ladder() []Config {
+	d.initLadder()
+	return d.ladder
+}
+
+// LadderIndex returns cfg's position in Ladder(), or false when cfg is not
+// a ladder configuration of the device.
+func (d *Device) LadderIndex(cfg Config) (int, bool) {
+	d.initLadder()
+	i, ok := d.ladderIdx[cfg]
+	return i, ok
+}
+
+func (d *Device) initLadder() {
+	d.ladderOnce.Do(func() {
+		d.ladder = d.AllConfigs()
+		d.ladderIdx = make(map[Config]int, len(d.ladder))
+		for i, c := range d.ladder {
+			d.ladderIdx[c] = i
+		}
+	})
+}
 
 // PeakComputeWarpsPerSec returns the peak warp-issue throughput of unit c in
 // warps/second at core frequency fc (MHz): units-per-SM × SMs / warp-size

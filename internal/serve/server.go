@@ -406,7 +406,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 				if errors.As(err, &npe) {
 					// Relative-energy columns are undefined for this
 					// profile, but absolute power is not; predict directly.
-					watts, err = sc.predictAll(m, u, dev.AllConfigs())
+					watts, err = sc.predictAll(m, u, dev.Ladder())
 				}
 				if err != nil {
 					httpError(w, http.StatusBadRequest, "items[%d]: %v", i, err)
