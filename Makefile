@@ -25,6 +25,14 @@
 #                  byte-identical output (DESIGN.md §9.13), and the target
 #                  prints its wall time so cache regressions are visible in
 #                  CI logs.
+#   make alloccheck — zero-allocation gate: interprocedurally proves every
+#                  //gpower:noalloc-annotated hot-path root allocation-free
+#                  (internal/alloccheck; see DESIGN.md §13), failing on any
+#                  unproven root, reasonless //gpower:allocs hatch, or dead
+#                  hatch. Runs the prover twice (cold, then warm over the OS
+#                  page cache), requires byte-identical reports, and prints
+#                  both wall times like `make lint`; must stay green on
+#                  every PR.
 #   make lint-bench — cold-serial vs cold-parallel vs warm timing into fresh
 #                  facts dirs; the numbers recorded in EXPERIMENTS.md come
 #                  from here. GPUPOWER_SEQUENTIAL=1 pins the serial leg.
@@ -77,7 +85,7 @@ CLUSTER_GPUS ?= 1000
 CLUSTER_HORIZON ?= 20
 MIN_CLUSTER_EVENTS ?= 1000000
 
-.PHONY: all build test verify vet race lint lint-bench cover bench speedup bench-json clean
+.PHONY: all build test verify vet race lint alloccheck lint-bench cover bench speedup bench-json clean
 
 all: verify
 
@@ -101,6 +109,25 @@ lint:
 	end=$$(date +%s%N); \
 	echo "lint: $$(( (end - start) / 1000000 )) ms wall"; \
 	exit $$status
+
+# alloccheck proves the annotated hot paths twice with a prebuilt binary:
+# a cold run and a warm run over the same tree. The reports must be
+# byte-identical (the determinism contract of DESIGN.md §13); both wall
+# times are printed so a prover slowdown is visible in CI logs.
+alloccheck:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/alloccheck" ./cmd/alloccheck || exit $$?; \
+	start=$$(date +%s%N); \
+	"$$tmp/alloccheck" ./... > "$$tmp/cold.txt"; status=$$?; \
+	end=$$(date +%s%N); cold=$$(( (end - start) / 1000000 )); \
+	cat "$$tmp/cold.txt"; \
+	[ $$status -eq 0 ] || exit $$status; \
+	start=$$(date +%s%N); \
+	"$$tmp/alloccheck" ./... > "$$tmp/warm.txt"; status=$$?; \
+	end=$$(date +%s%N); warm=$$(( (end - start) / 1000000 )); \
+	[ $$status -eq 0 ] || exit $$status; \
+	cmp -s "$$tmp/cold.txt" "$$tmp/warm.txt" || { echo "alloccheck: cold and warm reports differ"; exit 1; }; \
+	echo "alloccheck: cold $$cold ms, warm $$warm ms"
 
 # lint-bench times cold runs (fresh facts dir: full parse + type check of
 # the module) serial (GPUPOWER_SEQUENTIAL=1) and parallel, then a warm run

@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"gpupower/internal/alloccheck"
 	"gpupower/internal/experiments"
 )
 
@@ -104,6 +105,18 @@ type ClusterSimEntry struct {
 	EventsPerSec   float64              `json:"events_per_sec"`
 }
 
+// AlloccheckEntry records the static zero-allocation coverage: how many
+// //gpower:noalloc roots the interprocedural proof covers at HEAD, how many
+// prove clean, and how many //gpower:allocs escape hatches the proofs lean
+// on (DESIGN.md §13).
+type AlloccheckEntry struct {
+	Roots           int     `json:"annotated_roots"`
+	Proven          int     `json:"proven"`
+	EscapeHatches   int     `json:"escape_hatches"`
+	FunctionsWalked int     `json:"functions_walked"`
+	WallNs          float64 `json:"wall_ns"`
+}
+
 // Document is the BENCH_results.json schema.
 type Document struct {
 	Seed         uint64             `json:"seed"`
@@ -112,6 +125,7 @@ type Document struct {
 	FleetFit     *FleetFitEntry     `json:"fleet_fit,omitempty"`
 	ServePredict *ServePredictEntry `json:"serve_predict,omitempty"`
 	ClusterSim   *ClusterSimEntry   `json:"cluster_sim,omitempty"`
+	Alloccheck   *AlloccheckEntry   `json:"alloccheck,omitempty"`
 }
 
 // benchLine matches e.g.
@@ -258,6 +272,20 @@ func main() {
 		doc.ClusterSim = entry
 	}
 
+	acStart := time.Now()
+	acRes, _, err := alloccheck.CheckModule(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: alloccheck: %v\n", err)
+		os.Exit(1)
+	}
+	doc.Alloccheck = &AlloccheckEntry{
+		Roots:           acRes.RootCount,
+		Proven:          acRes.ProvenCount,
+		EscapeHatches:   acRes.HatchesUsed,
+		FunctionsWalked: acRes.FunctionsWalked,
+		WallNs:          float64(time.Since(acStart).Nanoseconds()),
+	}
+
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -278,9 +306,17 @@ func main() {
 		fmt.Printf("cluster_sim: %.2fM events/s single-core, %d-GPU fleet\n",
 			doc.ClusterSim.EventsPerSec/1e6, doc.ClusterSim.GPUs)
 	}
+	fmt.Printf("alloccheck: %d/%d hot-path roots proven, %d escape hatches, %d functions walked\n",
+		doc.Alloccheck.Proven, doc.Alloccheck.Roots, doc.Alloccheck.EscapeHatches, doc.Alloccheck.FunctionsWalked)
 
-	// The regression gate runs after the artifact is written so a failing
-	// run still leaves the numbers on disk for diagnosis.
+	// The regression gates run after the artifact is written so a failing
+	// run still leaves the numbers on disk for diagnosis. The alloccheck
+	// gate has no knob: an unproven hot-path root is always a regression.
+	if !acRes.Clean() {
+		fmt.Fprintf(os.Stderr, "benchjson: alloccheck: %d of %d roots unproven, %d directive errors (run `go run ./cmd/alloccheck ./...` for the findings)\n",
+			acRes.RootCount-acRes.ProvenCount, acRes.RootCount, len(acRes.DirectiveErrors))
+		os.Exit(1)
+	}
 	if *minEstimate > 0 {
 		gated := []string{"estimate-fit (Titan Xp)", "estimate-fit (GTX Titan X)"}
 		checked := 0

@@ -1,0 +1,28 @@
+// Package e exercises every directive diagnostic: reasonless hatches, dead
+// hatches, misplaced noalloc directives, and bodyless roots.
+package e
+
+//gpower:noalloc reasonless hatch below
+func ReasonlessHatch(n int) int {
+	//gpower:allocs
+	s := make([]int, n)
+	return len(s)
+}
+
+//gpower:noalloc dead hatch: nothing on the next line allocates
+func DeadHatch(a, b int) int {
+	//gpower:allocs this suppresses nothing
+	return a + b
+}
+
+func misplacedHost(a int) int {
+	x := a * 2
+	//gpower:noalloc this is not a doc comment
+	return x
+}
+
+//gpower:noalloc a var block is not a function
+var notAFunction = 42
+
+//gpower:noalloc bodyless declarations prove nothing
+func Bodyless(x float64) float64

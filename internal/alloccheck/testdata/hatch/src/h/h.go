@@ -1,0 +1,28 @@
+// Package h exercises the //gpower:allocs escape hatch in its three
+// placements: standalone above a flagged line, suppressing an unproven
+// callee edge, and trailing on the flagged line itself.
+package h
+
+//gpower:noalloc hatched direct site
+func HatchedDirect(n int) int {
+	//gpower:allocs warm-up only: the buffer is grown once
+	buf := make([]int, n)
+	return len(buf)
+}
+
+//gpower:noalloc hatched call edge into an unproven callee
+func HatchedEdge() int {
+	//gpower:allocs cold path: init runs once per process
+	return coldInit()
+}
+
+func coldInit() int {
+	s := make([]int, 8)
+	return len(s)
+}
+
+//gpower:noalloc hatched with a trailing comment
+func HatchedTrailing(xs []int, x int) int {
+	xs = append(xs, x) //gpower:allocs warm-up only: capacity covers the steady state
+	return len(xs)
+}

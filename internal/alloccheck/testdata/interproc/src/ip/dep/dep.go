@@ -1,0 +1,8 @@
+// Package dep is the in-module dependency the cross-package tests walk into.
+package dep
+
+// Mul is allocation-free.
+func Mul(a, b int) int { return a * b }
+
+// Alloc allocates a slice.
+func Alloc(n int) []int { return make([]int, n) }

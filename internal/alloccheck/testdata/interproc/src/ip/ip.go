@@ -1,0 +1,70 @@
+// Package ip exercises the interprocedural walk: clean and dirty call
+// chains, mutual recursion (cycles), and cross-package edges into dep.
+package ip
+
+import "ip/dep"
+
+//gpower:noalloc three-hop clean chain
+func CleanChain(x int) int {
+	return hop1(x)
+}
+
+func hop1(x int) int { return hop2(x) + 1 }
+
+func hop2(x int) int { return x * 2 }
+
+//gpower:noalloc seeded: the chain bottoms out in make
+func DirtyChain(n int) int {
+	return mid(n)
+}
+
+func mid(n int) int { return len(bottom(n)) }
+
+func bottom(n int) []int { return make([]int, n) }
+
+//gpower:noalloc mutual recursion with no allocation sites
+func CleanCycle(n int) bool {
+	return isEven(n)
+}
+
+func isEven(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return isOdd(n - 1)
+}
+
+func isOdd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return isEven(n - 1)
+}
+
+//gpower:noalloc seeded: a cycle member allocates
+func DirtyCycle(n int) int {
+	return cycA(n)
+}
+
+func cycA(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return cycB(n - 1)
+}
+
+func cycB(n int) int {
+	s := make([]int, 1)
+	s[0] = n
+	return cycA(n-1) + s[0]
+}
+
+//gpower:noalloc clean cross-package call
+func CrossClean(a, b int) int {
+	return dep.Mul(a, b)
+}
+
+//gpower:noalloc seeded: the cross-package callee allocates
+func CrossDirty(n int) []int {
+	return dep.Alloc(n)
+}

@@ -1,0 +1,123 @@
+// Package tax exercises one annotated root per allocation-site category so
+// the taxonomy test can pin each Category to the construct that produces it.
+package tax
+
+import (
+	"fmt"
+	"strings"
+)
+
+type point struct{ x, y int }
+
+type doer interface{ Do() }
+
+//gpower:noalloc pure integer arithmetic
+func Clean(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return a + b
+}
+
+//gpower:noalloc seeded: make
+func UseMake(n int) []int {
+	return make([]int, n)
+}
+
+//gpower:noalloc seeded: new
+func UseNew() *int {
+	return new(int)
+}
+
+//gpower:noalloc seeded: append
+func UseAppend(xs []int, x int) []int {
+	return append(xs, x)
+}
+
+//gpower:noalloc seeded: slice literal
+func UseSliceLit() int {
+	s := []int{1, 2, 3}
+	return s[0]
+}
+
+//gpower:noalloc seeded: escaping composite
+func UseAddrComposite() *point {
+	return &point{x: 1, y: 2}
+}
+
+//gpower:noalloc seeded: map insert
+func UseMapInsert(m map[string]int, k string) {
+	m[k] = 1
+}
+
+//gpower:noalloc seeded: string concatenation
+func UseConcat(a, b string) string {
+	return a + b
+}
+
+//gpower:noalloc seeded: string conversion
+func UseConv(b []byte) string {
+	return string(b)
+}
+
+//gpower:noalloc seeded: interface boxing
+func UseBox(x int) any {
+	return x
+}
+
+//gpower:noalloc seeded: capturing closure
+func UseClosure(n int) func() int {
+	return func() int { return n }
+}
+
+//gpower:noalloc seeded: variadic call with loose arguments
+func UseVariadic() int {
+	return sum(1, 2, 3)
+}
+
+func sum(xs ...int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+//gpower:noalloc seeded: defer inside a loop
+func UseDeferLoop(n int) {
+	for i := 0; i < n; i++ {
+		defer release()
+	}
+}
+
+func release() {}
+
+//gpower:noalloc seeded: channel receive
+func UseChan(c chan int) int {
+	return <-c
+}
+
+//gpower:noalloc seeded: go statement
+func UseGo() {
+	go release()
+}
+
+//gpower:noalloc seeded: formatting call
+func UseFormat(x int) string {
+	return fmt.Sprint(x)
+}
+
+//gpower:noalloc seeded: external call off the allowlist
+func UseExtern(s string) string {
+	return strings.ToUpper(s)
+}
+
+//gpower:noalloc seeded: call through a func value
+func UseDynamicFunc(f func() int) int {
+	return f()
+}
+
+//gpower:noalloc seeded: interface method dispatch
+func UseDynamicIface(d doer) {
+	d.Do()
+}

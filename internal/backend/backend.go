@@ -105,7 +105,7 @@ type Backend interface {
 // the pipeline. Long-running operations call it at iteration/configuration
 // granularity.
 func CheckContext(ctx context.Context, op string) error {
-	if err := ctx.Err(); err != nil {
+	if err := ctx.Err(); err != nil { //gpower:allocs cancellation path: ctx.Err is an interface call and the wrap allocates only after the context is already dead
 		return fmt.Errorf("%s: %w", op, err)
 	}
 	return nil

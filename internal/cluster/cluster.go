@@ -365,6 +365,7 @@ func (en *engine) run(ctx context.Context) error {
 		}
 		en.pool.put(e)
 	}
+	//gpower:allocs warm-up only: the heap is pre-sized to the shard's event high-water mark on the first run, then reruns reuse it
 	en.heap.grow(2*len(en.gpus) + 1)
 	for i := range en.gpus {
 		g := &en.gpus[i]
@@ -545,6 +546,8 @@ func (s *Simulator) Run(ctx context.Context) (*Metrics, error) {
 // across the parallel pool; each shard owns its GPU range, its heap and its
 // pool, and the fold below consumes the per-GPU accumulators strictly in
 // GPU index order, so worker count and scheduling cannot perturb a bit.
+//
+//gpower:noalloc the zero-alloc test pins the single-shard steady state; multi-shard fan-out and warm-up growth are hatched below
 func (s *Simulator) RunInto(ctx context.Context, m *Metrics) error {
 	o := &s.opts
 	for i := range s.gpus {
@@ -555,6 +558,7 @@ func (s *Simulator) RunInto(ctx context.Context, m *Metrics) error {
 		shards = len(s.gpus)
 	}
 	for len(s.engines) < shards {
+		//gpower:allocs warm-up only: the engine shard slice grows to the worker count once, then reruns reuse it
 		s.engines = append(s.engines, engine{})
 	}
 	if shards == 1 {
@@ -570,6 +574,7 @@ func (s *Simulator) RunInto(ctx context.Context, m *Metrics) error {
 	} else {
 		// Contiguous ranges: shard k owns GPUs [k·size, min((k+1)·size, GPUs)).
 		size := (len(s.gpus) + shards - 1) / shards
+		//gpower:allocs multi-shard fan-out: the shard closure and worker pool cost a handful of allocations per run; the single-shard path above is the allocation-free one the test pins
 		err := parallel.ForEach(shards, func(k int) error {
 			lo := k * size
 			hi := lo + size

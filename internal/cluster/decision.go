@@ -67,6 +67,8 @@ var Decisions = NewDecisionCache(1024)
 // Get returns the memoized decision for (s, policy, powerCap, maxRelTime),
 // scanning the surface on miss via governor.DecideOnSurfaceBounded. Errors
 // (no feasible ladder point) are returned, never cached.
+//
+//gpower:noalloc the warm path is a read-locked map hit; only misses insert
 func (c *DecisionCache) Get(s *core.Surface, policy governor.Policy, powerCap, maxRelTime float64) (Decision, error) {
 	key := decisionKey{
 		surf:        s,
@@ -89,8 +91,10 @@ func (c *DecisionCache) Get(s *core.Surface, policy governor.Policy, powerCap, m
 	d = Decision{Index: i, PowerW: s.PowerW[i], RelTime: s.RelTime[i]}
 	c.mu.Lock()
 	if len(c.entries) >= c.capacity {
+		//gpower:allocs cold overflow: stale-generation eviction may reset the entry map
 		c.evictLocked(s.Gen)
 	}
+	//gpower:allocs cold miss: inserting the freshly scanned decision may grow the entry map
 	c.entries[key] = d
 	c.mu.Unlock()
 	return d, nil

@@ -48,16 +48,21 @@ type eventPool struct {
 
 // get returns a recycled record, or a fresh one when the pool is dry
 // (warm-up only, in steady state every get is preceded by a put).
+//
+//gpower:noalloc steady-state gets pop the free list; only a dry pool allocates
 func (p *eventPool) get() *event {
 	if e := p.free; e != nil {
 		p.free = e.next
 		e.next = nil
 		return e
 	}
+	//gpower:allocs warm-up only: the pool is dry until the first put, then every get recycles
 	return &event{hi: -1}
 }
 
 // put recycles a record.
+//
+//gpower:noalloc recycling is three pointer writes
 func (p *eventPool) put(e *event) {
 	e.next = p.free
 	e.hi = -1
@@ -87,13 +92,18 @@ func (h *eventHeap) less(a, b *event) bool {
 }
 
 // push queues e.
+//
+//gpower:noalloc grow() pre-sizes the backing array; steady-state pushes reuse it
 func (h *eventHeap) push(e *event) {
 	e.hi = len(h.items)
+	//gpower:allocs warm-up only: grow() pre-sizes past the high-water mark, so steady-state appends stay in capacity
 	h.items = append(h.items, e)
 	h.siftUp(e.hi)
 }
 
 // pop removes and returns the minimum event, or nil when empty.
+//
+//gpower:noalloc popping shrinks the slice in place and re-sifts
 func (h *eventHeap) pop() *event {
 	n := len(h.items)
 	if n == 0 {

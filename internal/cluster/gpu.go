@@ -25,8 +25,11 @@ type jobRing struct {
 }
 
 // push appends j.
+//
+//gpower:noalloc the ring grows only until it covers the peak queue depth
 func (r *jobRing) push(j job) {
 	if r.n == len(r.buf) {
+		//gpower:allocs warm-up only: the ring doubles until it covers the peak queue depth, then pushes reuse it
 		r.grow()
 	}
 	r.buf[(r.head+r.n)%len(r.buf)] = j

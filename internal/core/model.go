@@ -58,6 +58,7 @@ func (t *VoltageTable) indexOf(cfg hw.Config) (mi, ci int, err error) {
 		}
 	}
 	if mi < 0 || ci < 0 {
+		//gpower:allocs cold error path: only an off-ladder configuration lands here
 		return 0, 0, fmt.Errorf("core: configuration %v not in voltage table", cfg)
 	}
 	return mi, ci, nil
@@ -250,6 +251,8 @@ func (m *Model) Decompose(u Utilization, cfg hw.Config) (*Breakdown, error) {
 // coefficient blocks instead of building a Breakdown: zero allocations in
 // the steady state, and bitwise-identical to Decompose().Total() — the
 // surface tests pin the equality of the two paths.
+//
+//gpower:noalloc warm predictions allocate only on the off-ladder error path
 func (m *Model) Predict(u Utilization, cfg hw.Config) (float64, error) {
 	uf := flattenUtil(u)
 	om := m.flatOmega()

@@ -100,8 +100,11 @@ func relTimeFlat(uf *flatUtil, ref, cfg hw.Config) float64 {
 // in configs, writing the predictions into dst (len(configs)). It is the
 // batch sibling of Predict — identical per-point arithmetic, one flatten
 // of u and of the coefficient maps for the whole batch, no allocation.
+//
+//gpower:noalloc batch predictions allocate only on error paths
 func (m *Model) PredictAll(u Utilization, configs []hw.Config, dst []float64) error {
 	if len(dst) != len(configs) {
+		//gpower:allocs caller-bug error path: mismatched destination length
 		return fmt.Errorf("core: PredictAll dst length %d, want %d", len(dst), len(configs))
 	}
 	uf := flattenUtil(u)
@@ -225,28 +228,35 @@ type surfaceKey struct {
 	util   flatUtil
 }
 
+// FNV-1a parameters for surfaceKey sharding.
+const (
+	surfaceFNVOffset uint64 = 14695981039346656037
+	surfaceFNVPrime  uint64 = 1099511628211
+)
+
+// surfaceFNVMix folds one 64-bit word into an FNV-1a hash byte by byte. A
+// package function rather than a closure keeps the sharding path free of
+// closure allocation (alloccheck proves the warm Get path).
+func surfaceFNVMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * i)) & 0xff
+		h *= surfaceFNVPrime
+	}
+	return h
+}
+
 // shard maps the key to a cache shard with FNV-1a over the key's bytes.
 func (k *surfaceKey) shard() int {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= (v >> (8 * i)) & 0xff
-			h *= prime64
-		}
-	}
-	mix(k.gen)
+	h := surfaceFNVOffset
+	h = surfaceFNVMix(h, k.gen)
 	for i := 0; i < len(k.device); i++ {
 		h ^= uint64(k.device[i])
-		h *= prime64
+		h *= surfaceFNVPrime
 	}
-	mix(math.Float64bits(k.ref.CoreMHz))
-	mix(math.Float64bits(k.ref.MemMHz))
+	h = surfaceFNVMix(h, math.Float64bits(k.ref.CoreMHz))
+	h = surfaceFNVMix(h, math.Float64bits(k.ref.MemMHz))
 	for _, v := range k.util {
-		mix(math.Float64bits(v))
+		h = surfaceFNVMix(h, math.Float64bits(v))
 	}
 	return int(h % surfaceShards)
 }
@@ -302,6 +312,8 @@ var Surfaces = NewSurfaceCache(64)
 // under a read-lock and no allocation. Cancellation: the warm path checks
 // ctx once on entry; a cold computation additionally checks per ladder
 // configuration. Errors are returned, never cached.
+//
+//gpower:noalloc the warm path is one atomic load and a read-locked map hit
 func (c *SurfaceCache) Get(ctx context.Context, m *Model, dev *hw.Device, ref hw.Config, u Utilization) (*Surface, error) {
 	if err := backend.CheckContext(ctx, "core: prediction surface"); err != nil {
 		return nil, err
@@ -316,6 +328,7 @@ func (c *SurfaceCache) Get(ctx context.Context, m *Model, dev *hw.Device, ref hw
 		return s, nil
 	}
 	c.misses.Add(1)
+	//gpower:allocs cold miss: computeSurface builds the two-allocation surface exactly once per key
 	s, err := computeSurface(ctx, m, dev, ref, &key.util)
 	if err != nil {
 		return nil, err
@@ -328,8 +341,10 @@ func (c *SurfaceCache) Get(ctx context.Context, m *Model, dev *hw.Device, ref hw
 		s = cur
 	} else {
 		if len(sh.entries) >= c.capacity {
+			//gpower:allocs cold overflow: stale-generation eviction may reset the shard map
 			c.evictLocked(sh, key.gen)
 		}
+		//gpower:allocs cold miss: inserting the freshly computed surface may grow the shard map
 		sh.entries[key] = s
 	}
 	sh.mu.Unlock()
@@ -354,6 +369,8 @@ func (c *SurfaceCache) evictLocked(sh *surfaceShard, liveGen uint64) {
 
 // Predict returns the memoized power prediction for cfg — the cached
 // sibling of Model.Predict. Warm calls perform no allocation.
+//
+//gpower:noalloc warm lookups allocate only on the off-ladder error path
 func (c *SurfaceCache) Predict(ctx context.Context, m *Model, dev *hw.Device, ref hw.Config, u Utilization, cfg hw.Config) (float64, error) {
 	s, err := c.Get(ctx, m, dev, ref, u)
 	if err != nil {
@@ -361,6 +378,7 @@ func (c *SurfaceCache) Predict(ctx context.Context, m *Model, dev *hw.Device, re
 	}
 	i, ok := s.Point(cfg)
 	if !ok {
+		//gpower:allocs cold error path: only an off-ladder configuration lands here
 		return 0, fmt.Errorf("core: configuration %.0f/%.0f MHz is not on the %s ladder",
 			cfg.CoreMHz, cfg.MemMHz, dev.Name)
 	}

@@ -76,6 +76,7 @@ func (p Policy) Score(power, relTime float64) (float64, error) {
 	case MaxPerfUnderCap:
 		return relTime, nil
 	default:
+		//gpower:allocs cold error path: only an out-of-range policy value lands here
 		return 0, fmt.Errorf("governor: unknown policy %v", p)
 	}
 }
@@ -169,6 +170,8 @@ func Decide(ctx context.Context, m *core.Model, dev *hw.Device, policy Policy, p
 // simulator's decision cache share — the strict `score < best` comparison
 // and the ladder order are the historical per-point loop's, so the chosen
 // configuration is byte-identical to the pre-surface governor.
+//
+//gpower:noalloc the per-decision scan over a memoized surface is pure arithmetic
 func DecideOnSurface(s *core.Surface, policy Policy, powerCap float64) (int, error) {
 	return DecideOnSurfaceBounded(s, policy, powerCap, 0)
 }
@@ -179,6 +182,8 @@ func DecideOnSurface(s *core.Surface, policy Policy, powerCap float64) (int, err
 // variant the cluster simulator decides with — "the cheapest configuration
 // that cannot stretch a job past its slack" — and it degrades to the plain
 // scan when the bound is zero.
+//
+//gpower:noalloc the deadline-aware scan allocates only when no ladder point is feasible
 func DecideOnSurfaceBounded(s *core.Surface, policy Policy, powerCap, maxRelTime float64) (int, error) {
 	best := -1
 	bestScore := 0.0
@@ -201,8 +206,10 @@ func DecideOnSurfaceBounded(s *core.Surface, policy Policy, powerCap, maxRelTime
 	}
 	if best < 0 {
 		if maxRelTime > 0 {
+			//gpower:allocs infeasible-cap error path: no ladder point survives the cap and deadline filters
 			return -1, fmt.Errorf("governor: no configuration satisfies the %g W cap within %gx relative time", powerCap, maxRelTime)
 		}
+		//gpower:allocs infeasible-cap error path: no ladder point survives the cap filter
 		return -1, fmt.Errorf("governor: no configuration satisfies the %g W cap", powerCap)
 	}
 	return best, nil

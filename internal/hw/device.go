@@ -165,6 +165,7 @@ func (d *Device) NumConfigs() int { return len(d.CoreFreqs) * len(d.MemFreqs) }
 // prediction surfaces, per-request serving sweeps) use it to stay
 // allocation-free.
 func (d *Device) Ladder() []Config {
+	//gpower:allocs once-only ladder memoization behind sync.Once; the steady state is two field reads
 	d.initLadder()
 	return d.ladder
 }
@@ -172,6 +173,7 @@ func (d *Device) Ladder() []Config {
 // LadderIndex returns cfg's position in Ladder(), or false when cfg is not
 // a ladder configuration of the device.
 func (d *Device) LadderIndex(cfg Config) (int, bool) {
+	//gpower:allocs once-only ladder memoization behind sync.Once; the steady state is one map read
 	d.initLadder()
 	i, ok := d.ladderIdx[cfg]
 	return i, ok

@@ -93,6 +93,7 @@ func (m *Matrix) Set(i, j int, v float64) {
 
 func (m *Matrix) check(i, j int) {
 	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		//gpower:allocs panic path: an out-of-bounds index is a caller bug, mirroring the runtime's own bounds check
 		panic(fmt.Sprintf("linalg: index (%d,%d) out of bounds for %dx%d matrix", i, j, m.rows, m.cols))
 	}
 }
@@ -240,9 +241,11 @@ func (m *Matrix) MulVec(x []float64) ([]float64, error) {
 // so iterative solvers allocate nothing per iteration.
 func (m *Matrix) MulVecInto(dst, x []float64) error {
 	if m.cols != len(x) {
+		//gpower:allocs validation error path: a dimension mismatch never reaches the kernel
 		return fmt.Errorf("linalg: MulVec dimension mismatch %dx%d · %d", m.rows, m.cols, len(x))
 	}
 	if len(dst) != m.rows {
+		//gpower:allocs validation error path: a mis-sized dst never reaches the kernel
 		return fmt.Errorf("linalg: MulVec dst length %d, want %d", len(dst), m.rows)
 	}
 	for i := 0; i < m.rows; i++ {
@@ -299,9 +302,11 @@ func (m *Matrix) TMulVec(y []float64) ([]float64, error) {
 // buffer so iterative solvers allocate nothing per iteration.
 func (m *Matrix) TMulVecInto(dst, y []float64) error {
 	if len(y) != m.rows {
+		//gpower:allocs validation error path: a dimension mismatch never reaches the kernel
 		return fmt.Errorf("linalg: TMulVec dimension mismatch %dx%d · %d", m.rows, m.cols, len(y))
 	}
 	if len(dst) != m.cols {
+		//gpower:allocs validation error path: a mis-sized dst never reaches the kernel
 		return fmt.Errorf("linalg: TMulVec dst length %d, want %d", len(dst), m.cols)
 	}
 	// Serial body inlined (not a shared closure) so this path allocates
@@ -316,6 +321,7 @@ func (m *Matrix) TMulVecInto(dst, y []float64) error {
 		}
 		return nil
 	}
+	//gpower:allocs large-matrix fan-out: the column closure escapes into the worker pool; NNLS-sized systems take the inline loop above
 	return parallel.ForEach(m.cols, func(j int) error {
 		var s float64
 		for i := 0; i < m.rows; i++ {

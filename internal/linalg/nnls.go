@@ -127,15 +127,20 @@ func (ws *NNLSWorkspace) Ensure(maxRows, maxCols int) {
 // arithmetic — including the passive QR solves — is shared with the
 // allocating NNLS entry point, so the two are bitwise-identical; only the
 // storage strategy differs.
+//
+//gpower:noalloc the active-set iteration runs entirely on preallocated workspace storage
 func (ws *NNLSWorkspace) SolveInto(dst []float64, a *Matrix, b []float64) error {
 	m, n := a.Rows(), a.Cols()
 	if len(b) != m {
+		//gpower:allocs validation error path: a mis-sized rhs never reaches the solver
 		return fmt.Errorf("linalg: NNLS rhs length %d, want %d", len(b), m)
 	}
 	if len(dst) != n {
+		//gpower:allocs validation error path: a mis-sized dst never reaches the solver
 		return fmt.Errorf("linalg: NNLS dst length %d, want %d", len(dst), n)
 	}
 	if m > ws.maxRows || n > ws.maxCols {
+		//gpower:allocs validation error path: an over-capacity system never reaches the solver
 		return fmt.Errorf("linalg: %dx%d exceeds NNLS workspace capacity %dx%d", m, n, ws.maxRows, ws.maxCols)
 	}
 
@@ -279,6 +284,7 @@ func (ws *NNLSWorkspace) SolveInto(dst []float64, a *Matrix, b []float64) error 
 // the solution lands in ws.z (zeros on the active set).
 func (ws *NNLSWorkspace) solvePassive(a *Matrix, b []float64, passive []bool) ([]float64, error) {
 	if ws.testSolve != nil {
+		//gpower:allocs test-only injection point: production workspaces never set testSolve
 		z, err := ws.testSolve(a, b, passive)
 		if err != nil {
 			return nil, err
@@ -302,6 +308,7 @@ func (ws *NNLSWorkspace) solvePassiveInto(a *Matrix, b []float64, passive []bool
 	idx := ws.idx[:0]
 	for j := 0; j < n; j++ {
 		if passive[j] {
+			//gpower:allocs appends into ws.idx, preallocated to maxCols, so at most n ≤ maxCols entries stay in capacity
 			idx = append(idx, j)
 		}
 	}
@@ -375,9 +382,12 @@ func BoundedNNLS(a *Matrix, b []float64, upper []float64) ([]float64, error) {
 
 // BoundedSolveInto is BoundedNNLS on caller-owned scratch: zero steady-state
 // allocations when reusing the workspace across solves.
+//
+//gpower:noalloc the projected refinement reuses the workspace's bound buffers
 func (ws *NNLSWorkspace) BoundedSolveInto(dst []float64, a *Matrix, b, upper []float64) error {
 	m, n := a.Rows(), a.Cols()
 	if len(upper) != n {
+		//gpower:allocs validation error path: a mis-sized bound vector never reaches the solver
 		return fmt.Errorf("linalg: BoundedNNLS upper length %d, want %d", len(upper), n)
 	}
 	x := dst
@@ -407,6 +417,7 @@ func (ws *NNLSWorkspace) BoundedSolveInto(dst []float64, a *Matrix, b, upper []f
 				rhs[i] -= a.At(i, j) * upper[j]
 			}
 		} else {
+			//gpower:allocs appends into ws.boundIdx, preallocated to maxCols, so at most n ≤ maxCols entries stay in capacity
 			cols = append(cols, j)
 		}
 	}

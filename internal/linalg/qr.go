@@ -127,6 +127,7 @@ func applyReflector(qr *Matrix, k int, w, partial []float64) {
 	if fanOut {
 		// The per-block work is reflectorPartial either way; the closure only
 		// routes the block index, so fan-out cannot change a bit.
+		//gpower:allocs large-matrix fan-out: the block closure escapes into the worker pool; small solves take the inline loop below
 		_ = parallel.ForEach(blocks, func(b int) error {
 			reflectorPartial(qr, k, b, partial)
 			return nil
@@ -149,6 +150,7 @@ func applyReflector(qr *Matrix, k int, w, partial []float64) {
 	}
 	// Pass 2: rank-1 update, disjoint row blocks.
 	if fanOut {
+		//gpower:allocs large-matrix fan-out: the block closure escapes into the worker pool; small solves take the inline loop below
 		_ = parallel.ForEach(blocks, func(b int) error {
 			reflectorUpdate(qr, k, b, w)
 			return nil
@@ -316,12 +318,16 @@ func NewQRWorkspace(maxRows, maxCols int) *QRWorkspace {
 
 // Factorize copies a into the workspace and factorizes it in place. The
 // arithmetic is byte-for-byte the NewQR kernel; only the storage is reused.
+//
+//gpower:noalloc in-capacity factorizations run entirely on preallocated workspace storage
 func (w *QRWorkspace) Factorize(a *Matrix) error {
 	m, n := a.Rows(), a.Cols()
 	if m < n {
+		//gpower:allocs validation error path: a malformed shape never reaches the kernel
 		return fmt.Errorf("linalg: QR requires rows >= cols, got %dx%d", m, n)
 	}
 	if m > w.maxRows || n > w.maxCols {
+		//gpower:allocs validation error path: an over-capacity matrix never reaches the kernel
 		return fmt.Errorf("linalg: %dx%d exceeds QR workspace capacity %dx%d", m, n, w.maxRows, w.maxCols)
 	}
 	w.qr = Matrix{rows: m, cols: n, data: w.qrData[:m*n]}
@@ -340,15 +346,20 @@ func (w *QRWorkspace) FullRank() bool {
 // SolveInto writes x minimizing ‖A·x − b‖₂ into dst (len Cols of the last
 // Factorize), allocating nothing. It returns ErrRankDeficient when the
 // factorized matrix is numerically rank-deficient.
+//
+//gpower:noalloc back-substitution on preallocated workspace storage
 func (w *QRWorkspace) SolveInto(dst, b []float64) error {
 	if !w.factored {
+		//gpower:allocs validation error path: solving before Factorize is a caller bug
 		return fmt.Errorf("linalg: QR workspace solve before Factorize")
 	}
 	m, n := w.qr.rows, w.qr.cols
 	if len(b) != m {
+		//gpower:allocs validation error path: a mis-sized rhs never reaches the kernel
 		return fmt.Errorf("linalg: QR solve rhs length %d, want %d", len(b), m)
 	}
 	if len(dst) != n {
+		//gpower:allocs validation error path: a mis-sized dst never reaches the kernel
 		return fmt.Errorf("linalg: QR solve dst length %d, want %d", len(dst), n)
 	}
 	if !fullRank(w.rdia[:n]) {

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+
+	"gpupower/internal/core"
+	"gpupower/internal/hw"
+)
+
+// TestPredictScratchAllocFree pins the dynamic half of the //gpower:noalloc
+// contract on predictScratch.predictAll: once the pooled scratch has grown
+// to the ladder length, repeated full-ladder predictions allocate nothing.
+func TestPredictScratchAllocFree(t *testing.T) {
+	dev := hw.TeslaK40c()
+	m := testModel(t, dev, 40)
+	u := core.Utilization{hw.SP: 0.8, hw.DRAM: 0.4, hw.L2: 0.2}
+	ladder := dev.Ladder()
+
+	sc := &predictScratch{}
+	if _, err := sc.predictAll(m, u, ladder); err != nil {
+		t.Fatalf("warm-up predict: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := sc.predictAll(m, u, ladder); err != nil {
+			t.Fatalf("warm predict: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("predictAll allocates %.1f objects per warm run; want 0", allocs)
+	}
+}
+
+// TestAppendJSONStringAllocFree pins the fast path: appending a plain-ASCII
+// registry name into a pre-sized buffer allocates nothing, and the escaping
+// slow path stays byte-compatible with encoding/json.
+func TestAppendJSONStringAllocFree(t *testing.T) {
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = appendJSONString(buf[:0], "GTX Titan X#42")
+	})
+	if allocs != 0 {
+		t.Fatalf("appendJSONString allocates %.1f objects per run on the ASCII path; want 0", allocs)
+	}
+	if got := string(buf); got != `"GTX Titan X#42"` {
+		t.Fatalf("fast path produced %s", got)
+	}
+
+	for _, s := range []string{`quo"te`, `back\slash`, "control\x01char", "accenté"} {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendJSONString(nil, s); string(got) != string(want) {
+			t.Errorf("slow path for %q: got %s, want %s", s, got, want)
+		}
+	}
+}

@@ -453,8 +453,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 // predictAll evaluates the model over configs into the scratch watts
 // slice, growing it as needed.
+//
+//gpower:noalloc pooled scratch: the watts slice grows to the ladder length once, then requests reuse it
 func (sc *predictScratch) predictAll(m *core.Model, u core.Utilization, configs []hw.Config) ([]float64, error) {
 	if cap(sc.watts) < len(configs) {
+		//gpower:allocs warm-up only: each pooled scratch grows its watts slice to the largest request once
 		sc.watts = make([]float64, len(configs))
 	}
 	watts := sc.watts[:len(configs)]
@@ -477,15 +480,18 @@ func httpStatusForCancel(ctx context.Context) int {
 // appendJSONString appends s as a JSON string literal. Registry names are
 // plain ASCII ("GTX Titan X#42"); anything needing heavier escaping takes
 // the slow path through encoding/json.
+//
+//gpower:noalloc the ASCII fast path appends into the pooled response buffer; only exotic names defer to encoding/json
 func appendJSONString(buf []byte, s string) []byte {
 	for i := 0; i < len(s); i++ {
 		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= 0x80 {
-			b, _ := json.Marshal(s)
+			b, _ := json.Marshal(s) //gpower:allocs slow path: names needing JSON escaping defer to encoding/json; registry names are plain ASCII
 			return append(buf, b...)
 		}
 	}
+	//gpower:allocs appends into the pooled response buffer, which keeps its 64 KiB capacity across requests
 	buf = append(buf, '"')
-	buf = append(buf, s...)
+	buf = append(buf, s...) //gpower:allocs appends into the pooled response buffer, which keeps its 64 KiB capacity across requests
 	return append(buf, '"')
 }
 
